@@ -1,0 +1,88 @@
+// Shared experiment harness for the SIMBA benchmarks.
+//
+// Unlike tests/test_world.h (fast loss-free models), this wires the
+// REALISTIC models calibrated against the paper's Section 5 numbers:
+//   * IM hop latency ~150-450 ms  => one-way source->MAB "< 1 second"
+//   * pessimistic log write 250 ms => acknowledged in "about 1.5 s"
+//   * MAB processing ~600 ms      => proxy->user routing "2.5 s"
+//   * email seconds-to-days mixture, SMS carrier unpredictability
+//
+// Every bench binary prints "paper vs measured" rows through the
+// helpers at the bottom.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/mab_host.h"
+#include "core/source_endpoint.h"
+#include "core/user_endpoint.h"
+#include "email/email_server.h"
+#include "im/im_server.h"
+#include "net/bus.h"
+#include "sim/simulator.h"
+#include "sms/sms.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace simba::bench {
+
+/// Command-line: --seed=N and --n=N (workload size), tolerated in any
+/// order; unknown flags are ignored so harness wrappers can pass extras.
+struct Options {
+  std::uint64_t seed = 42;
+  int n = 0;  // 0 = bench-specific default
+  static Options parse(int argc, char** argv);
+};
+
+/// Calibrated infrastructure.
+struct ExperimentWorld {
+  explicit ExperimentWorld(std::uint64_t seed);
+
+  sim::Simulator sim;
+  net::MessageBus bus;
+  im::ImServer im_server;
+  email::EmailServer email_server;
+  sms::SmsGateway sms_gateway;
+};
+
+/// The standard experiment cast: Victor (user), his buddy, and the
+/// standard category/mode configuration used across experiments.
+struct Cast {
+  Cast(ExperimentWorld& world, core::MabHostOptions host_options = {},
+       core::UserEndpointOptions user_options = {});
+
+  std::unique_ptr<core::SourceEndpoint> make_source(
+      ExperimentWorld& world, const std::string& name,
+      Duration im_block_timeout = seconds(45));
+
+  std::unique_ptr<core::UserEndpoint> user;
+  std::unique_ptr<core::MabHost> host;
+};
+
+/// Standard user config: addresses, Urgent/Casual/SmsFirst modes,
+/// classifier rules for all five source types, category aggregation.
+core::MabConfig standard_config(const std::string& owner,
+                                const std::string& sms_address,
+                                const std::string& email_address);
+
+/// Default MAB behavioral knobs for experiments (processing delay etc.).
+core::MabOptions experiment_mab_options();
+
+/// Mildly flaky client profile for the buddy's desktop, calibrated for
+/// the one-month fault log (experiment E6).
+gui::FaultProfile buddy_im_client_profile();
+gui::FaultProfile buddy_email_client_profile();
+
+// --- Reporting -------------------------------------------------------------
+
+void print_header(const std::string& experiment_id,
+                  const std::string& paper_claim);
+void print_row(const std::string& metric, const std::string& paper,
+               const std::string& measured, const std::string& note = "");
+void print_summary_seconds(const std::string& metric, const std::string& paper,
+                           const Summary& summary);
+void print_section(const std::string& title);
+
+}  // namespace simba::bench

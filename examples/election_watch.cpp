@@ -1,0 +1,111 @@
+// The paper's election-night example (Section 2.1): "an alert proxy
+// was constructed to monitor the year 2000 presidential election
+// results and configured to send an alert whenever the Florida recount
+// updated the number of votes" — plus the PlayStation2 availability
+// watch from Section 5.
+//
+// Run:  ./election_watch
+#include <cstdio>
+
+#include "core/mab_host.h"
+#include "core/source_endpoint.h"
+#include "core/user_endpoint.h"
+#include "proxy/proxy.h"
+#include "util/log.h"
+
+using namespace simba;
+
+int main() {
+  Log::set_threshold(LogLevel::kInfo);
+  sim::Simulator sim(2000);
+  net::MessageBus bus(sim);
+  bus.set_default_link(net::LinkModel{millis(150), millis(300), 0.0});
+  im::ImServer im_server(sim, bus);
+  email::EmailServer email_server(sim);
+  sms::SmsGateway sms_gateway(sim);
+  sms_gateway.attach_to(email_server);
+
+  core::UserEndpointOptions user_options;
+  user_options.name = "newsjunkie";
+  core::UserEndpoint user(sim, bus, im_server, email_server, sms_gateway,
+                          user_options);
+  user.start();
+
+  core::MabHostOptions host_options;
+  host_options.owner = "newsjunkie";
+  core::UserProfile profile("newsjunkie");
+  profile.addresses().put(
+      core::Address{"MSN IM", core::CommType::kIm, "newsjunkie", true});
+  profile.addresses().put(core::Address{
+      "Home email", core::CommType::kEmail, user.email_account(), true});
+  core::DeliveryMode urgent("Urgent");
+  urgent.add_block(seconds(45)).actions.push_back(
+      core::DeliveryAction{"MSN IM", true});
+  urgent.add_block(minutes(2)).actions.push_back(
+      core::DeliveryAction{"Home email", false});
+  profile.define_mode(urgent);
+  host_options.config.profile = std::move(profile);
+  host_options.config.classifier.add_rule(core::SourceRule{
+      "alert.proxy", core::KeywordLocation::kNativeCategory, {}, ""});
+  host_options.config.categories.map_keyword("Election", "Breaking News");
+  host_options.config.categories.map_keyword("PlayStation2", "Shopping");
+  host_options.config.subscriptions.subscribe("Breaking News", "newsjunkie",
+                                              "Urgent");
+  host_options.config.subscriptions.subscribe("Shopping", "newsjunkie",
+                                              "Urgent");
+  core::MabHost buddy(sim, bus, im_server, email_server,
+                      std::move(host_options));
+  buddy.start();
+
+  core::SourceEndpointOptions source_options;
+  source_options.name = "alert.proxy";
+  core::SourceEndpoint proxy_host(sim, bus, im_server, email_server,
+                                  source_options);
+  proxy_host.start();
+  sim.run_for(seconds(30));
+  proxy_host.set_target(buddy.im_address(), buddy.email_address());
+
+  // The web as of election night 2000, plus a toy store.
+  proxy::WebDirectory web(sim);
+  web.put("http://news.example/florida",
+          "Florida recount: <count>Bush +537</count> certified pending");
+  web.put("http://shop.example/ps2", "PlayStation2: <stock>SOLD OUT</stock>");
+
+  proxy::AlertProxy alert_proxy(sim, web);
+  proxy::AlertProxy::WatchConfig florida;
+  florida.url = "http://news.example/florida";
+  florida.poll_interval = seconds(30);  // poll aggressively: history is made
+  florida.start_keyword = "<count>";
+  florida.end_keyword = "</count>";
+  florida.source_name = "alert.proxy";
+  florida.category = "Election";
+  florida.high_importance = true;
+  alert_proxy.add_watch(florida, proxy_host.sink());
+
+  proxy::AlertProxy::WatchConfig ps2;
+  ps2.url = "http://shop.example/ps2";
+  ps2.poll_interval = minutes(5);
+  ps2.start_keyword = "<stock>";
+  ps2.end_keyword = "</stock>";
+  ps2.source_name = "alert.proxy";
+  ps2.category = "PlayStation2";
+  alert_proxy.add_watch(ps2, proxy_host.sink());
+
+  // The night unfolds.
+  web.put_at(kTimeZero + minutes(25), "http://news.example/florida",
+             "Florida recount: <count>Bush +327</count> still counting");
+  web.put_at(kTimeZero + minutes(55), "http://news.example/florida",
+             "Florida recount: <count>Bush +154</count> lawyers en route");
+  web.put_at(kTimeZero + minutes(40), "http://shop.example/ps2",
+             "PlayStation2: <stock>IN STOCK - 3 units</stock>");
+
+  sim.run_for(hours(2));
+
+  std::printf("\n== results ==\n");
+  std::printf("changes the proxy caught and routed: %zu\n",
+              user.alerts_seen());
+  std::printf("  via IM: %lld   via email: %lld\n",
+              static_cast<long long>(user.stats().get("seen_via_im")),
+              static_cast<long long>(user.stats().get("seen_via_email")));
+  return user.alerts_seen() == 3 ? 0 : 1;
+}

@@ -1,0 +1,153 @@
+// The Section 3.3 motivating scenario, end to end.
+//
+// "a user may consider that stock quote alerts from Yahoo!, financial
+// news from the Wall Street Journal, and news column alerts from CBS
+// MarketWatch all belong to her personal 'Investment' alert category
+// and should share the same delivery mechanism. ... If one day the
+// user needs to make timely investment decisions and would like to
+// temporarily switch the delivery mechanism for all 'Investment'
+// alerts from SMS to IM, she would need to visit all three services"
+// — unless she has a MyAlertBuddy, where it is one change. Also shows
+// the cell-phone-dies scenario: disable the SMS address and the SMS
+// block automatically falls through to email.
+//
+// Run:  ./investment_day
+#include <cstdio>
+
+#include "core/mab_host.h"
+#include "core/user_endpoint.h"
+#include "util/log.h"
+
+using namespace simba;
+
+namespace {
+
+void portal_mail(email::EmailServer& server, const std::string& from,
+                 const std::string& to, const std::string& subject) {
+  email::Email mail;
+  mail.from = from;
+  mail.to = to;
+  mail.subject = subject;
+  mail.body = "(story body)";
+  if (!server.submit(std::move(mail)).ok()) {
+    std::printf("!! relay rejected mail from %s\n", from.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Log::set_threshold(LogLevel::kInfo);
+  sim::Simulator sim(98);
+  net::MessageBus bus(sim);
+  bus.set_default_link(net::LinkModel{millis(150), millis(300), 0.0});
+  im::ImServer im_server(sim, bus);
+  email::EmailServer email_server(sim);
+  // Fast, reliable mail today so the story is about routing, not luck.
+  email::EmailDelayModel mail_model;
+  mail_model.fast_probability = 1.0;
+  mail_model.fast_median = seconds(15);
+  mail_model.fast_sigma = 0.4;
+  mail_model.loss_probability = 0.0;
+  email_server.set_delay_model(mail_model);
+  sms::SmsGateway sms_gateway(sim);
+  sms::SmsDelayModel sms_model;  // good carrier day, same reasoning
+  sms_model.fast_probability = 1.0;
+  sms_model.fast_median = seconds(15);
+  sms_model.fast_sigma = 0.4;
+  sms_model.loss_probability = 0.0;
+  sms_gateway.set_delay_model(sms_model);
+  sms_gateway.attach_to(email_server);
+
+  core::UserEndpointOptions user_options;
+  user_options.name = "investor";
+  user_options.email_check_interval = minutes(15);
+  core::UserEndpoint investor(sim, bus, im_server, email_server, sms_gateway,
+                              user_options);
+  investor.start();
+
+  core::MabHostOptions host_options;
+  host_options.owner = "investor";
+  core::UserProfile profile("investor");
+  profile.addresses().put(
+      core::Address{"MSN IM", core::CommType::kIm, "investor", true});
+  profile.addresses().put(core::Address{"Cell SMS", core::CommType::kSms,
+                                        investor.sms_address(), true});
+  profile.addresses().put(core::Address{
+      "Home email", core::CommType::kEmail, investor.email_account(), true});
+  core::DeliveryMode sms_first("SmsFirst");
+  sms_first.add_block(minutes(2)).actions.push_back(
+      core::DeliveryAction{"Cell SMS", false});
+  sms_first.add_block(minutes(2)).actions.push_back(
+      core::DeliveryAction{"Home email", false});
+  profile.define_mode(sms_first);
+  core::DeliveryMode im_first("ImFirst");
+  im_first.add_block(seconds(45)).actions.push_back(
+      core::DeliveryAction{"MSN IM", true});
+  im_first.add_block(minutes(2)).actions.push_back(
+      core::DeliveryAction{"Home email", false});
+  profile.define_mode(im_first);
+  host_options.config.profile = std::move(profile);
+
+  // The three services, as legacy email-only alert sources. Their
+  // category keywords live in different places (Section 4.2).
+  auto& classifier = host_options.config.classifier;
+  classifier.add_rule(core::SourceRule{
+      "alerts@yahoo.example", core::KeywordLocation::kSenderName,
+      {"Stocks"}, "http://alerts.yahoo.example/unsubscribe"});
+  classifier.add_rule(core::SourceRule{"wsj@news.example",
+                                       core::KeywordLocation::kSubject,
+                                       {"Financial news"},
+                                       "mailto:wsj@news.example?subject=stop"});
+  classifier.add_rule(core::SourceRule{
+      "cbs@marketwatch.example", core::KeywordLocation::kSubject,
+      {"Earnings reports"}, "http://marketwatch.example/unsubscribe"});
+  // Aggregation: three native keywords, one personal category.
+  auto& categories = host_options.config.categories;
+  categories.map_keyword("Stocks", "Investment");
+  categories.map_keyword("Financial news", "Investment");
+  categories.map_keyword("Earnings reports", "Investment");
+  host_options.config.subscriptions.subscribe("Investment", "investor",
+                                              "SmsFirst");
+  core::MabHost buddy(sim, bus, im_server, email_server,
+                      std::move(host_options));
+  buddy.start();
+  sim.run_for(seconds(30));
+
+  const std::string buddy_mail = buddy.email_address();
+  std::printf("\n== morning: Investment routed SMS-first ==\n");
+  portal_mail(email_server, "Yahoo! Alerts - Stocks <alerts@yahoo.example>",
+              buddy_mail, "MSFT crosses $100");
+  portal_mail(email_server, "wsj@news.example", buddy_mail,
+              "Financial news: Fed holds rates");
+  sim.run_for(minutes(10));
+
+  std::printf("\n== 11:00: big decisions today — one change at the buddy "
+              "switches all three services to IM ==\n");
+  buddy.config().subscriptions.subscribe("Investment", "investor", "ImFirst");
+  portal_mail(email_server, "cbs@marketwatch.example", buddy_mail,
+              "Earnings reports: Q4 beats estimates");
+  sim.run_for(minutes(10));
+
+  std::printf("\n== 15:00: phone battery dies — she disables the SMS "
+              "address; SMS blocks auto-fail to email ==\n");
+  buddy.config().subscriptions.subscribe("Investment", "investor", "SmsFirst");
+  buddy.config().profile.addresses().set_enabled("Cell SMS", false);
+  portal_mail(email_server, "Yahoo! Alerts - Stocks <alerts@yahoo.example>",
+              buddy_mail, "MSFT closes at $101");
+  sim.run_for(minutes(30));
+
+  std::printf("\n== the services the buddy tracks (with unsubscribe info) ==\n");
+  for (const auto& service : buddy.config().classifier.services()) {
+    std::printf("  %-28s unsubscribe: %s\n", service.source.c_str(),
+                service.unsubscribe_info.c_str());
+  }
+
+  std::printf("\n== what the investor saw ==\n");
+  std::printf("alerts: %zu   via SMS: %lld   via IM: %lld   via email: %lld\n",
+              investor.alerts_seen(),
+              static_cast<long long>(investor.stats().get("seen_via_sms")),
+              static_cast<long long>(investor.stats().get("seen_via_im")),
+              static_cast<long long>(investor.stats().get("seen_via_email")));
+  return investor.alerts_seen() == 4 ? 0 : 1;
+}

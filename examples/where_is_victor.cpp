@@ -1,0 +1,115 @@
+// WISH location tracking (paper Section 2.4): Victor's assistant
+// subscribes to his location so she knows when he is back in the
+// building for his next meeting. Shows the RF propagation model, the
+// AP map, soft-state presence, and enter/move/leave alerts flowing
+// through SIMBA.
+//
+// Run:  ./where_is_victor
+#include <cstdio>
+
+#include "core/mab_host.h"
+#include "core/source_endpoint.h"
+#include "core/user_endpoint.h"
+#include "sss/sss.h"
+#include "util/log.h"
+#include "wish/wish.h"
+
+using namespace simba;
+
+int main() {
+  Log::set_threshold(LogLevel::kInfo);
+  sim::Simulator sim(31);
+  net::MessageBus bus(sim);
+  bus.set_default_link(net::LinkModel{millis(150), millis(300), 0.0});
+  im::ImServer im_server(sim, bus);
+  email::EmailServer email_server(sim);
+  sms::SmsGateway sms_gateway(sim);
+  sms_gateway.attach_to(email_server);
+
+  // The assistant and her buddy.
+  core::UserEndpointOptions assistant_options;
+  assistant_options.name = "assistant";
+  core::UserEndpoint assistant(sim, bus, im_server, email_server, sms_gateway,
+                               assistant_options);
+  assistant.start();
+
+  core::MabHostOptions host_options;
+  host_options.owner = "assistant";
+  core::UserProfile profile("assistant");
+  profile.addresses().put(
+      core::Address{"MSN IM", core::CommType::kIm, "assistant", true});
+  profile.addresses().put(core::Address{
+      "Work email", core::CommType::kEmail, assistant.email_account(), true});
+  core::DeliveryMode urgent("Urgent");
+  urgent.add_block(seconds(45)).actions.push_back(
+      core::DeliveryAction{"MSN IM", true});
+  urgent.add_block(minutes(2)).actions.push_back(
+      core::DeliveryAction{"Work email", false});
+  profile.define_mode(urgent);
+  host_options.config.profile = std::move(profile);
+  host_options.config.classifier.add_rule(
+      core::SourceRule{"wish", core::KeywordLocation::kNativeCategory, {}, ""});
+  host_options.config.categories.map_keyword("Location", "Victor Tracking");
+  host_options.config.subscriptions.subscribe("Victor Tracking", "assistant",
+                                              "Urgent");
+  core::MabHost buddy(sim, bus, im_server, email_server,
+                      std::move(host_options));
+  buddy.start();
+
+  core::SourceEndpointOptions source_options;
+  source_options.name = "wish";
+  core::SourceEndpoint wish_source(sim, bus, im_server, email_server,
+                                   source_options);
+  wish_source.start();
+  sim.run_for(seconds(30));
+  wish_source.set_target(buddy.im_address(), buddy.email_address());
+
+  // Building 31: three APs, three zones.
+  wish::FloorMap map;
+  map.add_ap(wish::AccessPoint{"ap-lobby", {0, 0}, "Building 31 / Lobby"});
+  map.add_ap(wish::AccessPoint{"ap-lab", {70, 20}, "Building 31 / Lab"});
+  map.add_ap(
+      wish::AccessPoint{"ap-office", {140, 0}, "Building 31 / Office wing"});
+  wish::RadioModel radio;  // defaults: log-distance path loss + shadowing
+  sss::SssServer store(sim, "wish-server");
+  wish::WishServer server(sim, map, radio, store);
+  server.set_user_refresh(seconds(10), 2);
+  wish::WishAlertService alerts(sim, store);
+  alerts.subscribe("assistant", "victor", {}, wish_source.sink());
+
+  wish::WishClient victor_laptop(sim, map, radio, server, "victor",
+                                 seconds(3));
+  victor_laptop.set_in_range(false);  // out at lunch
+  victor_laptop.start();
+
+  std::printf("\n== 13:00 — Victor walks into the lobby ==\n");
+  sim.run_until(kTimeZero + hours(13));
+  victor_laptop.set_in_range(true);
+  victor_laptop.set_position({2, 3});
+  sim.run_for(minutes(2));
+
+  std::printf("\n== 13:10 — he heads to the lab ==\n");
+  sim.run_until(kTimeZero + hours(13) + minutes(10));
+  victor_laptop.set_position({68, 18});
+  sim.run_for(minutes(2));
+  if (auto estimate = server.last_estimate("victor")) {
+    std::printf(">> WISH estimate: %s (distance %.1f m, confidence %.0f%%)\n",
+                estimate->zone.c_str(), estimate->distance_m,
+                estimate->confidence_pct);
+  }
+
+  std::printf("\n== 13:40 — off to his office ==\n");
+  sim.run_until(kTimeZero + hours(13) + minutes(40));
+  victor_laptop.set_position({138, 4});
+  sim.run_for(minutes(2));
+
+  std::printf("\n== 15:00 — he leaves for the day ==\n");
+  sim.run_until(kTimeZero + hours(15));
+  victor_laptop.set_in_range(false);
+  sim.run_for(minutes(3));  // soft state decays -> "left the building"
+
+  std::printf("\n== what the assistant saw ==\n");
+  std::printf("location alerts: %zu (expected 4: enter, 2 moves, leave)\n",
+              assistant.alerts_seen());
+  return assistant.alerts_seen() == 4 ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Aladdin home networking substrate (Section 2.3 and the Section 5
+// end-to-end scenario).
+//
+// "Aladdin integrates diverse devices and sensors attached to
+// heterogeneous in-home networks including powerline, phoneline, RF
+// (Radio Frequency) and IR (InfraRed), and connects them to the
+// Internet through a home gateway machine."
+//
+// Media latencies matter: the paper's disarm scenario takes 11 seconds
+// end-to-end, dominated by X10-style powerline signaling and the
+// polling monitor, not by the Internet leg.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace simba::aladdin {
+
+enum class Medium { kPowerline, kPhoneline, kRf, kIr };
+
+const char* to_string(Medium medium);
+
+struct MediumModel {
+  Duration base_latency;
+  Duration jitter;
+  double loss_probability;
+};
+
+/// A frame on a home-network medium.
+struct HomeSignal {
+  std::string source_id;  // device that transmitted
+  std::string payload;    // e.g. "DISARM", "ON", "OFF", "HEARTBEAT"
+  Medium medium = Medium::kRf;
+  TimePoint transmitted_at{};
+};
+
+/// The house's four network segments. Listeners receive frames after a
+/// per-medium latency; lossy media drop some frames.
+class HomeNetwork {
+ public:
+  explicit HomeNetwork(sim::Simulator& sim);
+
+  /// Defaults chosen to reproduce the paper's timing shape:
+  /// powerline ~ X10 signaling (slow, ~2.5 s/frame), phoneline fast
+  /// Ethernet, RF sub-second, IR line-of-sight fast but lossy.
+  void set_model(Medium medium, MediumModel model);
+  const MediumModel& model(Medium medium) const;
+
+  using ListenerId = std::uint64_t;
+  ListenerId listen(Medium medium,
+                    std::function<void(const HomeSignal&)> callback);
+  void unlisten(ListenerId id);
+
+  /// Transmits a frame; delivery to every listener on that medium is
+  /// scheduled independently (shared-medium broadcast).
+  void transmit(HomeSignal signal);
+
+  const Counters& stats() const { return stats_; }
+
+ private:
+  struct Listener {
+    ListenerId id;
+    Medium medium;
+    std::function<void(const HomeSignal&)> callback;
+  };
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  std::map<Medium, MediumModel> models_;
+  std::vector<Listener> listeners_;
+  ListenerId next_listener_ = 1;
+  Counters stats_;
+};
+
+}  // namespace simba::aladdin

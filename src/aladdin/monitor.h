@@ -1,0 +1,98 @@
+// Powerline monitor and Aladdin home gateway server.
+//
+// Section 5 scenario: "A powerline monitor process running on a PC
+// picked up the signal and converted it into an update on the local SSS
+// server, which replicated the update to other PCs through a multicast
+// over the phoneline Ethernet. The SSS server running on the home
+// gateway machine fired an event to the Aladdin home server, which then
+// sent out an IM alert."
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "aladdin/home_network.h"
+#include "core/alert.h"
+#include "sim/simulator.h"
+#include "sss/sss.h"
+
+namespace simba::aladdin {
+
+/// Converts powerline frames into writes on the local SSS server.
+/// Frames are buffered and applied at poll ticks (the monitor is a
+/// polling process; its interval is part of the 11-second budget).
+class PowerlineMonitor {
+ public:
+  struct DeviceConfig {
+    std::string sss_type = "sensor";
+    /// SSS soft-state parameters for this device's variable. A zero
+    /// refresh period disables timeout tracking (mains-powered device).
+    Duration refresh_period{};
+    int max_missed_refreshes = 2;
+  };
+
+  PowerlineMonitor(sim::Simulator& sim, HomeNetwork& network,
+                   sss::SssServer& local_store,
+                   Duration poll_interval = seconds(1.5));
+  ~PowerlineMonitor();
+
+  /// Devices must be registered so the monitor knows the soft-state
+  /// parameters; frames from unknown devices are counted and dropped.
+  void register_device(const std::string& id, DeviceConfig config);
+
+  const Counters& stats() const { return stats_; }
+
+ private:
+  void poll();
+  void apply(const HomeSignal& signal);
+  std::string variable_name(const std::string& device_id) const {
+    return "device." + device_id;
+  }
+
+  sim::Simulator& sim_;
+  HomeNetwork& network_;
+  sss::SssServer& store_;
+  std::map<std::string, DeviceConfig> devices_;
+  std::vector<HomeSignal> buffer_;
+  HomeNetwork::ListenerId listener_;
+  sim::TaskHandle poll_task_;
+  Counters stats_;
+};
+
+/// The Aladdin home server on the gateway machine: watches the gateway
+/// SSS for sensor events and turns critical ones into alerts.
+///
+/// "Aladdin does not support content-based event subscriptions [so] all
+/// state changes of any sensor declared as critical will trigger
+/// alerts" — the filtering happens later, in MyAlertBuddy (Section 4.2,
+/// alert filtering).
+class HomeGatewayServer {
+ public:
+  HomeGatewayServer(sim::Simulator& sim, sss::SssServer& gateway_store);
+  ~HomeGatewayServer();
+
+  /// Marks a device critical and gives it a friendly name for the
+  /// alert text ("Basement Water" -> "Basement Water Sensor ON").
+  void declare_critical(const std::string& device_id,
+                        const std::string& friendly_name);
+
+  void set_alert_sink(core::AlertSink sink) { sink_ = std::move(sink); }
+
+  const Counters& stats() const { return stats_; }
+
+ private:
+  void on_event(const sss::Event& event);
+
+  sim::Simulator& sim_;
+  sss::SssServer& store_;
+  std::map<std::string, std::string> critical_;  // variable name -> friendly
+  sss::SubscriptionId subscription_ = 0;
+  core::AlertSink sink_;
+  std::uint64_t next_alert_ = 1;
+  Counters stats_;
+};
+
+}  // namespace simba::aladdin

@@ -1,0 +1,67 @@
+// Email-based remote home automation (Section 2.3: "In addition to
+// supporting secure, email-based remote home automation, Aladdin
+// generates alerts when any critical sensor fires...").
+//
+// The home gateway polls its mailbox for command messages of the form
+//
+//     Subject: ALADDIN <secret> SET <device> ON|OFF
+//
+// from an allow-listed sender, actuates the device by transmitting the
+// command frame on the powerline (where command modules listen), and
+// emails a confirmation back. Security per the era: sender allow-list
+// plus a shared secret in the subject line.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "aladdin/home_network.h"
+#include "email/email_server.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace simba::aladdin {
+
+class RemoteAutomation {
+ public:
+  RemoteAutomation(sim::Simulator& sim, email::EmailServer& mail,
+                   HomeNetwork& network, std::string gateway_mailbox,
+                   std::string secret);
+  ~RemoteAutomation() { poll_task_.cancel(); }
+
+  /// Senders allowed to issue commands (the homeowner's addresses).
+  void authorize(const std::string& sender_address);
+
+  /// Devices that may be actuated; commands for others are rejected.
+  void register_device(const std::string& device_id);
+
+  /// Observes every actuation, for scenarios/tests.
+  void set_on_actuate(std::function<void(const std::string& device, bool on)>
+                          callback) {
+    on_actuate_ = std::move(callback);
+  }
+
+  void start(Duration poll_interval = seconds(30));
+
+  const Counters& stats() const { return stats_; }
+
+ private:
+  void poll();
+  void handle(const email::Email& mail);
+  void confirm(const std::string& to, const std::string& body);
+
+  sim::Simulator& sim_;
+  email::EmailServer& mail_;
+  HomeNetwork& network_;
+  std::string mailbox_;
+  std::string secret_;
+  std::set<std::string> authorized_;
+  std::set<std::string> devices_;
+  std::size_t cursor_ = 0;
+  std::function<void(const std::string&, bool)> on_actuate_;
+  sim::TaskHandle poll_task_;
+  Counters stats_;
+};
+
+}  // namespace simba::aladdin

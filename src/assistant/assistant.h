@@ -1,0 +1,64 @@
+// SIMBA Desktop Assistant (Section 2.5).
+//
+// "runs on a user's primary machine and remains inactive until the idle
+// time of interactive activities exceeds a user-specified threshold and
+// the software determines that the user has not processed emails from
+// other places. Currently, the Assistant software generates alerts when
+// high-importance emails come in and when high-importance reminders pop
+// up."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/alert.h"
+#include "email/email_server.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace simba::assistant {
+
+class DesktopAssistant {
+ public:
+  DesktopAssistant(sim::Simulator& sim, email::EmailServer& mail,
+                   std::string mailbox, Duration idle_threshold = minutes(15));
+
+  /// Scenario scripts call this whenever the user touches the machine.
+  /// Activity also implies the user has seen everything currently in
+  /// the mailbox ("has processed emails").
+  void record_user_activity();
+
+  Duration idle_time() const { return sim_.now() - last_activity_; }
+  bool user_away() const { return idle_time() >= idle_threshold_; }
+
+  /// Calendar reminder that will pop at `when`.
+  void add_reminder(TimePoint when, const std::string& subject,
+                    bool high_importance = true);
+
+  void set_alert_sink(core::AlertSink sink) { sink_ = std::move(sink); }
+
+  /// Starts watching the mailbox (sweep every `check_interval`).
+  void start(Duration check_interval = seconds(30));
+  void stop();
+
+  const Counters& stats() const { return stats_; }
+
+ private:
+  void sweep_mailbox();
+  void fire_reminder(const std::string& subject, bool high_importance);
+  void emit(const std::string& category, const std::string& subject,
+            const std::string& body, bool high_importance);
+
+  sim::Simulator& sim_;
+  email::EmailServer& mail_;
+  std::string mailbox_;
+  Duration idle_threshold_;
+  TimePoint last_activity_{};
+  std::size_t mail_cursor_ = 0;
+  core::AlertSink sink_;
+  sim::TaskHandle sweep_task_;
+  std::uint64_t next_alert_ = 1;
+  Counters stats_;
+};
+
+}  // namespace simba::assistant

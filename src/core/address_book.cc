@@ -1,0 +1,129 @@
+#include "core/address_book.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+#include "xml/xml.h"
+
+namespace simba::core {
+
+const char* to_string(CommType type) {
+  switch (type) {
+    case CommType::kIm: return "IM";
+    case CommType::kSms: return "SMS";
+    case CommType::kEmail: return "EM";
+  }
+  return "?";
+}
+
+Result<CommType> comm_type_from_string(const std::string& text) {
+  if (iequals(text, "IM")) return CommType::kIm;
+  if (iequals(text, "SMS")) return CommType::kSms;
+  if (iequals(text, "EM") || iequals(text, "EMAIL")) return CommType::kEmail;
+  return make_error("unknown communication type: " + text);
+}
+
+void AddressBook::put(Address address) {
+  for (auto& existing : addresses_) {
+    if (existing.friendly_name == address.friendly_name) {
+      existing = std::move(address);
+      return;
+    }
+  }
+  addresses_.push_back(std::move(address));
+}
+
+Status AddressBook::remove(const std::string& friendly_name) {
+  const auto it = std::find_if(addresses_.begin(), addresses_.end(),
+                               [&](const Address& a) {
+                                 return a.friendly_name == friendly_name;
+                               });
+  if (it == addresses_.end()) {
+    return Status::failure("no address named " + friendly_name);
+  }
+  addresses_.erase(it);
+  return Status::success();
+}
+
+const Address* AddressBook::find(const std::string& friendly_name) const {
+  for (const auto& a : addresses_) {
+    if (a.friendly_name == friendly_name) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<const Address*> AddressBook::of_type(CommType type) const {
+  std::vector<const Address*> out;
+  for (const auto& a : addresses_) {
+    if (a.type == type) out.push_back(&a);
+  }
+  return out;
+}
+
+Status AddressBook::set_enabled(const std::string& friendly_name,
+                                bool enabled) {
+  for (auto& a : addresses_) {
+    if (a.friendly_name == friendly_name) {
+      a.enabled = enabled;
+      return Status::success();
+    }
+  }
+  return Status::failure("no address named " + friendly_name);
+}
+
+bool AddressBook::enabled(const std::string& friendly_name) const {
+  const Address* a = find(friendly_name);
+  return a != nullptr && a->enabled;
+}
+
+void AddressBook::append_to(xml::Element& parent) const {
+  xml::Element& root = parent.add_child("addresses");
+  root.set_attr("user", user_);
+  for (const auto& a : addresses_) {
+    xml::Element& e = root.add_child("address");
+    e.set_attr("name", a.friendly_name);
+    e.set_attr("type", to_string(a.type));
+    e.set_attr("value", a.value);
+    e.set_attr("enabled", a.enabled ? "true" : "false");
+  }
+}
+
+std::string AddressBook::to_xml() const {
+  xml::Element holder("holder");
+  append_to(holder);
+  return holder.children()[0]->serialize();
+}
+
+Result<AddressBook> AddressBook::from_xml(const std::string& xml_text) {
+  auto doc = xml::parse(xml_text);
+  if (!doc.ok()) return make_error(doc.error());
+  return from_element(doc.value().root());
+}
+
+Result<AddressBook> AddressBook::from_element(const xml::Element& root) {
+  if (root.name() != "addresses") {
+    return make_error("expected <addresses> root, got <" + root.name() + ">");
+  }
+  AddressBook book(root.attr_or("user", ""));
+  for (const auto& child : root.children()) {
+    if (child->name() != "address") continue;
+    Address a;
+    a.friendly_name = child->attr_or("name", "");
+    if (a.friendly_name.empty()) {
+      return make_error("<address> missing name attribute");
+    }
+    auto type = comm_type_from_string(child->attr_or("type", ""));
+    if (!type.ok()) return make_error(type.error());
+    a.type = type.value();
+    a.value = child->attr_or("value", "");
+    if (a.value.empty()) {
+      return make_error("<address name=\"" + a.friendly_name +
+                        "\"> missing value");
+    }
+    a.enabled = !iequals(child->attr_or("enabled", "true"), "false");
+    book.put(std::move(a));
+  }
+  return book;
+}
+
+}  // namespace simba::core

@@ -1,0 +1,66 @@
+// User addresses, XML-encoded (Section 4.1): "An XML document for user
+// addresses consists of a list of all of a user's addresses for alert
+// delivery. Each address is associated with a communication type (e.g.,
+// 'IM', 'SMS', and 'EM') and identified by a friendly name such as
+// 'MSN IM', 'Work email', etc."
+//
+// Enable/disable is the dynamic-customization hook: "she only needs to
+// ask MyAlertBuddy to temporarily disable her SMS address. Any delivery
+// block that contains an SMS action will automatically fail and fall
+// back to the next backup block."
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "xml/xml.h"
+
+namespace simba::core {
+
+enum class CommType { kIm, kSms, kEmail };
+
+const char* to_string(CommType type);
+Result<CommType> comm_type_from_string(const std::string& text);
+
+struct Address {
+  std::string friendly_name;  // "MSN IM", "Work email", "Cell SMS"
+  CommType type = CommType::kEmail;
+  /// IM account, email address, or SMS email address respectively.
+  std::string value;
+  bool enabled = true;
+};
+
+class AddressBook {
+ public:
+  AddressBook() = default;
+  explicit AddressBook(std::string user) : user_(std::move(user)) {}
+
+  const std::string& user() const { return user_; }
+
+  /// Adds or replaces the address with the same friendly name.
+  void put(Address address);
+  Status remove(const std::string& friendly_name);
+  const Address* find(const std::string& friendly_name) const;
+  const std::vector<Address>& all() const { return addresses_; }
+  std::vector<const Address*> of_type(CommType type) const;
+
+  /// Temporarily disables/enables an address by friendly name.
+  Status set_enabled(const std::string& friendly_name, bool enabled);
+  bool enabled(const std::string& friendly_name) const;
+
+  /// XML round trip.
+  std::string to_xml() const;
+  static Result<AddressBook> from_xml(const std::string& xml_text);
+  /// Element-level forms, for embedding in larger documents
+  /// (core/config_xml.h).
+  void append_to(xml::Element& parent) const;
+  static Result<AddressBook> from_element(const xml::Element& element);
+
+ private:
+  std::string user_;
+  std::vector<Address> addresses_;
+};
+
+}  // namespace simba::core

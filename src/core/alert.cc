@@ -1,0 +1,44 @@
+#include "core/alert.h"
+
+namespace simba::core {
+
+std::map<std::string, std::string> alert_headers(const Alert& alert) {
+  std::map<std::string, std::string> h;
+  h["alert_id"] = alert.id;
+  h["alert_source"] = alert.source;
+  h["alert_category"] = alert.native_category;
+  h["alert_subject"] = alert.subject;
+  h["alert_importance"] = alert.high_importance ? "high" : "normal";
+  h["alert_created_us"] =
+      std::to_string(alert.created_at.time_since_epoch().count());
+  for (const auto& [k, v] : alert.attributes) h["alert_attr_" + k] = v;
+  return h;
+}
+
+Alert alert_from_headers(const std::map<std::string, std::string>& headers,
+                         const std::string& body) {
+  Alert a;
+  auto get = [&](const char* key) {
+    const auto it = headers.find(key);
+    return it == headers.end() ? std::string{} : it->second;
+  };
+  a.id = get("alert_id");
+  a.source = get("alert_source");
+  a.native_category = get("alert_category");
+  a.subject = get("alert_subject");
+  a.high_importance = get("alert_importance") == "high";
+  const std::string created = get("alert_created_us");
+  if (!created.empty()) {
+    a.created_at = TimePoint{Duration{std::stoll(created)}};
+  }
+  a.body = body;
+  for (const auto& [k, v] : headers) {
+    constexpr const char kPrefix[] = "alert_attr_";
+    if (k.rfind(kPrefix, 0) == 0) {
+      a.attributes[k.substr(sizeof(kPrefix) - 1)] = v;
+    }
+  }
+  return a;
+}
+
+}  // namespace simba::core

@@ -1,0 +1,45 @@
+// The alert: a one-way, user-subscribed notification (Section 1:
+// "Alerts refer to the delivery of user-subscribed information to the
+// user"). Every alert source in the system — information services, web
+// store proxies, Aladdin, WISH, the desktop assistant — produces these,
+// and SIMBA's job is to deliver them dependably.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "util/time.h"
+
+namespace simba::core {
+
+struct Alert {
+  /// Which service produced it ("yahoo.alerts", "aladdin", "wish", ...).
+  std::string source;
+  /// The source's own category label, before MyAlertBuddy re-classifies
+  /// it ("Stocks", "Sensor ON", "Location", ...). For email-only legacy
+  /// sources this keyword may live in the sender name or subject line
+  /// instead; the Alert Classifier knows where to look per source.
+  std::string native_category;
+  std::string subject;
+  std::string body;
+  bool high_importance = false;
+  TimePoint created_at{};
+  /// Unique id assigned at creation; flows end-to-end through IM
+  /// headers / email headers so experiments can trace delivery latency
+  /// and detect duplicates.
+  std::string id;
+  std::map<std::string, std::string> attributes;
+};
+
+using AlertSink = std::function<void(const Alert&)>;
+
+/// Builds the wire header map an alert travels with.
+std::map<std::string, std::string> alert_headers(const Alert& alert);
+
+/// Reconstructs an alert from wire headers + body (best effort).
+Alert alert_from_headers(const std::map<std::string, std::string>& headers,
+                         const std::string& body);
+
+}  // namespace simba::core

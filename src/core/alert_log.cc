@@ -1,0 +1,47 @@
+#include "core/alert_log.h"
+
+namespace simba::core {
+
+bool AlertLog::append(const Alert& alert, TimePoint now) {
+  const auto it = index_.find(alert.id);
+  if (it != index_.end()) {
+    stats_.bump("duplicate_appends");
+    return false;
+  }
+  Record record;
+  record.alert = alert;
+  record.received_at = now;
+  index_[alert.id] = records_.size();
+  records_.push_back(std::move(record));
+  stats_.bump("appends");
+  return true;
+}
+
+void AlertLog::mark_processed(const std::string& alert_id, TimePoint now) {
+  const auto it = index_.find(alert_id);
+  if (it == index_.end()) return;
+  Record& record = records_[it->second];
+  if (record.processed) return;
+  record.processed = true;
+  record.processed_at = now;
+  stats_.bump("processed");
+}
+
+bool AlertLog::contains(const std::string& alert_id) const {
+  return index_.count(alert_id) > 0;
+}
+
+bool AlertLog::processed(const std::string& alert_id) const {
+  const auto it = index_.find(alert_id);
+  return it != index_.end() && records_[it->second].processed;
+}
+
+std::vector<Alert> AlertLog::unprocessed() const {
+  std::vector<Alert> out;
+  for (const auto& record : records_) {
+    if (!record.processed) out.push_back(record.alert);
+  }
+  return out;
+}
+
+}  // namespace simba::core

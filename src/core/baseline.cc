@@ -1,0 +1,64 @@
+#include "core/baseline.h"
+
+namespace simba::core {
+
+const char* to_string(LegacyDeliverer::Policy policy) {
+  switch (policy) {
+    case LegacyDeliverer::Policy::kEmailOnly: return "email-only";
+    case LegacyDeliverer::Policy::kSmsOnly: return "sms-only";
+    case LegacyDeliverer::Policy::kDoubleEmailDoubleSms:
+      return "2-email+2-sms";
+  }
+  return "?";
+}
+
+LegacyDeliverer::LegacyDeliverer(email::EmailServer& email_server,
+                                 std::string from_address, Policy policy)
+    : email_(email_server), from_(std::move(from_address)), policy_(policy) {}
+
+void LegacyDeliverer::mail_to(const std::string& to, const Alert& alert) {
+  email::Email mail;
+  mail.from = from_;
+  mail.to = to;
+  mail.subject = alert.subject;
+  mail.body = alert.body;
+  mail.high_importance = alert.high_importance;
+  mail.headers = alert_headers(alert);
+  if (email_.submit(std::move(mail)).ok()) {
+    stats_.bump("submitted");
+  } else {
+    stats_.bump("submit_failed");
+  }
+}
+
+int LegacyDeliverer::send(const Alert& alert) {
+  int sent = 0;
+  auto email_copy = [&] {
+    if (user_email_.empty()) return;
+    mail_to(user_email_, alert);
+    ++sent;
+  };
+  auto sms_copy = [&] {
+    if (user_sms_.empty()) return;
+    mail_to(user_sms_, alert);
+    ++sent;
+  };
+  switch (policy_) {
+    case Policy::kEmailOnly:
+      email_copy();
+      break;
+    case Policy::kSmsOnly:
+      sms_copy();
+      break;
+    case Policy::kDoubleEmailDoubleSms:
+      email_copy();
+      email_copy();
+      sms_copy();
+      sms_copy();
+      break;
+  }
+  stats_.bump("alerts");
+  return sent;
+}
+
+}  // namespace simba::core

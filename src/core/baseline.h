@@ -1,0 +1,64 @@
+// Baseline delivery strategies the paper argues against (experiment
+// E7):
+//
+//   * Email-only — "most of the alerts today are delivered as email
+//     messages, which are not suitable for delivering time-critical,
+//     high-importance alerts."
+//   * Aladdin's static redundancy — "Aladdin by default sends all
+//     alerts as two emails and two cell phone SMS messages. However,
+//     such heavy use of redundancy has not worked well. For critical
+//     alerts, there is still no guarantee that any of the four messages
+//     can reach the user in time. For less critical alerts, four
+//     messages per alert are irritating and cumbersome."
+//
+// Legacy services submit server-side (no GUI clients): the weakness
+// being measured is the channel, not the sender.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/alert.h"
+#include "email/email_server.h"
+#include "util/stats.h"
+
+namespace simba::core {
+
+class LegacyDeliverer {
+ public:
+  enum class Policy {
+    kEmailOnly,
+    kSmsOnly,
+    kDoubleEmailDoubleSms,  // Aladdin's original default
+  };
+
+  LegacyDeliverer(email::EmailServer& email_server, std::string from_address,
+                  Policy policy);
+
+  /// The user's real addresses — which the user had to reveal to the
+  /// service (the privacy problem MyAlertBuddy removes).
+  void set_user_email(std::string address) { user_email_ = std::move(address); }
+  void set_user_sms(std::string sms_email_address) {
+    user_sms_ = std::move(sms_email_address);
+  }
+
+  /// Sends the alert per policy; returns the number of messages
+  /// submitted (the irritation metric counts all of them).
+  int send(const Alert& alert);
+
+  const Counters& stats() const { return stats_; }
+
+ private:
+  void mail_to(const std::string& to, const Alert& alert);
+
+  email::EmailServer& email_;
+  std::string from_;
+  Policy policy_;
+  std::string user_email_;
+  std::string user_sms_;
+  Counters stats_;
+};
+
+const char* to_string(LegacyDeliverer::Policy policy);
+
+}  // namespace simba::core

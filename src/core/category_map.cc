@@ -1,0 +1,70 @@
+#include "core/category_map.h"
+
+#include "util/strings.h"
+
+namespace simba::core {
+
+void CategoryMap::map_keyword(const std::string& keyword,
+                              const std::string& personal_category) {
+  keyword_to_category_[to_lower(keyword)] = personal_category;
+}
+
+std::optional<std::string> CategoryMap::category_for(
+    const std::string& keyword) const {
+  const auto it = keyword_to_category_.find(to_lower(keyword));
+  if (it == keyword_to_category_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> CategoryMap::keywords_of(
+    const std::string& category) const {
+  std::vector<std::string> out;
+  for (const auto& [keyword, cat] : keyword_to_category_) {
+    if (cat == category) out.push_back(keyword);
+  }
+  return out;
+}
+
+void CategoryMap::set_category_enabled(const std::string& category,
+                                       bool enabled) {
+  if (enabled) {
+    disabled_.erase(category);
+  } else {
+    disabled_[category] = true;
+  }
+}
+
+bool CategoryMap::category_enabled(const std::string& category) const {
+  return disabled_.count(category) == 0;
+}
+
+void CategoryMap::set_delivery_window(const std::string& category,
+                                      DailyWindow window) {
+  windows_[category] = window;
+}
+
+void CategoryMap::clear_delivery_window(const std::string& category) {
+  windows_.erase(category);
+}
+
+std::vector<std::string> CategoryMap::disabled_categories() const {
+  std::vector<std::string> out;
+  for (const auto& [category, flag] : disabled_) out.push_back(category);
+  return out;
+}
+
+std::optional<DailyWindow> CategoryMap::window_for(
+    const std::string& category) const {
+  const auto it = windows_.find(category);
+  if (it == windows_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool CategoryMap::deliverable(const std::string& category, TimePoint t) const {
+  if (!category_enabled(category)) return false;
+  const auto it = windows_.find(category);
+  if (it == windows_.end()) return true;
+  return it->second.contains(t);
+}
+
+}  // namespace simba::core

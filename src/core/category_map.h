@@ -1,0 +1,61 @@
+// Alert aggregation and filtering (Section 4.2).
+//
+// Aggregation: "mapping all of 'Stocks', 'Financial news', and
+// 'Earnings reports' to a single category called 'Investment'".
+// Filtering: "selective sub-categorization" plus enabling/disabling
+// categories and "specifying delivery time constraints".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/calendar.h"
+#include "util/result.h"
+
+namespace simba::core {
+
+class CategoryMap {
+ public:
+  /// Maps a classifier keyword to a personal category (aggregation:
+  /// many keywords -> one category). Re-mapping a keyword replaces the
+  /// old mapping.
+  void map_keyword(const std::string& keyword,
+                   const std::string& personal_category);
+  std::optional<std::string> category_for(const std::string& keyword) const;
+  std::vector<std::string> keywords_of(const std::string& category) const;
+
+  /// Filtering: temporarily block a category ("a personal alert filter
+  /// that temporarily blocks unwanted alerts").
+  void set_category_enabled(const std::string& category, bool enabled);
+  bool category_enabled(const std::string& category) const;
+
+  /// Delivery-time constraint: alerts of this category are delivered
+  /// only inside the window ("disable these alerts during certain
+  /// hours to avoid distractions"). Clearing removes the constraint.
+  void set_delivery_window(const std::string& category, DailyWindow window);
+  void clear_delivery_window(const std::string& category);
+
+  /// Whether an alert of this category should be delivered at time t.
+  bool deliverable(const std::string& category, TimePoint t) const;
+
+  /// The category's delivery window, if one is set.
+  std::optional<DailyWindow> window_for(const std::string& category) const;
+
+  // Persistence accessors (core/config_xml.h).
+  const std::map<std::string, std::string>& mappings() const {
+    return keyword_to_category_;
+  }
+  std::vector<std::string> disabled_categories() const;
+  const std::map<std::string, DailyWindow>& windows() const {
+    return windows_;
+  }
+
+ private:
+  std::map<std::string, std::string> keyword_to_category_;  // lowercase key
+  std::map<std::string, bool> disabled_;
+  std::map<std::string, DailyWindow> windows_;
+};
+
+}  // namespace simba::core

@@ -1,0 +1,78 @@
+#include "core/classifier.h"
+
+#include "util/strings.h"
+
+namespace simba::core {
+
+void AlertClassifier::add_rule(SourceRule rule) {
+  for (auto& existing : rules_) {
+    if (iequals(existing.source, rule.source)) {
+      existing = std::move(rule);
+      return;
+    }
+  }
+  rules_.push_back(std::move(rule));
+}
+
+bool AlertClassifier::accepts(const std::string& source) const {
+  return rule_for(source) != nullptr;
+}
+
+const SourceRule* AlertClassifier::rule_for(const std::string& source) const {
+  for (const auto& rule : rules_) {
+    if (iequals(rule.source, source)) return &rule;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> AlertClassifier::classify(const Alert& alert) const {
+  const SourceRule* rule = rule_for(alert.source);
+  if (rule == nullptr) {
+    stats_.bump("rejected_source");
+    return std::nullopt;
+  }
+  const std::string* field = nullptr;
+  switch (rule->location) {
+    case KeywordLocation::kNativeCategory:
+      if (alert.native_category.empty()) {
+        stats_.bump("no_keyword");
+        return std::nullopt;
+      }
+      stats_.bump("classified");
+      return alert.native_category;
+    case KeywordLocation::kSenderName: {
+      // For email-ingested alerts the sender is the source itself;
+      // sources like Yahoo! encode the category there, e.g.
+      // "Yahoo! Alerts - Stocks <alerts@yahoo.example>". Fall back to
+      // the explicit attribute when present.
+      const auto it = alert.attributes.find("email_from");
+      field = it != alert.attributes.end() ? &it->second : &alert.source;
+      break;
+    }
+    case KeywordLocation::kSubject:
+      field = &alert.subject;
+      break;
+    case KeywordLocation::kBody:
+      field = &alert.body;
+      break;
+  }
+  for (const auto& keyword : rule->keywords) {
+    if (icontains(*field, keyword)) {
+      stats_.bump("classified");
+      return keyword;
+    }
+  }
+  stats_.bump("no_keyword");
+  return std::nullopt;
+}
+
+std::vector<AlertClassifier::ServiceInfo> AlertClassifier::services() const {
+  std::vector<ServiceInfo> out;
+  out.reserve(rules_.size());
+  for (const auto& rule : rules_) {
+    out.push_back(ServiceInfo{rule.source, rule.unsubscribe_info});
+  }
+  return out;
+}
+
+}  // namespace simba::core

@@ -1,0 +1,69 @@
+// Alert Classifier (Section 4.2, "Alert classification"): "the user
+// customizes the classifier by specifying the list of accepted alert
+// sources, and how to extract category-related keywords from the
+// alerts. For example, the keywords in alerts from Yahoo! and
+// Alerts.com appear as part of the email sender name, while the
+// keywords in MSN Mobile alerts and desktop assistant alerts reside in
+// the email subject field." The classifier also "helps the user
+// maintain a list of all the subscribed alert services, and the
+// information about how to unsubscribe them."
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/alert.h"
+#include "util/stats.h"
+
+namespace simba::core {
+
+/// Where a source embeds its category keyword.
+enum class KeywordLocation {
+  kNativeCategory,  // structured SIMBA-library alerts carry it directly
+  kSenderName,      // Yahoo!/Alerts.com style: in the email sender
+  kSubject,         // MSN Mobile / desktop assistant style
+  kBody,
+};
+
+struct SourceRule {
+  /// Matches Alert::source (exact, case-insensitive). For alerts
+  /// ingested from plain email, source is the sender address.
+  std::string source;
+  KeywordLocation location = KeywordLocation::kNativeCategory;
+  /// Recognizable keywords for this source, used when the location is
+  /// a free-text field; the first one found (case-insensitive) wins.
+  /// Ignored for kNativeCategory (the field value is the keyword).
+  std::vector<std::string> keywords;
+  /// "information about how to unsubscribe" (a URL or instructions).
+  std::string unsubscribe_info;
+};
+
+class AlertClassifier {
+ public:
+  void add_rule(SourceRule rule);
+  bool accepts(const std::string& source) const;
+  const SourceRule* rule_for(const std::string& source) const;
+
+  /// Extracts the category keyword, or nullopt when the source is not
+  /// accepted or no keyword matches.
+  std::optional<std::string> classify(const Alert& alert) const;
+
+  /// The maintained service list (Section 4.2).
+  struct ServiceInfo {
+    std::string source;
+    std::string unsubscribe_info;
+  };
+  std::vector<ServiceInfo> services() const;
+
+  /// All rules, for persistence (core/config_xml.h).
+  const std::vector<SourceRule>& rules() const { return rules_; }
+
+  const Counters& stats() const { return stats_; }
+
+ private:
+  std::vector<SourceRule> rules_;
+  mutable Counters stats_;
+};
+
+}  // namespace simba::core

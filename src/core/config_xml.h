@@ -1,0 +1,48 @@
+// Whole-configuration XML persistence.
+//
+// Section 4.1 expresses addresses and delivery modes as XML "to allow
+// extensibility". This module extends the same treatment to everything
+// else the user customizes at the buddy — classifier rules, category
+// aggregation/filtering, and subscriptions — so a complete MabConfig
+// round-trips through one document. This is what lets a buddy's
+// configuration survive machine replacement (and lets tests and
+// examples ship readable fixtures).
+//
+// Document shape:
+//
+//   <mabConfig owner="alice">
+//     <addresses user="alice"> ... </addresses>
+//     <deliveryMode name="Urgent"> ... </deliveryMode> (repeated)
+//     <classifier>
+//       <rule source="aladdin" location="nativeCategory"
+//             unsubscribe="..."><keyword>...</keyword>...</rule>
+//     </classifier>
+//     <categories>
+//       <map keyword="Stocks" category="Investment"/>
+//       <disabled category="News"/>
+//       <window category="News" start="09:00" end="17:00"/>
+//     </categories>
+//     <subscriptions>
+//       <subscription category="Investment" user="alice" mode="Casual"/>
+//     </subscriptions>
+//   </mabConfig>
+//
+// Shared profiles are serialized as nested <profile user="..."> blocks
+// containing their own <addresses> and <deliveryMode> elements.
+#pragma once
+
+#include <string>
+
+#include "core/mab.h"
+#include "util/result.h"
+
+namespace simba::core {
+
+std::string config_to_xml(const MabConfig& config);
+Result<MabConfig> config_from_xml(const std::string& xml_text);
+
+/// Helpers shared with the tests.
+const char* to_string(KeywordLocation location);
+Result<KeywordLocation> keyword_location_from_string(const std::string& text);
+
+}  // namespace simba::core

@@ -1,0 +1,308 @@
+#include "core/delivery_engine.h"
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace simba::core {
+
+DeliveryEngine::DeliveryEngine(sim::Simulator& sim, automation::ImManager* im,
+                               automation::EmailManager* email)
+    : sim_(sim), im_(im), email_(email) {}
+
+DeliveryEngine::~DeliveryEngine() {
+  // Outstanding sends and block timers may still fire after this
+  // incarnation's engine is gone; their callbacks check the token.
+  *alive_ = false;
+}
+
+void DeliveryEngine::deliver(const Alert& alert, const AddressBook& addresses,
+                             const DeliveryMode& mode, DoneCallback done) {
+  const std::uint64_t id = next_delivery_++;
+  Delivery d;
+  d.id = id;
+  d.alert = alert;
+  d.addresses = addresses;
+  d.mode = mode;
+  d.done = std::move(done);
+  deliveries_.emplace(id, std::move(d));
+  stats_.bump("deliveries_started");
+  run_block(id);
+}
+
+void DeliveryEngine::run_block(std::uint64_t delivery_id) {
+  auto it = deliveries_.find(delivery_id);
+  if (it == deliveries_.end()) return;
+  Delivery& d = it->second;
+  if (d.block_index >= d.mode.blocks().size()) {
+    finish(delivery_id, false, "all blocks exhausted");
+    return;
+  }
+  const DeliveryBlock& block = d.mode.blocks()[d.block_index];
+  const std::size_t block_index = d.block_index;
+
+  // Collect the actions that can run: enabled addresses only.
+  std::vector<const DeliveryAction*> runnable;
+  for (const auto& action : block.actions) {
+    const Address* address = d.addresses.find(action.address_name);
+    if (address == nullptr) {
+      stats_.bump("actions.unknown_address");
+      continue;
+    }
+    if (!address->enabled) {
+      stats_.bump("actions.disabled_address");
+      continue;
+    }
+    runnable.push_back(&action);
+  }
+  if (runnable.empty()) {
+    // "Any delivery block that contains [only disabled] actions will
+    // automatically fail and fall back to the next backup block."
+    stats_.bump("blocks.all_disabled");
+    d.block_index++;
+    run_block(delivery_id);
+    return;
+  }
+
+  d.actions_pending = static_cast<int>(runnable.size());
+  d.acks_outstanding = 0;
+  d.weak_successes = 0;
+  d.block_awaits_ack = false;
+  for (const auto* a : runnable) {
+    if (a->require_ack) d.block_awaits_ack = true;
+  }
+  d.block_timer = sim_.after(
+      block.timeout,
+      [this, alive = alive_, delivery_id, block_index] {
+        if (!*alive) return;
+        auto dit = deliveries_.find(delivery_id);
+        if (dit == deliveries_.end()) return;
+        if (dit->second.block_index != block_index) return;  // stale
+        dit->second.block_timer = 0;
+        if (dit->second.weak_successes > 0) {
+          // The ack never came, but a weak channel accepted the alert:
+          // complete on that rather than duplicating via fallback.
+          stats_.bump("blocks.completed_weak");
+          finish(delivery_id, true, "weak success (relay accepted; no ack)");
+          return;
+        }
+        stats_.bump("blocks.timed_out");
+        advance_block(delivery_id);
+      },
+      "delivery.block_timeout");
+
+  // Copy the actions: start_action callbacks can mutate the map.
+  std::vector<DeliveryAction> actions;
+  actions.reserve(runnable.size());
+  for (const auto* a : runnable) actions.push_back(*a);
+  for (const auto& action : actions) {
+    // The delivery may already have completed (a synchronous email
+    // success finishes the block immediately).
+    if (deliveries_.find(delivery_id) == deliveries_.end()) break;
+    if (deliveries_.at(delivery_id).block_index != block_index) break;
+    start_action(delivery_id, action, block_index);
+  }
+}
+
+void DeliveryEngine::start_action(std::uint64_t delivery_id,
+                                  const DeliveryAction& action,
+                                  std::size_t block_index) {
+  auto it = deliveries_.find(delivery_id);
+  if (it == deliveries_.end()) return;
+  Delivery& d = it->second;
+  const Address* address = d.addresses.find(action.address_name);
+  if (address == nullptr) {
+    action_failed(delivery_id, block_index, "address vanished");
+    return;
+  }
+
+  switch (address->type) {
+    case CommType::kIm: {
+      if (im_ == nullptr) {
+        stats_.bump("actions.no_im_channel");
+        action_failed(delivery_id, block_index, "no IM channel");
+        return;
+      }
+      auto headers = alert_headers(d.alert);
+      headers[wire::kKind] = wire::kKindAlert;
+      if (action.require_ack) {
+        headers[wire::kRequiresAck] = "1";
+        // Register the waiter before sending: the ack can beat the
+        // send-completion callback.
+        ack_waiters_[d.alert.id + "|" + address->value] = delivery_id;
+        d.acks_outstanding++;
+      }
+      const std::string to_user = address->value;
+      const bool require_ack = action.require_ack;
+      im_->send_im(
+          to_user, d.alert.subject + "\n" + d.alert.body, std::move(headers),
+          [this, alive = alive_, delivery_id, block_index, to_user, require_ack,
+           alert_id = d.alert.id](Status status) {
+            if (!*alive) return;
+            auto dit = deliveries_.find(delivery_id);
+            if (dit == deliveries_.end()) return;
+            if (dit->second.block_index != block_index) return;  // stale
+            if (!status.ok()) {
+              if (require_ack) {
+                ack_waiters_.erase(alert_id + "|" + to_user);
+                dit->second.acks_outstanding--;
+              }
+              stats_.bump("actions.im_send_failed");
+              action_failed(delivery_id, block_index, status.error());
+              return;
+            }
+            dit->second.messages_sent++;
+            stats_.bump("messages.im");
+            if (require_ack) {
+              // Accepted; the action now rides on the ack. The pending
+              // slot converts into the outstanding-ack slot.
+              dit->second.actions_pending--;
+              stats_.bump("actions.im_waiting_ack");
+            } else {
+              action_succeeded(delivery_id, block_index, "im accepted");
+            }
+          });
+      break;
+    }
+    case CommType::kEmail:
+    case CommType::kSms: {
+      if (email_ == nullptr) {
+        stats_.bump("actions.no_email_channel");
+        action_failed(delivery_id, block_index, "no email channel");
+        return;
+      }
+      // SMS rides the email channel: mail to the phone's SMS address
+      // at the carrier gateway (Section 1's privacy-sensitive address).
+      email::Email mail;
+      mail.to = address->value;
+      mail.subject = d.alert.subject;
+      mail.body = d.alert.body;
+      mail.high_importance = d.alert.high_importance;
+      mail.headers = alert_headers(d.alert);
+      const Status status = email_->send_email(std::move(mail));
+      if (status.ok()) {
+        auto dit = deliveries_.find(delivery_id);
+        if (dit == deliveries_.end()) return;
+        Delivery& del = dit->second;
+        del.messages_sent++;
+        stats_.bump(address->type == CommType::kSms ? "messages.sms"
+                                                    : "messages.email");
+        if (del.block_awaits_ack) {
+          // Weak success: remembered, but the block keeps waiting for
+          // the strong (acknowledged) signal until its timeout.
+          del.weak_successes++;
+          del.actions_pending--;
+          stats_.bump("actions.weak_success");
+        } else {
+          action_succeeded(delivery_id, block_index, "relay accepted");
+        }
+      } else {
+        stats_.bump("actions.email_send_failed");
+        action_failed(delivery_id, block_index, status.error());
+      }
+      break;
+    }
+  }
+}
+
+void DeliveryEngine::action_failed(std::uint64_t delivery_id,
+                                   std::size_t block_index,
+                                   const std::string& reason) {
+  auto it = deliveries_.find(delivery_id);
+  if (it == deliveries_.end()) return;
+  Delivery& d = it->second;
+  if (d.block_index != block_index) return;
+  log_debug("delivery", "action failed: " + reason);
+  d.actions_pending--;
+  if (d.actions_pending <= 0 && d.acks_outstanding <= 0) {
+    // No strong signal can arrive any more. Complete on any weak
+    // success; otherwise fall back early rather than waiting out the
+    // timer.
+    if (d.weak_successes > 0) {
+      stats_.bump("blocks.completed_weak");
+      finish(delivery_id, true, "weak success (relay accepted)");
+    } else {
+      advance_block(delivery_id);
+    }
+  }
+}
+
+void DeliveryEngine::action_succeeded(std::uint64_t delivery_id,
+                                      std::size_t block_index,
+                                      const std::string& how) {
+  auto it = deliveries_.find(delivery_id);
+  if (it == deliveries_.end()) return;
+  Delivery& d = it->second;
+  if (d.block_index != block_index) return;
+  finish(delivery_id, true, how);
+}
+
+void DeliveryEngine::advance_block(std::uint64_t delivery_id) {
+  auto it = deliveries_.find(delivery_id);
+  if (it == deliveries_.end()) return;
+  Delivery& d = it->second;
+  if (d.block_timer != 0) {
+    sim_.cancel(d.block_timer);
+    d.block_timer = 0;
+  }
+  // Abandon any acks still outstanding for the old block.
+  for (auto ait = ack_waiters_.begin(); ait != ack_waiters_.end();) {
+    if (ait->second == delivery_id) {
+      ait = ack_waiters_.erase(ait);
+    } else {
+      ++ait;
+    }
+  }
+  d.acks_outstanding = 0;
+  d.block_index++;
+  stats_.bump("blocks.fallback");
+  run_block(delivery_id);
+}
+
+void DeliveryEngine::finish(std::uint64_t delivery_id, bool delivered,
+                            const std::string& detail) {
+  auto it = deliveries_.find(delivery_id);
+  if (it == deliveries_.end()) return;
+  Delivery d = std::move(it->second);
+  deliveries_.erase(it);
+  if (d.block_timer != 0) sim_.cancel(d.block_timer);
+  for (auto ait = ack_waiters_.begin(); ait != ack_waiters_.end();) {
+    if (ait->second == delivery_id) {
+      ait = ack_waiters_.erase(ait);
+    } else {
+      ++ait;
+    }
+  }
+  DeliveryOutcome outcome;
+  outcome.delivered = delivered;
+  outcome.block_used = delivered ? static_cast<int>(d.block_index) : -1;
+  outcome.messages_sent = d.messages_sent;
+  outcome.completed_at = sim_.now();
+  outcome.detail = detail;
+  stats_.bump(delivered ? "deliveries_succeeded" : "deliveries_failed");
+  if (d.done) d.done(outcome);
+}
+
+bool DeliveryEngine::handle_incoming(const im::ImMessage& message) {
+  const auto kind = message.headers.find(wire::kKind);
+  if (kind == message.headers.end() || kind->second != wire::kKindAck) {
+    return false;
+  }
+  const auto ack_for = message.headers.find(wire::kAckFor);
+  if (ack_for == message.headers.end()) return false;
+  const std::string key = ack_for->second + "|" + message.from_user;
+  const auto waiter = ack_waiters_.find(key);
+  if (waiter == ack_waiters_.end()) {
+    stats_.bump("acks.unmatched");
+    return true;  // it was an ack, just not one we still want
+  }
+  const std::uint64_t delivery_id = waiter->second;
+  ack_waiters_.erase(waiter);
+  auto it = deliveries_.find(delivery_id);
+  if (it == deliveries_.end()) return true;
+  it->second.acks_outstanding--;
+  stats_.bump("acks.received");
+  action_succeeded(delivery_id, it->second.block_index, "ack received");
+  return true;
+}
+
+}  // namespace simba::core

@@ -1,0 +1,131 @@
+// The communication layer's delivery engine: executes a delivery mode
+// for one alert against one address book.
+//
+// Semantics (Sections 3.2, 4.1): blocks are ordered fallback stages.
+// Within a block, every action mapping to an *enabled* address is
+// attempted (in parallel — multiple addresses per block exist "to
+// accommodate communication delays and failures"). Action successes
+// come in two strengths:
+//
+//   * STRONG — an IM with requireAck whose application-level
+//     acknowledgement arrived, or an IM without requireAck that the
+//     service accepted for an online recipient. A strong success
+//     completes the block (and the delivery) immediately.
+//   * WEAK — an email or SMS the relay accepted. Those channels give
+//     no better signal (which is exactly why they are fallbacks). A
+//     weak success completes the block immediately ONLY if the block
+//     contains no ack-requiring action; otherwise it is remembered,
+//     and if the awaited ack never arrives by the block timeout the
+//     delivery completes on the weak success instead of falling back.
+//
+// If nothing succeeded before the block's timeout (or every action
+// failed outright), the next block is tried. A block whose actions are
+// all disabled fails immediately ("Any delivery block that contains
+// [only] an SMS action will automatically fail and fall back").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "automation/email_manager.h"
+#include "automation/im_manager.h"
+#include "core/address_book.h"
+#include "core/alert.h"
+#include "core/delivery_mode.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace simba::core {
+
+/// Header keys SIMBA stamps on IM/email traffic.
+namespace wire {
+inline constexpr char kKind[] = "simba_kind";       // alert | ack | command
+inline constexpr char kKindAlert[] = "alert";
+inline constexpr char kKindAck[] = "ack";
+inline constexpr char kKindCommand[] = "command";
+inline constexpr char kRequiresAck[] = "simba_requires_ack";
+inline constexpr char kAckFor[] = "simba_ack_for";  // alert id being acked
+}  // namespace wire
+
+struct DeliveryOutcome {
+  bool delivered = false;
+  /// 0-based index of the block that succeeded; -1 if none.
+  int block_used = -1;
+  /// Total messages actually sent while delivering (the "irritability
+  /// factor" metric of experiment E7).
+  int messages_sent = 0;
+  TimePoint completed_at{};
+  std::string detail;
+};
+
+class DeliveryEngine {
+ public:
+  /// Either manager may be null; actions needing it then fail.
+  DeliveryEngine(sim::Simulator& sim, automation::ImManager* im,
+                 automation::EmailManager* email);
+  ~DeliveryEngine();
+
+  using DoneCallback = std::function<void(const DeliveryOutcome&)>;
+
+  /// Starts an asynchronous delivery. `done` fires exactly once.
+  void deliver(const Alert& alert, const AddressBook& addresses,
+               const DeliveryMode& mode, DoneCallback done);
+
+  /// Feed incoming IMs here; returns true if the message was an
+  /// acknowledgement this engine was waiting for (and consumed).
+  bool handle_incoming(const im::ImMessage& message);
+
+  /// Number of deliveries still in flight.
+  std::size_t in_flight() const { return deliveries_.size(); }
+
+  const Counters& stats() const { return stats_; }
+
+ private:
+  struct Delivery {
+    std::uint64_t id;
+    Alert alert;
+    AddressBook addresses;  // snapshot: enable/disable state at send time
+    DeliveryMode mode;
+    DoneCallback done;
+    std::size_t block_index = 0;
+    int messages_sent = 0;
+    /// Actions still able to succeed in the current block.
+    int actions_pending = 0;
+    /// Ack-required IM sends accepted and now waiting for the ack.
+    int acks_outstanding = 0;
+    /// Whether the current block has any runnable ack-requiring action.
+    bool block_awaits_ack = false;
+    /// Weak (relay-accepted) successes recorded in the current block.
+    int weak_successes = 0;
+    sim::EventId block_timer = 0;
+  };
+
+  void run_block(std::uint64_t delivery_id);
+  void start_action(std::uint64_t delivery_id, const DeliveryAction& action,
+                    std::size_t block_index);
+  void action_failed(std::uint64_t delivery_id, std::size_t block_index,
+                     const std::string& reason);
+  void action_succeeded(std::uint64_t delivery_id, std::size_t block_index,
+                        const std::string& how);
+  void advance_block(std::uint64_t delivery_id);
+  void finish(std::uint64_t delivery_id, bool delivered,
+              const std::string& detail);
+
+  sim::Simulator& sim_;
+  automation::ImManager* im_;
+  automation::EmailManager* email_;
+  /// Engines die with their MAB incarnation while sends and timers may
+  /// still be in flight; every async callback holds this token and
+  /// bails out once the engine is gone.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  std::map<std::uint64_t, Delivery> deliveries_;
+  /// alert_id -> delivery id waiting for that ack.
+  std::map<std::string, std::uint64_t> ack_waiters_;
+  std::uint64_t next_delivery_ = 1;
+  Counters stats_;
+};
+
+}  // namespace simba::core

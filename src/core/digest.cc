@@ -1,0 +1,42 @@
+#include "core/digest.h"
+
+#include <map>
+
+#include "util/strings.h"
+
+namespace simba::core {
+
+void DigestStore::add(const Alert& alert, const std::string& category,
+                      TimePoint at) {
+  entries_.push_back(Entry{alert, category, at});
+  stats_.bump("retained");
+}
+
+std::vector<DigestStore::Entry> DigestStore::drain() {
+  stats_.bump("drains");
+  std::vector<Entry> out;
+  out.swap(entries_);
+  return out;
+}
+
+std::string DigestStore::render_body() const {
+  std::map<std::string, std::vector<const Entry*>> by_category;
+  for (const auto& entry : entries_) {
+    by_category[entry.category].push_back(&entry);
+  }
+  std::string body = strformat(
+      "While these categories were disabled, %zu alert(s) arrived:\n",
+      entries_.size());
+  for (const auto& [category, items] : by_category) {
+    body += "\n[" + category + "]\n";
+    for (const Entry* entry : items) {
+      body += strformat("  %s  %s (from %s)\n",
+                        format_time(entry->filtered_at).c_str(),
+                        entry->alert.subject.c_str(),
+                        entry->alert.source.c_str());
+    }
+  }
+  return body;
+}
+
+}  // namespace simba::core

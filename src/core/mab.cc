@@ -1,0 +1,554 @@
+#include "core/mab.h"
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace simba::core {
+
+const UserProfile* MabConfig::profile_for(const std::string& user) const {
+  if (user == profile.user()) return &profile;
+  const auto it = shared_profiles.find(user);
+  return it == shared_profiles.end() ? nullptr : &it->second;
+}
+
+MyAlertBuddy::MyAlertBuddy(sim::Simulator& sim, MabConfig& config,
+                           AlertLog& log, DigestStore& digest,
+                           automation::ImManager& im,
+                           automation::EmailManager& email, MabOptions options,
+                           Rng rng)
+    : sim_(sim),
+      config_(config),
+      log_(log),
+      digest_(digest),
+      im_(im),
+      email_(email),
+      options_(std::move(options)),
+      rng_(std::move(rng)),
+      engine_(std::make_unique<DeliveryEngine>(sim, &im, &email)),
+      started_at_(sim.now()),
+      last_progress_(sim.now()) {}
+
+MyAlertBuddy::~MyAlertBuddy() {
+  *alive_ = false;
+  sweep_task_.cancel();
+  sanity_task_.cancel();
+  stabilization_task_.cancel();
+  if (hang_event_ != 0) sim_.cancel(hang_event_);
+  if (digest_event_ != 0) sim_.cancel(digest_event_);
+  // Unhook our callbacks from the (longer-lived) managers.
+  im_.set_on_new_message(nullptr);
+  email_.set_on_new_mail(nullptr);
+}
+
+void MyAlertBuddy::start() {
+  log_info("mab", "MyAlertBuddy starting");
+
+  // Recovery scan before accepting new alerts.
+  if (options_.pessimistic_logging) {
+    const auto pending = log_.unprocessed();
+    if (!pending.empty()) {
+      stats_.bump("recovery_replays", static_cast<std::int64_t>(pending.size()));
+      log_info("mab", strformat("recovering %zu unprocessed alert(s)",
+                                pending.size()));
+      for (const auto& alert : pending) process_alert(alert);
+    }
+  }
+
+  im_.set_on_new_message([this] { pump_im(); });
+  email_.set_on_new_mail([this] { pump_email(); });
+
+  sweep_task_ = sim_.every(
+      options_.pump_sweep_interval,
+      [this] {
+        pump_im();
+        pump_email();
+      },
+      "mab.sweep");
+  sanity_task_ =
+      sim_.every(options_.sanity_interval, [this] { sanity_tick(); },
+                 "mab.sanity");
+  if (options_.self_stabilization) {
+    stabilization_task_ = sim_.every(options_.dialog_check_interval,
+                                     [this] { stabilization_tick(); },
+                                     "mab.stabilize");
+  }
+  if (options_.mean_time_to_hang > Duration::zero()) {
+    hang_event_ =
+        sim_.after(rng_.exponential_duration(options_.mean_time_to_hang),
+                   [this] { force_hang(); }, "mab.hang");
+  }
+  if (options_.digest_enabled) {
+    digest_event_ = sim_.at(
+        next_occurrence(sim_.now(), options_.digest_time),
+        [this] {
+          digest_event_ = 0;
+          send_digest("daily");
+          // This incarnation may be gone tomorrow; the next one
+          // reschedules in its own start(). Re-arm only if still alive.
+          if (running()) {
+            digest_event_ = sim_.at(
+                next_occurrence(sim_.now(), options_.digest_time),
+                [this] {
+                  digest_event_ = 0;
+                  send_digest("daily");
+                },
+                "mab.digest");
+          }
+        },
+        "mab.digest");
+  }
+}
+
+bool MyAlertBuddy::are_you_working() {
+  if (!running_ || hung_) return false;
+  progress();
+  return true;
+}
+
+void MyAlertBuddy::force_hang() {
+  if (!running_) return;
+  hung_ = true;
+  stats_.bump("hangs");
+  log_warn("mab", "MyAlertBuddy hung");
+  // A hung process does no further work; its timers keep firing but
+  // every entry point below checks running().
+}
+
+void MyAlertBuddy::request_shutdown(const std::string& reason) {
+  if (!running_) return;
+  running_ = false;
+  stats_.bump("graceful_shutdowns");
+  log_info("mab", "graceful shutdown: " + reason);
+  sweep_task_.cancel();
+  sanity_task_.cancel();
+  stabilization_task_.cancel();
+  if (on_terminated_) on_terminated_(reason, /*expected=*/true);
+}
+
+void MyAlertBuddy::fail_with(const std::string& reason) {
+  if (!running_) return;
+  running_ = false;
+  stats_.bump("failures");
+  log_warn("mab", "terminating on unhandled anomaly: " + reason);
+  sweep_task_.cancel();
+  sanity_task_.cancel();
+  stabilization_task_.cancel();
+  if (on_terminated_) on_terminated_(reason, /*expected=*/false);
+}
+
+double MyAlertBuddy::memory_mb() const {
+  const double hours = to_seconds(sim_.now() - started_at_) / 3600.0;
+  return options_.base_memory_mb + options_.leak_mb_per_hour * hours +
+         options_.leak_mb_per_alert * static_cast<double>(alerts_processed_);
+}
+
+// ---------------------------------------------------------------------------
+// Pumps
+// ---------------------------------------------------------------------------
+
+void MyAlertBuddy::pump_im() {
+  if (!running()) return;
+  // Resource exhaustion wedges the process whether or not the
+  // self-stabilization checks (which would have rejuvenated first at
+  // the soft limit) are enabled.
+  if (memory_mb() > options_.memory_hard_limit_mb) {
+    force_hang();
+    return;
+  }
+  progress();
+  std::vector<im::ImMessage> messages;
+  try {
+    // Deliberately the raw automation call: an exception here is the
+    // paper's dominant MAB-restart trigger ("Most of them were
+    // triggered by IM exceptions").
+    messages = im_.client().fetch_unread();
+  } catch (const gui::AutomationError& e) {
+    fail_with(std::string("IM exception: ") + e.what());
+    return;
+  }
+  for (const auto& message : messages) {
+    if (!running()) return;  // terminated mid-batch; rest is lost
+    if (engine_->handle_incoming(message)) continue;
+    const auto kind = message.headers.find(wire::kKind);
+    if (kind != message.headers.end() && kind->second == wire::kKindCommand) {
+      handle_command(message.body, message.from_user);
+      continue;
+    }
+    if (kind != message.headers.end() && kind->second == wire::kKindAlert) {
+      handle_alert_im(message);
+      continue;
+    }
+    // A plain human IM or a remote command typed by the user.
+    if (icontains(message.body, "SIMBA ")) {
+      handle_command(message.body, message.from_user);
+    } else {
+      stats_.bump("im.ignored");
+    }
+  }
+}
+
+void MyAlertBuddy::pump_email() {
+  if (!running()) return;
+  progress();
+  std::vector<email::Email> mails;
+  try {
+    mails = email_.client().fetch_unread();
+  } catch (const gui::AutomationError& e) {
+    fail_with(std::string("email exception: ") + e.what());
+    return;
+  }
+  for (const auto& mail : mails) {
+    if (!running()) return;
+    if (icontains(mail.subject, "SIMBA REJUVENATE") ||
+        icontains(mail.body, "SIMBA REJUVENATE")) {
+      handle_command("SIMBA REJUVENATE", mail.from);
+      continue;
+    }
+    Alert alert;
+    if (mail.headers.count("alert_id") > 0) {
+      // A SIMBA-library source falling back to the email channel.
+      alert = alert_from_headers(mail.headers, mail.body);
+      stats_.bump("email.simba_alerts");
+    } else {
+      // A legacy email-only alert service: "To existing alert services
+      // that support only email delivery, MyAlertBuddy looks just like
+      // any other regular human user." Yahoo-style services carry the
+      // category keyword in the sender display name, so keep the full
+      // From for the classifier while matching rules by address.
+      const auto [display, address] = parse_email_from(mail.from);
+      alert.source = address;
+      alert.subject = mail.subject;
+      alert.body = mail.body;
+      alert.high_importance = mail.high_importance;
+      alert.created_at = mail.submitted_at;
+      alert.id = "em-" + std::to_string(mail.id);
+      alert.attributes["email_from"] = mail.from;
+      stats_.bump("email.legacy_alerts");
+    }
+    if (alert_observer_) alert_observer_(alert, sim_.now());
+    if (options_.pessimistic_logging) {
+      if (!log_.append(alert, sim_.now())) {
+        stats_.bump("duplicates_suppressed");
+        continue;
+      }
+    }
+    if (options_.processing_delay > Duration::zero()) {
+      sim_.after(
+          options_.processing_delay,
+          [this, alive = alive_, alert] {
+            if (*alive && running()) process_alert(alert);
+          },
+          "mab.process");
+    } else {
+      process_alert(alert);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Alert path
+// ---------------------------------------------------------------------------
+
+void MyAlertBuddy::handle_alert_im(const im::ImMessage& message) {
+  const Alert alert = alert_from_headers(message.headers, message.body);
+  stats_.bump("im.alerts_received");
+  if (alert_observer_) alert_observer_(alert, sim_.now());
+  const bool wants_ack = message.headers.count(wire::kRequiresAck) > 0;
+
+  // Processing (classification, routing, automation calls) costs time
+  // beyond the ack; deferred so the sender's ack is not held up by it.
+  auto process_after_delay = [this](const Alert& a) {
+    if (options_.processing_delay <= Duration::zero()) {
+      process_alert(a);
+      return;
+    }
+    sim_.after(
+        options_.processing_delay,
+        [this, alive = alive_, a] {
+          if (*alive && running()) process_alert(a);
+        },
+        "mab.process");
+  };
+
+  if (options_.pessimistic_logging) {
+    const bool fresh = log_.append(alert, sim_.now());
+    // Save to the log file *before* sending the acknowledgement; the
+    // disk write costs latency (this is the E2 measurement).
+    sim_.after(
+        log_.write_latency(),
+        [this, alive = alive_, alert, fresh, wants_ack,
+         from = message.from_user, process_after_delay] {
+          if (!*alive) return;
+          if (!running()) return;  // crashed during the write
+          if (wants_ack) send_ack(from, alert.id);
+          if (fresh) {
+            process_after_delay(alert);
+          } else {
+            // A resend of something we already acked (the sender never
+            // got our ack, or got it late). Ack again, process once.
+            stats_.bump("duplicates_suppressed");
+          }
+        },
+        "mab.log_write");
+  } else {
+    // Ablation: ack immediately. A crash before processing now loses
+    // the alert — the sender has its ack and will not resend.
+    if (wants_ack) send_ack(message.from_user, alert.id);
+    process_after_delay(alert);
+  }
+}
+
+void MyAlertBuddy::send_ack(const std::string& to_user,
+                            const std::string& alert_id) {
+  std::map<std::string, std::string> headers;
+  headers[wire::kKind] = wire::kKindAck;
+  headers[wire::kAckFor] = alert_id;
+  im_.send_im(to_user, "ACK " + alert_id, std::move(headers),
+              [this, alive = alive_](Status status) {
+                if (!*alive) return;
+                if (!status.ok()) stats_.bump("acks.send_failed");
+              });
+  stats_.bump("acks.sent");
+}
+
+void MyAlertBuddy::process_alert(const Alert& alert) {
+  progress();
+  ++alerts_processed_;
+  stats_.bump("alerts_processed");
+
+  const auto keyword = config_.classifier.classify(alert);
+  if (!keyword) {
+    stats_.bump("alerts_unclassified");
+    if (options_.pessimistic_logging) log_.mark_processed(alert.id, sim_.now());
+    return;
+  }
+  // Aggregation: keyword -> personal category; unmapped keywords fall
+  // back to the default category or to the keyword itself.
+  std::string category = config_.categories.category_for(*keyword)
+                             .value_or(options_.default_category.empty()
+                                           ? *keyword
+                                           : options_.default_category);
+  // Filtering: a disabled category retains the alert for the digest
+  // ("temporarily blocks unwanted alerts, which ... may be useful in
+  // the future"); a closed delivery window defers routing until the
+  // window next opens.
+  if (!config_.categories.category_enabled(category)) {
+    stats_.bump("alerts_filtered");
+    digest_.add(alert, category, sim_.now());
+    if (options_.pessimistic_logging) log_.mark_processed(alert.id, sim_.now());
+    return;
+  }
+  const auto window = config_.categories.window_for(category);
+  if (window.has_value() && !window->contains(sim_.now())) {
+    stats_.bump("alerts_deferred");
+    const TimePoint open_at = next_occurrence(sim_.now(), window->start);
+    // Deliberately NOT marked processed: if this incarnation dies
+    // before the window opens, the recovery scan replays the alert and
+    // it is re-deferred.
+    sim_.at(
+        open_at,
+        [this, alive = alive_, alert, category] {
+          if (!*alive || !running()) return;
+          stats_.bump("alerts_deferred_delivered");
+          route(alert, category);
+          if (options_.pessimistic_logging) {
+            log_.mark_processed(alert.id, sim_.now());
+          }
+        },
+        "mab.deferred_route");
+    return;
+  }
+  route(alert, category);
+  if (options_.pessimistic_logging) log_.mark_processed(alert.id, sim_.now());
+}
+
+void MyAlertBuddy::route(const Alert& alert, const std::string& category) {
+  const auto subscriptions = config_.subscriptions.for_category(category);
+  if (subscriptions.empty()) {
+    stats_.bump("alerts_unsubscribed");
+    return;
+  }
+  for (const auto& sub : subscriptions) {
+    const UserProfile* profile = config_.profile_for(sub.user);
+    if (profile == nullptr) {
+      stats_.bump("routing.unknown_user");
+      continue;
+    }
+    const DeliveryMode* mode = profile->mode(sub.mode_name);
+    if (mode == nullptr) {
+      stats_.bump("routing.unknown_mode");
+      continue;
+    }
+    stats_.bump("routing.dispatched");
+    engine_->deliver(alert, profile->addresses(), *mode,
+                     [this, alive = alive_](const DeliveryOutcome& outcome) {
+                       if (!*alive) return;
+                       stats_.bump(outcome.delivered
+                                       ? "routing.delivered"
+                                       : "routing.undeliverable");
+                     });
+  }
+}
+
+void MyAlertBuddy::send_digest(const char* trigger) {
+  if (digest_.empty()) return;
+  // Digest goes to the owner's first enabled email address; without
+  // one the alerts stay retained for a later attempt.
+  const Address* target = nullptr;
+  for (const Address* address :
+       config_.profile.addresses().of_type(CommType::kEmail)) {
+    if (address->enabled) {
+      target = address;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    stats_.bump("digest.no_email_address");
+    return;
+  }
+  email::Email mail;
+  mail.to = target->value;
+  mail.subject = strformat("SIMBA digest: %zu filtered alert(s)",
+                           digest_.size());
+  mail.body = digest_.render_body();
+  mail.headers["simba_digest"] = trigger;
+  const Status status = email_.send_email(std::move(mail));
+  if (status.ok()) {
+    stats_.bump("digest.sent");
+    log_info("mab", strformat("digest (%s) sent with %zu alert(s)", trigger,
+                              digest_.size()));
+    digest_.drain();
+  } else {
+    // Keep everything retained; tomorrow's digest retries.
+    stats_.bump("digest.send_failed");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Commands (remote administration, Section 4.2.1 kind 3 + Section 3.3)
+// ---------------------------------------------------------------------------
+
+void MyAlertBuddy::handle_command(const std::string& text,
+                                  const std::string& from_user) {
+  stats_.bump("commands");
+  log_info("mab", "command from " + from_user + ": " + text);
+  const std::string upper = to_lower(text);
+  if (icontains(text, "SIMBA REJUVENATE")) {
+    request_shutdown("remote rejuvenation command");
+    return;
+  }
+  if (icontains(text, "SIMBA DIGEST")) {
+    send_digest("on demand");
+    stats_.bump("commands.digest");
+    return;
+  }
+  // "SIMBA DISABLE ADDRESS <friendly name>" / ENABLE
+  auto address_command = [&](const char* verb, bool enabled) -> bool {
+    const std::string needle = std::string("simba ") + verb + " address ";
+    const std::size_t pos = upper.find(needle);
+    if (pos == std::string::npos) return false;
+    const std::string name(trim(text.substr(pos + needle.size())));
+    const Status status =
+        config_.profile.addresses().set_enabled(name, enabled);
+    stats_.bump(status.ok() ? "commands.address_toggled"
+                            : "commands.failed");
+    return true;
+  };
+  if (address_command("disable", false)) return;
+  if (address_command("enable", true)) return;
+  // "SIMBA DISABLE CATEGORY <name>" / ENABLE
+  auto category_command = [&](const char* verb, bool enabled) -> bool {
+    const std::string needle = std::string("simba ") + verb + " category ";
+    const std::size_t pos = upper.find(needle);
+    if (pos == std::string::npos) return false;
+    const std::string name(trim(text.substr(pos + needle.size())));
+    config_.categories.set_category_enabled(name, enabled);
+    stats_.bump("commands.category_toggled");
+    return true;
+  };
+  if (category_command("disable", false)) return;
+  if (category_command("enable", true)) return;
+  stats_.bump("commands.unknown");
+}
+
+// ---------------------------------------------------------------------------
+// Self-stabilization and sanity
+// ---------------------------------------------------------------------------
+
+void MyAlertBuddy::sanity_tick() {
+  if (!running()) return;
+  progress();
+  // Direct health probe against the IM client; a throwing undocumented
+  // interface here is unhandleable and terminates MAB (paper: the
+  // dominant cause of the 36 MDC restarts).
+  try {
+    (void)im_.client().is_logged_in();
+  } catch (const gui::AutomationError& e) {
+    fail_with(std::string("IM exception in health probe: ") + e.what());
+    return;
+  }
+  // These callbacks ride manager-internal RPCs and can land after this
+  // incarnation is gone; the alive token guards them.
+  im_.sanity_check(
+      [this, alive = alive_](const automation::SanityReport& report) {
+        if (!*alive) return;
+        if (!report.healthy) stats_.bump("sanity.im_unhealthy");
+      });
+  email_.sanity_check(
+      [this, alive = alive_](const automation::SanityReport& report) {
+        if (!*alive) return;
+        if (!report.healthy) stats_.bump("sanity.email_unhealthy");
+      });
+}
+
+void MyAlertBuddy::stabilization_tick() {
+  if (!running()) return;
+  progress();
+  // Invariant 1: no unprocessed dialog boxes. The managers' monkey
+  // threads click known ones; unknown captions are invariant violations
+  // we cannot rectify in place (and a restart will not clear a
+  // system-owned modal) — they are counted and left for the operator,
+  // exactly the paper's two unrecovered dialog failures.
+  const auto unknown_im = im_.unknown_dialog_captions();
+  const auto unknown_email = email_.unknown_dialog_captions();
+  if (!unknown_im.empty() || !unknown_email.empty()) {
+    stats_.bump("stabilize.unknown_dialogs_pending");
+  }
+  // The check delegates clearing to the dialog-handling API; with the
+  // monkey mechanism disabled (E8 ablation) nothing can click.
+  if (im_.monkey_active()) im_.monkey_sweep();
+  if (email_.monkey_active()) email_.monkey_sweep();
+
+  // Invariant 2: no unprocessed IMs/emails sitting in client windows
+  // because a new-message event was lost.
+  if (im_.client().unread_count() > 0) {
+    stats_.bump("stabilize.unprocessed_ims");
+    pump_im();
+  }
+  if (email_.client().unread_count() > 0) {
+    stats_.bump("stabilize.unprocessed_emails");
+    pump_email();
+  }
+
+  // Invariant 3: resource consumption. Our own bloat is rectified by
+  // graceful rejuvenation; a bloated client is restarted through the
+  // Shutdown/Restart API.
+  if (memory_mb() > options_.memory_soft_limit_mb) {
+    stats_.bump("stabilize.memory_rejuvenation");
+    request_shutdown("self-stabilization: memory over soft limit");
+    return;
+  }
+  if (im_.client().memory_mb() > options_.memory_soft_limit_mb) {
+    stats_.bump("stabilize.im_client_rejuvenated");
+    im_.restart();
+  }
+  if (email_.client().memory_mb() > options_.memory_soft_limit_mb) {
+    stats_.bump("stabilize.email_client_rejuvenated");
+    email_.restart();
+  }
+  // Hard limit: past this the process wedges instead of recovering —
+  // what happens when self-stabilization is ablated away.
+  if (memory_mb() > options_.memory_hard_limit_mb) force_hang();
+}
+
+}  // namespace simba::core

@@ -1,0 +1,173 @@
+// MyAlertBuddy (MAB) — the personal alert router at the center of the
+// SIMBA architecture (Sections 3.3, 4.2).
+//
+// "All alerts for a user are first sent to the user's MyAlertBuddy,
+// which then performs personalized alert routing." One incarnation of
+// the MAB daemon process: it receives alert IMs and emails through the
+// Communication Managers, applies pessimistic logging, acknowledges,
+// classifies, aggregates, filters, and routes via delivery modes, and
+// runs the self-stabilization checks. Restart policy lives outside (the
+// MDC watchdog, src/core/mdc.h); one MyAlertBuddy object is one process
+// incarnation, created fresh by the host on every (re)start.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "automation/email_manager.h"
+#include "automation/im_manager.h"
+#include "core/alert_log.h"
+#include "core/category_map.h"
+#include "core/classifier.h"
+#include "core/delivery_engine.h"
+#include "core/digest.h"
+#include "core/profile.h"
+#include "sim/simulator.h"
+#include "util/calendar.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace simba::core {
+
+/// The user's persistent configuration: everything the paper lets the
+/// user customize at their alert buddy. Owned by the host machine and
+/// shared across MAB incarnations; remote commands mutate it.
+struct MabConfig {
+  UserProfile profile;
+  /// Additional profiles for shared categories ("supports multiple
+  /// subscribers per category to allow alert sharing").
+  std::map<std::string, UserProfile> shared_profiles;
+  SubscriptionRegistry subscriptions;
+  AlertClassifier classifier;
+  CategoryMap categories;
+
+  const UserProfile* profile_for(const std::string& user) const;
+};
+
+/// Behavioral knobs (fault-tolerance toggles are the E8 ablation axes).
+struct MabOptions {
+  bool pessimistic_logging = true;
+  bool self_stabilization = true;
+  Duration sanity_interval = minutes(1);       // paper: every minute
+  Duration dialog_check_interval = seconds(20);  // paper: every 20 seconds
+  Duration pump_sweep_interval = seconds(30);  // missed-event sweep
+  /// Per-alert processing cost between acknowledgement and routing
+  /// (XML parsing, classification, automation-interface calls — the
+  /// real MAB spent hundreds of milliseconds here).
+  Duration processing_delay{};
+  /// Keyword an unmapped classifier keyword falls back to; empty means
+  /// the keyword itself becomes the category (identity aggregation).
+  std::string default_category;
+  /// Daily digest of retained (filtered) alerts; disabled by clearing.
+  bool digest_enabled = true;
+  TimeOfDay digest_time = TimeOfDay::at(8, 0);
+
+  // Resource model for the MAB process itself.
+  double base_memory_mb = 25.0;
+  double leak_mb_per_alert = 0.0;
+  double leak_mb_per_hour = 0.0;
+  double memory_soft_limit_mb = 300.0;  // self-stabilization rejuvenates
+  double memory_hard_limit_mb = 600.0;  // process hangs
+  Duration mean_time_to_hang{};         // spontaneous hang (0 = never)
+};
+
+class MyAlertBuddy {
+ public:
+  MyAlertBuddy(sim::Simulator& sim, MabConfig& config, AlertLog& log,
+               DigestStore& digest, automation::ImManager& im,
+               automation::EmailManager& email, MabOptions options, Rng rng);
+  ~MyAlertBuddy();
+
+  MyAlertBuddy(const MyAlertBuddy&) = delete;
+  MyAlertBuddy& operator=(const MyAlertBuddy&) = delete;
+
+  /// Recovery scan ("first checks the log file for unprocessed IMs
+  /// before accepting new alerts"), then event wiring and periodic
+  /// tasks.
+  void start();
+
+  bool running() const { return running_ && !hung_; }
+  bool terminated() const { return !running_; }
+  bool hung() const { return hung_; }
+
+  /// The MDC's non-blocking liveness probe. A hung process gives no
+  /// answer — modeled as returning false (the MDC treats it as a
+  /// missed reply either way).
+  bool are_you_working();
+
+  /// Graceful termination (software rejuvenation kinds 1 and 3, and
+  /// the nightly shutdown). Fires on_terminated exactly once.
+  void request_shutdown(const std::string& reason);
+
+  /// Scripted fault hooks.
+  void force_hang();
+
+  double memory_mb() const;
+
+  void set_on_terminated(std::function<void(const std::string& reason,
+                                            bool expected)> cb) {
+    on_terminated_ = std::move(cb);
+  }
+
+  DeliveryEngine& engine() { return *engine_; }
+  const Counters& stats() const { return stats_; }
+  Counters& stats() { return stats_; }
+
+  /// Exposed for tests: one IM / email pump pass.
+  void pump_im();
+  void pump_email();
+
+  /// Experiment hook: observes every alert the instant the MAB accepts
+  /// it off a channel (before logging/processing) — used to measure
+  /// the paper's one-way delivery times.
+  void set_alert_observer(
+      std::function<void(const Alert&, TimePoint received)> observer) {
+    alert_observer_ = std::move(observer);
+  }
+
+ private:
+  void handle_alert_im(const im::ImMessage& message);
+  void send_ack(const std::string& to_user, const std::string& alert_id);
+  void handle_command(const std::string& text, const std::string& from_user);
+  void process_alert(const Alert& alert);
+  void send_digest(const char* trigger);
+  void route(const Alert& alert, const std::string& category);
+  void stabilization_tick();
+  void sanity_tick();
+  /// Unhandled-exception path: "whenever MyAlertBuddy catches an
+  /// exception that cannot be handled ... MyAlertBuddy gracefully
+  /// terminates and gets restarted by the MDC."
+  void fail_with(const std::string& reason);
+  void progress() { last_progress_ = sim_.now(); }
+
+  sim::Simulator& sim_;
+  MabConfig& config_;
+  AlertLog& log_;
+  DigestStore& digest_;
+  automation::ImManager& im_;
+  automation::EmailManager& email_;
+  MabOptions options_;
+  Rng rng_;
+  std::unique_ptr<DeliveryEngine> engine_;
+  bool running_ = true;
+  bool hung_ = false;
+  TimePoint started_at_{};
+  TimePoint last_progress_{};
+  std::uint64_t alerts_processed_ = 0;
+  sim::TaskHandle sweep_task_;
+  sim::TaskHandle sanity_task_;
+  sim::TaskHandle stabilization_task_;
+  sim::EventId digest_event_ = 0;
+  sim::EventId hang_event_ = 0;
+  /// Async work (log writes, deferred processing, ack completions) can
+  /// outlive this incarnation; callbacks hold the token and bail once
+  /// the object is gone.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  std::function<void(const std::string&, bool)> on_terminated_;
+  std::function<void(const Alert&, TimePoint)> alert_observer_;
+  Counters stats_;
+};
+
+}  // namespace simba::core

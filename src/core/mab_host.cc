@@ -1,0 +1,171 @@
+#include "core/mab_host.h"
+
+#include "util/log.h"
+
+namespace simba::core {
+
+MabHost::MabHost(sim::Simulator& sim, net::MessageBus& bus,
+                 im::ImServer& im_server, email::EmailServer& email_server,
+                 MabHostOptions options)
+    : sim_(sim),
+      im_server_(im_server),
+      email_server_(email_server),
+      options_(std::move(options)),
+      desktop_(sim) {
+  if (options_.im_account.empty()) {
+    options_.im_account = options_.owner + ".mab";
+  }
+  if (options_.email_address.empty()) {
+    options_.email_address = options_.owner + ".mab@simba.example.net";
+  }
+  im_server_.register_account(options_.im_account);
+  email_server_.create_mailbox(options_.email_address);
+
+  im_client_ = std::make_unique<im::ImClientApp>(
+      sim_, desktop_, bus, im_server_.address(), options_.im_account,
+      options_.im_client_profile, options_.im_client_config);
+  email_client_ = std::make_unique<email::EmailClientApp>(
+      sim_, desktop_, email_server_, options_.email_address,
+      options_.email_client_profile, options_.email_client_config);
+  im_manager_ =
+      std::make_unique<automation::ImManager>(sim_, desktop_, *im_client_);
+  email_manager_ = std::make_unique<automation::EmailManager>(sim_, desktop_,
+                                                              *email_client_);
+  mdc_ = std::make_unique<MasterDaemonController>(
+      sim_, options_.mdc_options,
+      /*probe=*/[this] { return mab_ != nullptr && mab_->are_you_working(); },
+      /*restart=*/[this] { restart_mab(); },
+      /*reboot=*/[this] { reboot_machine(); });
+
+  // Power events (ignored entirely when a UPS is fitted).
+  if (!options_.has_ups) {
+    for (const auto& outage : options_.power_plan.outages()) {
+      sim_.at(outage.start, [this] { power_down(); }, "host.power_down");
+      sim_.at(outage.end, [this] { power_up(); }, "host.power_up");
+    }
+  }
+}
+
+MabHost::~MabHost() {
+  if (nightly_event_ != 0) sim_.cancel(nightly_event_);
+}
+
+void MabHost::start() { boot(); }
+
+void MabHost::boot() {
+  machine_up_ = true;
+  stats_.bump("boots");
+  log_info("host." + options_.owner, "machine booted");
+  im_manager_->start();  // launches the IM client and signs in
+  email_manager_->start();
+  if (!options_.monkey_enabled) {
+    im_manager_->stop_monkey();
+    email_manager_->stop_monkey();
+  }
+  if (options_.watchdog_enabled) mdc_->start();
+  spawn_mab();
+  if (options_.nightly_rejuvenation) schedule_nightly();
+}
+
+void MabHost::spawn_mab() {
+  if (!machine_up_) return;
+  ++mab_incarnations_;
+  stats_.bump("mab_incarnations");
+  mab_ = std::make_unique<MyAlertBuddy>(
+      sim_, options_.config, alert_log_, digest_, *im_manager_,
+      *email_manager_, options_.mab_options,
+      sim_.make_rng("mab." + options_.owner + "." +
+                    std::to_string(mab_incarnations_)));
+  mab_->set_on_terminated([this](const std::string& reason, bool expected) {
+    stats_.bump(expected ? "mab_shutdowns" : "mab_failures");
+    // Destroying the incarnation inside its own callback frame is not
+    // safe; defer to the next event, then let the MDC schedule the
+    // relaunch (it already knows). Without the watchdog (E8 ablation)
+    // nothing relaunches — the daemon just stays dead.
+    if (options_.watchdog_enabled) mdc_->notify_terminated(reason, expected);
+    sim_.after(Duration::zero(), [this] {
+      if (mab_ && mab_->terminated()) mab_.reset();
+    });
+  });
+  if (alert_observer_) mab_->set_alert_observer(alert_observer_);
+  mab_->start();
+}
+
+void MabHost::kill_mab() { mab_.reset(); }
+
+void MabHost::restart_mab() {
+  if (!machine_up_) return;
+  kill_mab();
+  // The restart also rights the client software if the failure took it
+  // down with the machine's resources; normally these are no-ops.
+  if (!im_client_->running() &&
+      im_client_->state() != gui::ProcessState::kHung) {
+    im_manager_->start();
+  }
+  if (!email_client_->running() &&
+      email_client_->state() != gui::ProcessState::kHung) {
+    email_manager_->start();
+  }
+  // Manager start() re-arms the monkey thread; re-apply the ablation.
+  if (!options_.monkey_enabled) {
+    im_manager_->stop_monkey();
+    email_manager_->stop_monkey();
+  }
+  spawn_mab();
+}
+
+void MabHost::reboot_machine() {
+  if (!machine_up_) return;
+  stats_.bump("reboots");
+  log_warn("host." + options_.owner, "rebooting machine");
+  power_down();
+  sim_.after(options_.boot_time, [this] { power_up(); }, "host.reboot");
+}
+
+void MabHost::schedule_nightly() {
+  if (nightly_event_ != 0) sim_.cancel(nightly_event_);
+  const TimePoint next =
+      next_occurrence(sim_.now(), options_.rejuvenation_time);
+  nightly_event_ = sim_.at(
+      next, [this] { nightly_rejuvenation(); }, "host.nightly_rejuvenation");
+}
+
+void MabHost::nightly_rejuvenation() {
+  nightly_event_ = 0;
+  if (machine_up_) {
+    stats_.bump("nightly_rejuvenations");
+    log_info("host." + options_.owner, "nightly rejuvenation at 23:30");
+    // "requests an orderly shutdown of all the communication client
+    // software and terminates itself."
+    if (mab_) mab_->request_shutdown("nightly rejuvenation");
+    im_client_->kill();
+    email_client_->kill();
+    // The MDC's rejuvenation restart brings everything back (the
+    // restart path relaunches dead clients).
+  }
+  schedule_nightly();
+}
+
+void MabHost::power_down() {
+  if (!machine_up_) return;
+  machine_up_ = false;
+  stats_.bump("power_losses");
+  log_warn("host." + options_.owner, "power lost");
+  mdc_->stop();
+  // Processes die instantly; no graceful anything. The alert log is a
+  // disk file and survives; client mailboxes are server-side.
+  mab_.reset();
+  im_client_->kill();
+  email_client_->kill();
+  desktop_.clear();
+}
+
+void MabHost::power_up() {
+  if (machine_up_) return;
+  sim_.after(options_.boot_time, [this] {
+    if (machine_up_) return;
+    boot();
+  }, "host.boot");
+}
+
+}  // namespace simba::core

@@ -1,0 +1,141 @@
+// MabHost: the user's desktop PC that runs MyAlertBuddy (Section 4:
+// "Currently, MyAlertBuddy runs on a desktop PC owned by the user").
+//
+// Owns everything with machine lifetime: the desktop (dialog boxes),
+// the third-party IM and email client software, the Communication
+// Managers, the persistent alert log and user configuration, the MDC
+// watchdog, nightly software rejuvenation, and the power supply (the
+// paper's one unrecovered power outage, later fixed with a UPS).
+// MyAlertBuddy incarnations come and go; this object persists.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "automation/email_manager.h"
+#include "automation/im_manager.h"
+#include "core/alert_log.h"
+#include "core/digest.h"
+#include "core/mab.h"
+#include "core/mdc.h"
+#include "email/email_client.h"
+#include "email/email_server.h"
+#include "gui/desktop.h"
+#include "im/im_client.h"
+#include "im/im_server.h"
+#include "net/bus.h"
+#include "sim/fault.h"
+#include "sim/simulator.h"
+#include "util/calendar.h"
+
+namespace simba::core {
+
+struct MabHostOptions {
+  /// The human owner; the buddy's addresses derive from this unless
+  /// overridden.
+  std::string owner = "user";
+  std::string im_account;      // default: "<owner>.mab"
+  std::string email_address;   // default: "<owner>.mab@simba.example.net"
+
+  MabConfig config;
+  MabOptions mab_options;
+  MasterDaemonController::Options mdc_options;
+
+  gui::FaultProfile im_client_profile;
+  im::ImClientConfig im_client_config;
+  gui::FaultProfile email_client_profile;
+  email::EmailClientConfig email_client_config;
+
+  /// Nightly rejuvenation (kind 2): "Every night at 11:30PM,
+  /// MyAlertBuddy requests an orderly shutdown of all the communication
+  /// client software and terminates itself."
+  bool nightly_rejuvenation = true;
+  TimeOfDay rejuvenation_time = TimeOfDay::at(23, 30);
+
+  /// Power model. With a UPS, outages (up to any length, for
+  /// simplicity) are ridden through.
+  sim::OutagePlan power_plan;
+  bool has_ups = false;
+  Duration boot_time = minutes(2);
+
+  // Ablation switches (experiment E8): disabling the watchdog means a
+  // dead or hung MAB stays that way; disabling the monkey thread means
+  // even known dialogs pile up.
+  bool watchdog_enabled = true;
+  bool monkey_enabled = true;
+};
+
+class MabHost {
+ public:
+  MabHost(sim::Simulator& sim, net::MessageBus& bus, im::ImServer& im_server,
+          email::EmailServer& email_server, MabHostOptions options);
+  ~MabHost();
+
+  MabHost(const MabHost&) = delete;
+  MabHost& operator=(const MabHost&) = delete;
+
+  /// Boots the machine: MDC, client software, managers, first MAB.
+  void start();
+
+  const std::string& im_address() const { return options_.im_account; }
+  const std::string& email_address() const { return options_.email_address; }
+
+  MabConfig& config() { return options_.config; }
+  AlertLog& alert_log() { return alert_log_; }
+  DigestStore& digest() { return digest_; }
+  /// Current incarnation; null between termination and restart.
+  MyAlertBuddy* mab() { return mab_.get(); }
+  MasterDaemonController& mdc() { return *mdc_; }
+  automation::ImManager& im_manager() { return *im_manager_; }
+  automation::EmailManager& email_manager() { return *email_manager_; }
+  gui::Desktop& desktop() { return desktop_; }
+
+  bool machine_up() const { return machine_up_; }
+  /// The availability predicate experiments sample: machine powered,
+  /// a MAB incarnation present, running, and not hung.
+  bool healthy() const {
+    return machine_up_ && mab_ != nullptr && mab_->running();
+  }
+
+  const Counters& stats() const { return stats_; }
+  Counters& stats() { return stats_; }
+
+  /// Experiment hook, persistent across MAB incarnations.
+  void set_alert_observer(
+      std::function<void(const Alert&, TimePoint)> observer) {
+    alert_observer_ = std::move(observer);
+    if (mab_) mab_->set_alert_observer(alert_observer_);
+  }
+
+ private:
+  void boot();
+  void spawn_mab();
+  void kill_mab();
+  void restart_mab();   // MDC restart path (kills hung incarnation)
+  void reboot_machine();
+  void schedule_nightly();
+  void nightly_rejuvenation();
+  void power_down();
+  void power_up();
+
+  sim::Simulator& sim_;
+  im::ImServer& im_server_;
+  email::EmailServer& email_server_;
+  MabHostOptions options_;
+  gui::Desktop desktop_;
+  std::unique_ptr<im::ImClientApp> im_client_;
+  std::unique_ptr<email::EmailClientApp> email_client_;
+  std::unique_ptr<automation::ImManager> im_manager_;
+  std::unique_ptr<automation::EmailManager> email_manager_;
+  std::unique_ptr<MasterDaemonController> mdc_;
+  std::unique_ptr<MyAlertBuddy> mab_;
+  AlertLog alert_log_;
+  DigestStore digest_;
+  bool machine_up_ = false;
+  std::function<void(const Alert&, TimePoint)> alert_observer_;
+  sim::EventId nightly_event_ = 0;
+  std::uint64_t mab_incarnations_ = 0;
+  Counters stats_;
+};
+
+}  // namespace simba::core

@@ -1,0 +1,73 @@
+#include "core/profile.h"
+
+#include <algorithm>
+
+namespace simba::core {
+
+Status UserProfile::define_mode(DeliveryMode mode) {
+  if (mode.name().empty()) return Status::failure("delivery mode needs a name");
+  if (mode.empty()) {
+    return Status::failure("delivery mode " + mode.name() + " has no blocks");
+  }
+  modes_[mode.name()] = std::move(mode);
+  return Status::success();
+}
+
+const DeliveryMode* UserProfile::mode(const std::string& name) const {
+  const auto it = modes_.find(name);
+  return it == modes_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> UserProfile::mode_names() const {
+  std::vector<std::string> out;
+  out.reserve(modes_.size());
+  for (const auto& [name, mode] : modes_) out.push_back(name);
+  return out;
+}
+
+Status SubscriptionRegistry::subscribe(const std::string& category,
+                                       const std::string& user,
+                                       const std::string& mode_name) {
+  if (category.empty() || user.empty() || mode_name.empty()) {
+    return Status::failure("subscription needs category, user, and mode");
+  }
+  for (auto& s : subscriptions_) {
+    if (s.category == category && s.user == user) {
+      s.mode_name = mode_name;  // re-subscribe updates the mode
+      return Status::success();
+    }
+  }
+  subscriptions_.push_back(Subscription{category, user, mode_name});
+  return Status::success();
+}
+
+void SubscriptionRegistry::unsubscribe(const std::string& category,
+                                       const std::string& user) {
+  subscriptions_.erase(
+      std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                     [&](const Subscription& s) {
+                       return s.category == category && s.user == user;
+                     }),
+      subscriptions_.end());
+}
+
+std::vector<SubscriptionRegistry::Subscription>
+SubscriptionRegistry::for_category(const std::string& category) const {
+  std::vector<Subscription> out;
+  for (const auto& s : subscriptions_) {
+    if (s.category == category) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::string> SubscriptionRegistry::categories() const {
+  std::vector<std::string> out;
+  for (const auto& s : subscriptions_) {
+    if (std::find(out.begin(), out.end(), s.category) == out.end()) {
+      out.push_back(s.category);
+    }
+  }
+  return out;
+}
+
+}  // namespace simba::core

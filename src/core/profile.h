@@ -1,0 +1,63 @@
+// Per-user SIMBA profile: the subscription layer's registration state
+// (Section 4.1): addresses, personal delivery modes, personal alert
+// categories and their category -> delivery-mode assignment.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/address_book.h"
+#include "core/delivery_mode.h"
+#include "util/calendar.h"
+
+namespace simba::core {
+
+class UserProfile {
+ public:
+  UserProfile() = default;
+  explicit UserProfile(std::string user)
+      : user_(std::move(user)), addresses_(user_) {}
+
+  const std::string& user() const { return user_; }
+
+  AddressBook& addresses() { return addresses_; }
+  const AddressBook& addresses() const { return addresses_; }
+
+  /// Registers (or replaces) a personalized delivery mode.
+  Status define_mode(DeliveryMode mode);
+  const DeliveryMode* mode(const std::string& name) const;
+  std::vector<std::string> mode_names() const;
+
+ private:
+  std::string user_;
+  AddressBook addresses_;
+  std::map<std::string, DeliveryMode> modes_;
+};
+
+/// Category subscriptions: "a subscription API for mapping a category
+/// name to a user with a particular delivery mode. Each category can
+/// have multiple subscribers, each of which can specify a different
+/// delivery mode."
+class SubscriptionRegistry {
+ public:
+  struct Subscription {
+    std::string category;
+    std::string user;
+    std::string mode_name;
+  };
+
+  Status subscribe(const std::string& category, const std::string& user,
+                   const std::string& mode_name);
+  void unsubscribe(const std::string& category, const std::string& user);
+  std::vector<Subscription> for_category(const std::string& category) const;
+  std::vector<std::string> categories() const;
+  /// Every subscription, for persistence (core/config_xml.h).
+  const std::vector<Subscription>& all() const { return subscriptions_; }
+  std::size_t size() const { return subscriptions_.size(); }
+
+ private:
+  std::vector<Subscription> subscriptions_;
+};
+
+}  // namespace simba::core

@@ -1,0 +1,114 @@
+// The human end of the pipeline: the user's own devices and habits.
+//
+// Delivery-mode dependability is only meaningful against a model of
+// when the user actually *sees* a message (the paper's dependability is
+// "the overall user experience"): IMs pop up while she is at her desk
+// and signed in; SMS reaches her phone within carrier time unless it is
+// off; email is read at the next mailbox check. This model is what
+// experiment E7 scores strategies against.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "email/email_server.h"
+#include "gui/client_app.h"
+#include "gui/desktop.h"
+#include "im/im_client.h"
+#include "im/im_server.h"
+#include "net/bus.h"
+#include "sim/fault.h"
+#include "sim/simulator.h"
+#include "sms/sms.h"
+#include "util/stats.h"
+
+namespace simba::core {
+
+struct UserEndpointOptions {
+  std::string name = "user";
+  std::string im_account;      // default: "<name>"
+  std::string phone_number;    // default: "4255550100"
+  std::string email_account;   // default: "<name>@home.example.net"
+  /// Windows when the user is away from the desktop (IMs not seen, no
+  /// acks until return).
+  sim::OutagePlan away_plan;
+  /// Windows when the phone is off / out of coverage.
+  sim::OutagePlan phone_outage_plan;
+  /// Windows when the user's IM client is signed out entirely.
+  sim::OutagePlan im_offline_plan;
+  /// How often the user checks email while at the desk.
+  Duration email_check_interval = minutes(30);
+  /// Reaction time from an IM popping up to the user acknowledging it.
+  Duration ack_reaction_mean = seconds(8);
+};
+
+/// Tracks, per alert id, when the user first saw it and on which
+/// channel; sends application-level acknowledgements for IMs that
+/// request one.
+class UserEndpoint {
+ public:
+  UserEndpoint(sim::Simulator& sim, net::MessageBus& bus,
+               im::ImServer& im_server, email::EmailServer& email_server,
+               sms::SmsGateway& sms_gateway, UserEndpointOptions options);
+  ~UserEndpoint() {
+    email_task_.cancel();
+    presence_task_.cancel();
+  }
+
+  void start();
+
+  const std::string& im_account() const { return options_.im_account; }
+  const std::string& email_account() const { return options_.email_account; }
+  /// The privacy-sensitive SMS address (Section 1).
+  std::string sms_address() const {
+    return gateway_.email_address(options_.phone_number);
+  }
+
+  bool at_desk() const { return !options_.away_plan.down_at(sim_.now()); }
+
+  /// First time the user saw the alert on any channel.
+  std::optional<TimePoint> first_seen(const std::string& alert_id) const;
+  /// Channel the first sighting came on ("im", "sms", "email").
+  std::optional<std::string> first_seen_channel(
+      const std::string& alert_id) const;
+  /// Total sightings (duplicate deliveries the user had to discard —
+  /// detected via the timestamps the paper mentions).
+  int sightings(const std::string& alert_id) const;
+  std::size_t alerts_seen() const { return seen_.size(); }
+
+  sms::Phone& phone() { return *phone_; }
+  const Counters& stats() const { return stats_; }
+
+ private:
+  struct Sighting {
+    TimePoint first{};
+    std::string channel;
+    int count = 0;
+  };
+
+  void pump_im();
+  void check_email();
+  void record(const std::string& alert_id, const std::string& channel,
+              TimePoint at);
+  void maybe_ack(const im::ImMessage& message, TimePoint seen_at);
+  void enforce_im_presence();
+
+  sim::Simulator& sim_;
+  im::ImServer& im_server_;
+  email::EmailServer& email_server_;
+  sms::SmsGateway& gateway_;
+  UserEndpointOptions options_;
+  Rng rng_;
+  gui::Desktop desktop_;  // the user's own machine; kept fault-free
+  std::unique_ptr<im::ImClientApp> im_client_;
+  std::unique_ptr<sms::Phone> phone_;
+  std::size_t email_cursor_ = 0;
+  std::map<std::string, Sighting> seen_;
+  sim::TaskHandle email_task_;
+  sim::TaskHandle presence_task_;
+  Counters stats_;
+};
+
+}  // namespace simba::core

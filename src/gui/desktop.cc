@@ -1,0 +1,78 @@
+#include "gui/desktop.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace simba::gui {
+
+std::uint64_t Desktop::show(DialogBox box,
+                            std::function<void(const std::string&)> on_closed) {
+  box.id = next_id_++;
+  box.opened_at = sim_.now();
+  log_debug("desktop", "dialog shown: \"" + box.caption + "\" (owner=" +
+                           box.owner + ")");
+  entries_.push_back(Entry{std::move(box), std::move(on_closed)});
+  rebuild_view();
+  return entries_.back().box.id;
+}
+
+bool Desktop::click(std::string caption_substring, std::string button) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const DialogBox& box = entries_[i].box;
+    if (!icontains(box.caption, caption_substring)) continue;
+    const auto match =
+        std::find_if(box.buttons.begin(), box.buttons.end(),
+                     [&](const std::string& b) { return iequals(b, button); });
+    if (match == box.buttons.end()) continue;
+    const std::string canonical = *match;  // report the real label
+    log_debug("desktop", "dialog clicked: \"" + box.caption + "\" [" +
+                             canonical + "]");
+    auto on_closed = std::move(entries_[i].on_closed);
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    rebuild_view();
+    if (on_closed) on_closed(canonical);
+    return true;
+  }
+  return false;
+}
+
+void Desktop::close_owned_by(const std::string& owner) {
+  // Deliberately no on_closed callbacks: the owner process is gone.
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) {
+                                  return e.box.owner == owner;
+                                }),
+                 entries_.end());
+  rebuild_view();
+}
+
+void Desktop::clear() {
+  entries_.clear();
+  rebuild_view();
+}
+
+bool Desktop::any_blocking(const std::string& owner) const {
+  return std::any_of(dialogs_.begin(), dialogs_.end(),
+                     [&](const DialogBox& b) {
+                       return (b.owner == owner || b.owner == "system") &&
+                              b.blocks_owner;
+                     });
+}
+
+Duration Desktop::oldest_age() const {
+  Duration oldest{0};
+  for (const auto& b : dialogs_) {
+    oldest = std::max(oldest, sim_.now() - b.opened_at);
+  }
+  return oldest;
+}
+
+void Desktop::rebuild_view() {
+  dialogs_.clear();
+  dialogs_.reserve(entries_.size());
+  for (const auto& e : entries_) dialogs_.push_back(e.box);
+}
+
+}  // namespace simba::gui

@@ -1,0 +1,79 @@
+// Simulated desktop "screen": the set of dialog boxes currently
+// visible on the machine that hosts MyAlertBuddy and its communication
+// client software.
+//
+// The paper (Section 4.1.1): dialog boxes "should never pop up when the
+// software is driven by a program through automation interfaces because
+// the program cannot interact with the boxes, which then stay on the
+// screen forever and prevent the entire application from making
+// progress". The monkey thread in src/automation clicks them away by
+// caption/button pair; unknown captions block their owner app forever —
+// exactly the two unrecovered dialog-box failures in the paper's
+// one-month log (experiment E6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace simba::gui {
+
+struct DialogBox {
+  std::uint64_t id = 0;
+  std::string owner;    // app name, or "system" for OS-level dialogs
+  std::string caption;
+  std::vector<std::string> buttons;
+  bool blocks_owner = true;  // owner app cannot make progress while open
+  TimePoint opened_at{};
+};
+
+class Desktop {
+ public:
+  explicit Desktop(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Shows a dialog; returns its id. `on_closed` (optional) runs when a
+  /// button is clicked, with the button label.
+  std::uint64_t show(DialogBox box,
+                     std::function<void(const std::string& button)> on_closed =
+                         nullptr);
+
+  /// Clicks `button` on the first dialog whose caption contains
+  /// `caption_substring` (case-insensitive) and which offers that
+  /// button. This is what the monkey thread does: mouse-down, mouse-up.
+  /// Returns true if a dialog was dismissed. Parameters are by value:
+  /// callers often pass strings that live inside dialogs(), which this
+  /// call invalidates.
+  bool click(std::string caption_substring, std::string button);
+
+  /// Force-closes all dialogs owned by `owner` (the owner process was
+  /// killed, so the OS reaps its windows).
+  void close_owned_by(const std::string& owner);
+
+  /// Force-closes everything (machine reboot / power loss).
+  void clear();
+
+  const std::vector<DialogBox>& dialogs() const { return dialogs_; }
+  std::size_t count() const { return dialogs_.size(); }
+  /// True if a modal dialog blocks this app: one it owns, or a
+  /// system-owned modal (owner "system"), which blocks everything.
+  bool any_blocking(const std::string& owner) const;
+  /// Longest time any currently-open dialog has been on screen.
+  Duration oldest_age() const;
+
+ private:
+  struct Entry {
+    DialogBox box;
+    std::function<void(const std::string&)> on_closed;
+  };
+  void rebuild_view();
+
+  sim::Simulator& sim_;
+  std::vector<Entry> entries_;
+  std::vector<DialogBox> dialogs_;  // view kept in sync with entries_
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace simba::gui

@@ -1,0 +1,168 @@
+#include "im/im_server.h"
+
+#include "util/log.h"
+
+namespace simba::im {
+
+ImServer::ImServer(sim::Simulator& sim, net::MessageBus& bus,
+                   std::string address)
+    : sim_(sim),
+      bus_(bus),
+      address_(std::move(address)),
+      rng_(sim.make_rng("im.server." + address_)) {
+  bus_.attach(address_, [this](const net::Message& m) { handle(m); });
+}
+
+void ImServer::register_account(const std::string& user) {
+  accounts_[user] = true;
+}
+
+bool ImServer::has_account(const std::string& user) const {
+  return accounts_.count(user) > 0;
+}
+
+bool ImServer::online(const std::string& user) const {
+  return sessions_.count(user) > 0;
+}
+
+void ImServer::set_outage_plan(sim::OutagePlan plan) {
+  outages_ = std::move(plan);
+  // Sessions die the moment an outage begins, whether or not traffic
+  // flows during it: after recovery everyone must re-login.
+  for (const auto& o : outages_.outages()) {
+    if (o.start < sim_.now()) continue;
+    sim_.at(o.start, [this] { drop_all_sessions(); }, "im.outage_begin");
+  }
+}
+
+bool ImServer::down() const { return outages_.down_at(sim_.now()); }
+
+void ImServer::force_logout(const std::string& user) {
+  const auto it = sessions_.find(user);
+  if (it == sessions_.end()) return;
+  const std::string client = it->second.client_address;
+  if (it->second.reset_event != 0) sim_.cancel(it->second.reset_event);
+  sessions_.erase(it);
+  stats_.bump("forced_logouts");
+  log_debug("im.server", "forced logout of " + user);
+  net::Message note;
+  note.from = address_;
+  note.to = client;
+  note.type = proto::kLoggedOut;
+  note.headers["user"] = user;
+  bus_.send(std::move(note));
+}
+
+void ImServer::drop_all_sessions() {
+  if (sessions_.empty()) return;
+  stats_.bump("session_drops", static_cast<std::int64_t>(sessions_.size()));
+  for (auto& [user, session] : sessions_) {
+    if (session.reset_event != 0) sim_.cancel(session.reset_event);
+  }
+  sessions_.clear();
+  log_debug("im.server", "all sessions dropped (outage begin)");
+}
+
+void ImServer::arm_session_reset(const std::string& user) {
+  if (session_reset_mtbf_ <= Duration::zero()) return;
+  auto it = sessions_.find(user);
+  if (it == sessions_.end()) return;
+  it->second.reset_event = sim_.after(
+      rng_.exponential_duration(session_reset_mtbf_),
+      [this, user] { force_logout(user); }, "im.session_reset");
+}
+
+void ImServer::reply(const net::Message& to_msg, const std::string& type,
+                     std::map<std::string, std::string> headers,
+                     std::string body) {
+  net::Message m;
+  m.from = address_;
+  m.to = to_msg.from;
+  m.type = type;
+  m.headers = std::move(headers);
+  m.headers["in_reply_to"] = std::to_string(to_msg.id);
+  m.body = std::move(body);
+  bus_.send(std::move(m));
+}
+
+void ImServer::handle(const net::Message& m) {
+  if (down()) {
+    // Silent: the service is unreachable; clients see timeouts.
+    stats_.bump("ignored_while_down");
+    return;
+  }
+  if (m.type == proto::kLogin) {
+    handle_login(m);
+  } else if (m.type == proto::kLogout) {
+    const auto it = sessions_.find(m.headers.at("user"));
+    if (it != sessions_.end()) {
+      if (it->second.reset_event != 0) sim_.cancel(it->second.reset_event);
+      sessions_.erase(it);
+    }
+    stats_.bump("logouts");
+  } else if (m.type == proto::kPing) {
+    const auto it = sessions_.find(m.headers.at("user"));
+    const bool valid =
+        it != sessions_.end() &&
+        std::to_string(it->second.epoch) == m.headers.at("epoch");
+    reply(m, proto::kPong, {{"valid", valid ? "1" : "0"}});
+    stats_.bump("pings");
+  } else if (m.type == proto::kSend) {
+    handle_send(m);
+  } else {
+    stats_.bump("unknown_messages");
+  }
+}
+
+void ImServer::handle_login(const net::Message& m) {
+  const std::string& user = m.headers.at("user");
+  if (!has_account(user)) {
+    reply(m, proto::kLoginErr, {{"reason", "no such account"}});
+    stats_.bump("login_rejected");
+    return;
+  }
+  Session session;
+  session.epoch = next_epoch_++;
+  session.client_address = m.from;
+  // Re-login replaces any existing session.
+  const auto it = sessions_.find(user);
+  if (it != sessions_.end() && it->second.reset_event != 0) {
+    sim_.cancel(it->second.reset_event);
+  }
+  sessions_[user] = session;
+  stats_.bump("logins");
+  reply(m, proto::kLoginOk, {{"epoch", std::to_string(session.epoch)},
+                             {"user", user}});
+  arm_session_reset(user);
+}
+
+void ImServer::handle_send(const net::Message& m) {
+  const std::string& from_user = m.headers.at("from_user");
+  const std::string& to_user = m.headers.at("to_user");
+  const auto sender = sessions_.find(from_user);
+  if (sender == sessions_.end() ||
+      std::to_string(sender->second.epoch) != m.headers.at("epoch")) {
+    reply(m, proto::kSendErr, {{"reason", "not logged in"},
+                               {"seq", m.headers.at("seq")}});
+    stats_.bump("send_rejected.no_session");
+    return;
+  }
+  const auto recipient = sessions_.find(to_user);
+  if (recipient == sessions_.end()) {
+    reply(m, proto::kSendErr,
+          {{"reason", "recipient offline"}, {"seq", m.headers.at("seq")}});
+    stats_.bump("send_rejected.offline");
+    return;
+  }
+  net::Message out;
+  out.from = address_;
+  out.to = recipient->second.client_address;
+  out.type = proto::kDeliver;
+  out.headers = m.headers;
+  out.body = m.body;
+  bus_.send(std::move(out));
+  reply(m, proto::kSendOk, {{"seq", m.headers.at("seq")}});
+  stats_.bump("sends");
+}
+
+}  // namespace simba::im

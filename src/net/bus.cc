@@ -1,0 +1,98 @@
+#include "net/bus.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace simba::net {
+
+namespace {
+std::pair<std::string, std::string> ordered(const std::string& a,
+                                            const std::string& b) {
+  return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+MessageBus::MessageBus(sim::Simulator& sim)
+    : sim_(sim), rng_(sim.make_rng("net.bus")) {}
+
+void MessageBus::attach(const std::string& address, Handler handler) {
+  endpoints_[address] = std::move(handler);
+}
+
+void MessageBus::detach(const std::string& address) {
+  endpoints_.erase(address);
+}
+
+bool MessageBus::attached(const std::string& address) const {
+  return endpoints_.count(address) > 0;
+}
+
+void MessageBus::set_link(const std::string& from, const std::string& to,
+                          LinkModel model) {
+  links_[{from, to}] = model;
+}
+
+void MessageBus::partition(const std::string& a, const std::string& b) {
+  partitions_[ordered(a, b)]++;
+}
+
+void MessageBus::heal(const std::string& a, const std::string& b) {
+  const auto key = ordered(a, b);
+  const auto it = partitions_.find(key);
+  if (it == partitions_.end()) return;
+  if (--it->second <= 0) partitions_.erase(it);
+}
+
+bool MessageBus::partitioned(const std::string& a,
+                             const std::string& b) const {
+  return partitions_.count(ordered(a, b)) > 0;
+}
+
+const LinkModel& MessageBus::link_for(const std::string& from,
+                                      const std::string& to) const {
+  const auto it = links_.find({from, to});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+std::uint64_t MessageBus::send(Message message) {
+  message.id = next_id_++;
+  message.sent_at = sim_.now();
+  stats_.bump("sent");
+
+  if (partitioned(message.from, message.to)) {
+    stats_.bump("dropped.partition");
+    log_debug("net", "partition drop " + message.from + " -> " + message.to);
+    return message.id;
+  }
+  const LinkModel& link = link_for(message.from, message.to);
+  if (rng_.chance(link.loss_probability)) {
+    stats_.bump("dropped.loss");
+    log_debug("net", "loss drop " + message.from + " -> " + message.to);
+    return message.id;
+  }
+  const Duration latency = link.sample_latency(rng_);
+  const std::uint64_t id = message.id;
+  sim_.after(
+      latency,
+      [this, message = std::move(message)] {
+        // Partition state and endpoint liveness are re-checked at arrival
+        // time: a link that failed mid-flight loses the message.
+        if (partitioned(message.from, message.to)) {
+          stats_.bump("dropped.partition");
+          return;
+        }
+        const auto it = endpoints_.find(message.to);
+        if (it == endpoints_.end()) {
+          stats_.bump("dropped.unreachable");
+          log_debug("net", "no endpoint " + message.to);
+          return;
+        }
+        stats_.bump("delivered");
+        it->second(message);
+      },
+      "net.deliver:" + message.type);
+  return id;
+}
+
+}  // namespace simba::net

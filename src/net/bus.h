@@ -1,0 +1,90 @@
+// Simulated message transport shared by the IM, email, and SMS
+// substrates. One bus per simulation; endpoints are string addresses.
+//
+// The bus models only what the paper's dependability story needs:
+// per-link latency distributions (IM "< 1 second", email "seconds to
+// days"), message loss, and link partitions (corporate proxy failures,
+// network disconnection).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace simba::net {
+
+/// An in-flight message. `type` is a protocol discriminator (e.g.
+/// "im.send", "smtp.mail"); `headers` carry protocol fields; `body`
+/// carries the payload.
+struct Message {
+  std::string from;
+  std::string to;
+  std::string type;
+  std::string body;
+  std::map<std::string, std::string> headers;
+  TimePoint sent_at{};
+  std::uint64_t id = 0;
+};
+
+/// Latency/loss model for one direction of a link.
+struct LinkModel {
+  Duration base_latency = millis(20);
+  Duration jitter = millis(10);  // additional, uniform in [0, jitter]
+  double loss_probability = 0.0;
+
+  Duration sample_latency(Rng& rng) const {
+    return base_latency + rng.uniform_duration(Duration::zero(), jitter);
+  }
+};
+
+class MessageBus {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  explicit MessageBus(sim::Simulator& sim);
+
+  /// Registers the handler for an address, replacing any previous one.
+  void attach(const std::string& address, Handler handler);
+  /// Removes the endpoint; in-flight messages to it are dropped on
+  /// arrival (counted as "undeliverable").
+  void detach(const std::string& address);
+  bool attached(const std::string& address) const;
+
+  /// Model applied when no per-link override matches.
+  void set_default_link(LinkModel model) { default_link_ = model; }
+  /// Override for the ordered pair (from, to).
+  void set_link(const std::string& from, const std::string& to,
+                LinkModel model);
+
+  /// Severs both directions between two addresses until healed.
+  void partition(const std::string& a, const std::string& b);
+  void heal(const std::string& a, const std::string& b);
+  bool partitioned(const std::string& a, const std::string& b) const;
+
+  /// Sends a message. Delivery (or loss) is decided now; arrival is a
+  /// scheduled simulator event. Returns the assigned message id.
+  std::uint64_t send(Message message);
+
+  const Counters& stats() const { return stats_; }
+
+ private:
+  const LinkModel& link_for(const std::string& from,
+                            const std::string& to) const;
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  std::map<std::string, Handler> endpoints_;
+  std::map<std::pair<std::string, std::string>, LinkModel> links_;
+  std::map<std::pair<std::string, std::string>, int> partitions_;
+  LinkModel default_link_;
+  std::uint64_t next_id_ = 1;
+  Counters stats_;
+};
+
+}  // namespace simba::net

@@ -1,0 +1,94 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace simba::sim {
+
+void OutagePlan::add(TimePoint start, Duration length) {
+  if (length <= Duration::zero()) return;
+  outages_.push_back(Outage{start, start + length});
+  normalized_ = false;
+}
+
+void OutagePlan::normalize() const {
+  if (normalized_) return;
+  std::sort(outages_.begin(), outages_.end(),
+            [](const Outage& a, const Outage& b) { return a.start < b.start; });
+  std::vector<Outage> merged;
+  for (const auto& o : outages_) {
+    if (!merged.empty() && o.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, o.end);
+    } else {
+      merged.push_back(o);
+    }
+  }
+  outages_ = std::move(merged);
+  normalized_ = true;
+}
+
+bool OutagePlan::down_at(TimePoint t) const {
+  normalize();
+  // First outage starting after t; the previous one may cover t.
+  auto it = std::upper_bound(
+      outages_.begin(), outages_.end(), t,
+      [](TimePoint tp, const Outage& o) { return tp < o.start; });
+  if (it == outages_.begin()) return false;
+  --it;
+  return t < it->end;
+}
+
+TimePoint OutagePlan::up_again_at(TimePoint t) const {
+  normalize();
+  auto it = std::upper_bound(
+      outages_.begin(), outages_.end(), t,
+      [](TimePoint tp, const Outage& o) { return tp < o.start; });
+  if (it == outages_.begin()) return t;
+  --it;
+  return t < it->end ? it->end : t;
+}
+
+const std::vector<Outage>& OutagePlan::outages() const {
+  normalize();
+  return outages_;
+}
+
+Duration OutagePlan::total_downtime(TimePoint horizon) const {
+  normalize();
+  Duration total{0};
+  for (const auto& o : outages_) {
+    if (o.start >= horizon) break;
+    total += std::min(o.end, horizon) - o.start;
+  }
+  return total;
+}
+
+OutagePlan OutagePlan::generate(Rng& rng, Duration horizon, Duration mtbf,
+                                Duration down_median, double down_sigma) {
+  OutagePlan plan;
+  TimePoint t{};
+  const TimePoint end{horizon};
+  while (true) {
+    t += rng.exponential_duration(mtbf);
+    if (t >= end) break;
+    const Duration down = rng.lognormal_duration(down_median, down_sigma);
+    plan.add(t, down);
+    t += down;
+  }
+  return plan;
+}
+
+std::string OutagePlan::describe() const {
+  normalize();
+  std::string out;
+  for (const auto& o : outages_) {
+    out += strformat("  down %s .. %s (%s)\n", format_time(o.start).c_str(),
+                     format_time(o.end).c_str(),
+                     format_duration(o.length()).c_str());
+  }
+  if (out.empty()) out = "  (no outages)\n";
+  return out;
+}
+
+}  // namespace simba::sim

@@ -1,0 +1,57 @@
+// Fault modeling shared by all substrates: outage plans (alternating
+// up/down windows) and Bernoulli fault processes. Experiment E6 builds
+// its one-month fault log on these.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace simba::sim {
+
+/// A closed-open outage window [start, end).
+struct Outage {
+  TimePoint start;
+  TimePoint end;
+  Duration length() const { return end - start; }
+};
+
+/// An explicit, inspectable schedule of outages. Components query
+/// down_at(now) at the moment they act; there is no hidden state.
+class OutagePlan {
+ public:
+  OutagePlan() = default;
+
+  /// Adds a window; windows may be added out of order and overlapping
+  /// (overlaps are merged on normalize, called lazily).
+  void add(TimePoint start, Duration length);
+
+  bool down_at(TimePoint t) const;
+
+  /// End of the outage covering `t`, or `t` itself when up.
+  TimePoint up_again_at(TimePoint t) const;
+
+  const std::vector<Outage>& outages() const;
+
+  /// Total downtime within [0, horizon).
+  Duration total_downtime(TimePoint horizon) const;
+
+  /// Generates a random plan over [0, horizon): up-times are exponential
+  /// with mean `mtbf`; down-times are log-normal with the given median
+  /// and sigma (the paper saw a 4..103-minute spread of IM downtimes,
+  /// which a heavy-ish tail reproduces).
+  static OutagePlan generate(Rng& rng, Duration horizon, Duration mtbf,
+                             Duration down_median, double down_sigma);
+
+  std::string describe() const;
+
+ private:
+  void normalize() const;
+
+  mutable std::vector<Outage> outages_;
+  mutable bool normalized_ = true;
+};
+
+}  // namespace simba::sim

@@ -1,0 +1,105 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace simba::sim {
+
+Simulator::Simulator(std::uint64_t seed)
+    : seed_(seed), root_rng_(Rng{seed}.child("root")) {
+  // Log lines carry virtual time while this simulator is alive.
+  Log::set_time_source([this] { return now_; });
+}
+
+Simulator::~Simulator() { Log::clear_time_source(); }
+
+EventId Simulator::at(TimePoint t, Callback cb, std::string label) {
+  if (t < now_) t = now_;
+  auto event = std::make_shared<Event>();
+  event->when = t;
+  event->sequence = next_sequence_++;
+  event->id = next_id_++;
+  event->callback = std::move(cb);
+  event->label = std::move(label);
+  index_.emplace(event->id, event);
+  queue_.push(event);
+  return event->id;
+}
+
+EventId Simulator::after(Duration delay, Callback cb, std::string label) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return at(now_ + delay, std::move(cb), std::move(label));
+}
+
+void Simulator::cancel(EventId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  if (auto event = it->second.lock()) event->cancelled = true;
+  index_.erase(it);
+}
+
+TaskHandle Simulator::every(Duration period, Callback cb, std::string label,
+                            bool immediate) {
+  assert(period > Duration::zero());
+  auto cancelled = std::make_shared<bool>(false);
+  // Ownership: each scheduled event holds the shared holder; the
+  // recurring closure itself only holds a weak self-reference, so no
+  // cycle — once cancelled (or the simulator dies with the queue), the
+  // holder is freed. `this` outlives all events by construction.
+  struct Recurring {
+    std::function<void()> fn;
+  };
+  auto holder = std::make_shared<Recurring>();
+  holder->fn = [this, period, cb = std::move(cb), cancelled,
+                weak = std::weak_ptr<Recurring>(holder), label] {
+    if (*cancelled) return;
+    cb();
+    if (*cancelled) return;
+    if (auto self = weak.lock()) {
+      after(period, [self] { self->fn(); }, label);
+    }
+  };
+  after(immediate ? Duration::zero() : period,
+        [holder] { holder->fn(); }, label);
+  return TaskHandle{cancelled};
+}
+
+void Simulator::drop_cancelled_head() {
+  while (!queue_.empty() && queue_.top()->cancelled) queue_.pop();
+}
+
+bool Simulator::queue_empty() const {
+  // Cancelled events at the head still count as empty-in-effect; this is
+  // a cheap conservative check used only by diagnostics.
+  return queue_.empty();
+}
+
+bool Simulator::step() {
+  drop_cancelled_head();
+  if (queue_.empty()) return false;
+  auto event = queue_.top();
+  queue_.pop();
+  assert(event->when >= now_);
+  now_ = event->when;
+  index_.erase(event->id);
+  ++processed_;
+  event->callback();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(TimePoint t) {
+  stopped_ = false;
+  while (!stopped_) {
+    drop_cancelled_head();
+    if (queue_.empty() || queue_.top()->when > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace simba::sim

@@ -1,0 +1,111 @@
+#include "sms/sms.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace simba::sms {
+
+Phone::Phone(sim::Simulator& sim, std::string number)
+    : sim_(sim), number_(std::move(number)) {}
+
+void Phone::receive(SmsMessage message) {
+  message.delivered_at = sim_.now();
+  received_.push_back(message);
+  if (on_receive_) on_receive_(received_.back());
+}
+
+Duration SmsDelayModel::sample(Rng& rng) const {
+  if (rng.chance(fast_probability)) {
+    return rng.lognormal_duration(fast_median, fast_sigma);
+  }
+  return rng.lognormal_duration(slow_median, slow_sigma);
+}
+
+SmsGateway::SmsGateway(sim::Simulator& sim, std::string domain)
+    : sim_(sim),
+      domain_(std::move(domain)),
+      rng_(sim.make_rng("sms.gateway." + domain_)) {}
+
+void SmsGateway::register_phone(Phone& phone) {
+  phones_[phone.number()] = &phone;
+}
+
+void SmsGateway::attach_to(email::EmailServer& server) {
+  server.register_domain_handler(domain_, [this](const email::Email& mail) {
+    const auto at = mail.to.find('@');
+    const std::string number = mail.to.substr(0, at);
+    // SMS bodies are short; carriers truncate. Subject first, like the
+    // email-to-SMS bridges of the era.
+    std::string text = mail.subject;
+    if (!mail.body.empty()) text += " | " + mail.body;
+    if (text.size() > 160) text.resize(160);
+    const Status s = submit(number, text, mail.headers);
+    if (!s.ok()) log_debug("sms", "bridge drop: " + s.error());
+  });
+}
+
+Status SmsGateway::submit(const std::string& number, const std::string& text,
+                          std::map<std::string, std::string> headers) {
+  const auto it = phones_.find(number);
+  if (it == phones_.end()) {
+    stats_.bump("rejected.unknown_number");
+    return Status::failure("unknown number " + number);
+  }
+  stats_.bump("accepted");
+  if (rng_.chance(delay_.loss_probability)) {
+    stats_.bump("lost");
+    return Status::success();  // sender cannot tell
+  }
+  SmsMessage message;
+  message.id = next_id_++;
+  message.number = number;
+  message.text = text;
+  message.headers = std::move(headers);
+  message.submitted_at = sim_.now();
+  const Duration delay = delay_.sample(rng_);
+  const TimePoint give_up_at =
+      sim_.now() + delay + it->second->retry_horizon();
+  sim_.after(
+      delay,
+      [this, message = std::move(message), give_up_at]() mutable {
+        deliver_or_retry(std::move(message), give_up_at);
+      },
+      "sms.deliver");
+  return Status::success();
+}
+
+void SmsGateway::deliver_or_retry(SmsMessage message, TimePoint give_up_at) {
+  const auto it = phones_.find(message.number);
+  if (it == phones_.end()) {
+    stats_.bump("dropped.phone_gone");
+    return;
+  }
+  Phone& phone = *it->second;
+  // Expiry is checked first: once the carrier's store-and-forward
+  // horizon passes, the message is discarded even if the phone has
+  // just come back into coverage.
+  if (sim_.now() >= give_up_at) {
+    stats_.bump("expired");
+    log_debug("sms", "gave up on SMS to " + message.number);
+    return;
+  }
+  if (phone.reachable()) {
+    stats_.bump("delivered");
+    phone.receive(std::move(message));
+    return;
+  }
+  // Store-and-forward: retry once the phone's outage window ends (or in
+  // a minute if the plan doesn't say).
+  const TimePoint retry_at =
+      std::max(phone.reachable_again_at(), sim_.now() + minutes(1));
+  sim_.at(
+      retry_at,
+      [this, message = std::move(message), give_up_at]() mutable {
+        deliver_or_retry(std::move(message), give_up_at);
+      },
+      "sms.retry");
+}
+
+}  // namespace simba::sms

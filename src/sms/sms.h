@@ -1,0 +1,122 @@
+// Simulated cell-carrier SMS path.
+//
+// The paper sends SMS by emailing the phone's SMS address
+// ("the SMS address typically contains the corresponding cell phone
+// number" — the privacy problem MyAlertBuddy solves). Accordingly, the
+// gateway registers as an email domain handler: mail to
+// <number>@<carrier domain> becomes an SMS. The paper's measurements
+// found carrier delivery "a similar range of unpredictability" to
+// email, which the delay model reproduces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "email/email_server.h"
+#include "sim/fault.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace simba::sms {
+
+struct SmsMessage {
+  std::uint64_t id = 0;
+  std::string number;
+  std::string text;
+  /// Carried metadata (not user-visible): the email-to-SMS bridge
+  /// copies the mail headers so experiments can trace alert ids.
+  std::map<std::string, std::string> headers;
+  TimePoint submitted_at{};
+  TimePoint delivered_at{};
+};
+
+/// A cell phone. Coverage/battery outages make every SMS sent during
+/// the outage window undeliverable (carriers retry briefly, modeled as
+/// a grace period).
+class Phone {
+ public:
+  Phone(sim::Simulator& sim, std::string number);
+
+  const std::string& number() const { return number_; }
+
+  /// Out-of-coverage / battery-dead windows.
+  void set_outage_plan(sim::OutagePlan plan) { outages_ = std::move(plan); }
+  bool reachable() const { return !outages_.down_at(sim_.now()); }
+  /// When the current outage (if any) ends.
+  TimePoint reachable_again_at() const {
+    return outages_.up_again_at(sim_.now());
+  }
+  /// Carrier store-and-forward horizon: delivery retries until the
+  /// phone is reachable, but gives up after this long.
+  void set_retry_horizon(Duration d) { retry_horizon_ = d; }
+  Duration retry_horizon() const { return retry_horizon_; }
+
+  void receive(SmsMessage message);
+  const std::vector<SmsMessage>& received() const { return received_; }
+  void set_on_receive(std::function<void(const SmsMessage&)> cb) {
+    on_receive_ = std::move(cb);
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::string number_;
+  sim::OutagePlan outages_;
+  Duration retry_horizon_ = hours(4);
+  std::vector<SmsMessage> received_;
+  std::function<void(const SmsMessage&)> on_receive_;
+};
+
+/// Carrier delay model: mostly tens of seconds, heavy tail, some loss.
+struct SmsDelayModel {
+  double fast_probability = 0.90;
+  Duration fast_median = seconds(15);
+  double fast_sigma = 0.9;
+  Duration slow_median = minutes(45);
+  double slow_sigma = 1.3;
+  double loss_probability = 0.01;
+
+  Duration sample(Rng& rng) const;
+};
+
+class SmsGateway {
+ public:
+  SmsGateway(sim::Simulator& sim, std::string domain = "sms.example.net");
+
+  const std::string& domain() const { return domain_; }
+  /// The SMS email address for a phone number at this carrier.
+  std::string email_address(const std::string& number) const {
+    return number + "@" + domain_;
+  }
+
+  void set_delay_model(SmsDelayModel model) { delay_ = model; }
+
+  /// Attaches a phone; unregistered numbers are undeliverable.
+  void register_phone(Phone& phone);
+
+  /// Hooks this gateway into an email server as a domain handler.
+  void attach_to(email::EmailServer& server);
+
+  /// Direct submission (the MSN-Mobile-style HTTP gateway).
+  Status submit(const std::string& number, const std::string& text,
+                std::map<std::string, std::string> headers = {});
+
+  const Counters& stats() const { return stats_; }
+
+ private:
+  void deliver_or_retry(SmsMessage message, TimePoint give_up_at);
+
+  sim::Simulator& sim_;
+  std::string domain_;
+  Rng rng_;
+  SmsDelayModel delay_;
+  std::map<std::string, Phone*> phones_;
+  std::uint64_t next_id_ = 1;
+  Counters stats_;
+};
+
+}  // namespace simba::sms

@@ -1,0 +1,39 @@
+#include "util/calendar.h"
+
+namespace simba {
+
+namespace {
+constexpr std::int64_t kDayUs = 86400LL * 1'000'000;
+constexpr std::int64_t kMinuteUs = 60LL * 1'000'000;
+}  // namespace
+
+std::int64_t day_of(TimePoint t) {
+  return t.time_since_epoch().count() / kDayUs;
+}
+
+TimeOfDay time_of_day(TimePoint t) {
+  const std::int64_t in_day = t.time_since_epoch().count() % kDayUs;
+  return TimeOfDay{static_cast<int>(in_day / kMinuteUs)};
+}
+
+Duration since_midnight(TimePoint t) {
+  return Duration{t.time_since_epoch().count() % kDayUs};
+}
+
+TimePoint next_occurrence(TimePoint now, TimeOfDay tod) {
+  const std::int64_t day_start =
+      now.time_since_epoch().count() - since_midnight(now).count();
+  const std::int64_t target_in_day = tod.minutes_since_midnight * kMinuteUs;
+  std::int64_t candidate = day_start + target_in_day;
+  if (candidate <= now.time_since_epoch().count()) candidate += kDayUs;
+  return TimePoint{Duration{candidate}};
+}
+
+bool DailyWindow::contains(TimePoint t) const {
+  if (start == end) return false;
+  const TimeOfDay tod = time_of_day(t);
+  if (start < end) return start <= tod && tod < end;
+  return tod >= start || tod < end;  // wraps midnight
+}
+
+}  // namespace simba

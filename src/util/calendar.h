@@ -1,0 +1,42 @@
+// Calendar arithmetic over virtual time: time-of-day and "next 23:30"
+// scheduling for MyAlertBuddy's nightly software rejuvenation, and
+// delivery-time windows ("disable these alerts during certain hours").
+#pragma once
+
+#include "util/time.h"
+
+namespace simba {
+
+/// Time of day within a virtual 24h day, in whole minutes since midnight.
+struct TimeOfDay {
+  int minutes_since_midnight = 0;
+
+  static TimeOfDay at(int hour, int minute) {
+    return TimeOfDay{hour * 60 + minute};
+  }
+  int hour() const { return minutes_since_midnight / 60; }
+  int minute() const { return minutes_since_midnight % 60; }
+  auto operator<=>(const TimeOfDay&) const = default;
+};
+
+/// Day number (0-based) of a virtual time point.
+std::int64_t day_of(TimePoint t);
+
+/// Time-of-day of a virtual time point (truncated to minutes).
+TimeOfDay time_of_day(TimePoint t);
+
+/// Offset within the current virtual day.
+Duration since_midnight(TimePoint t);
+
+/// The next time point strictly after `now` whose time-of-day is `tod`.
+TimePoint next_occurrence(TimePoint now, TimeOfDay tod);
+
+/// A daily window [start, end); wraps midnight when end <= start.
+/// An empty window (start == end) contains nothing.
+struct DailyWindow {
+  TimeOfDay start;
+  TimeOfDay end;
+  bool contains(TimePoint t) const;
+};
+
+}  // namespace simba

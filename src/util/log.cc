@@ -1,0 +1,70 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace simba {
+
+namespace {
+LogLevel g_threshold = LogLevel::kWarn;
+std::function<TimePoint()> g_time_source;
+std::function<void(const std::string&)> g_sink;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel Log::threshold() { return g_threshold; }
+void Log::set_threshold(LogLevel level) { g_threshold = level; }
+
+void Log::set_time_source(std::function<TimePoint()> source) {
+  g_time_source = std::move(source);
+}
+void Log::clear_time_source() { g_time_source = nullptr; }
+
+void Log::set_sink(std::function<void(const std::string&)> sink) {
+  g_sink = std::move(sink);
+}
+void Log::clear_sink() { g_sink = nullptr; }
+
+void Log::write(LogLevel level, const std::string& component,
+                const std::string& message) {
+  if (level < g_threshold) return;
+  std::string line;
+  if (g_time_source) {
+    line += "[" + format_time(g_time_source()) + "] ";
+  }
+  line += level_name(level);
+  line += " [" + component + "] " + message;
+  if (g_sink) {
+    g_sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+void log_trace(const std::string& c, const std::string& m) {
+  Log::write(LogLevel::kTrace, c, m);
+}
+void log_debug(const std::string& c, const std::string& m) {
+  Log::write(LogLevel::kDebug, c, m);
+}
+void log_info(const std::string& c, const std::string& m) {
+  Log::write(LogLevel::kInfo, c, m);
+}
+void log_warn(const std::string& c, const std::string& m) {
+  Log::write(LogLevel::kWarn, c, m);
+}
+void log_error(const std::string& c, const std::string& m) {
+  Log::write(LogLevel::kError, c, m);
+}
+
+}  // namespace simba

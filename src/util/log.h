@@ -1,0 +1,40 @@
+// Lightweight component logger. Quiet by default so tests and benches
+// stay readable; examples turn it up to narrate scenarios.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "util/time.h"
+
+namespace simba {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration. Not thread-safe by design: the whole
+/// reproduction is single-threaded discrete-event simulation.
+class Log {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+
+  /// The simulator installs itself here so log lines carry virtual time.
+  static void set_time_source(std::function<TimePoint()> source);
+  static void clear_time_source();
+
+  /// Optional sink override (default: stderr). Used by tests asserting
+  /// on log output and by benches capturing recovery logs.
+  static void set_sink(std::function<void(const std::string&)> sink);
+  static void clear_sink();
+
+  static void write(LogLevel level, const std::string& component,
+                    const std::string& message);
+};
+
+void log_trace(const std::string& component, const std::string& message);
+void log_debug(const std::string& component, const std::string& message);
+void log_info(const std::string& component, const std::string& message);
+void log_warn(const std::string& component, const std::string& message);
+void log_error(const std::string& component, const std::string& message);
+
+}  // namespace simba

@@ -1,0 +1,75 @@
+// Minimal expected-like result type (std::expected is C++23; we target
+// C++20). Errors are strings: this codebase reports failures to humans
+// (the paper's "dependability" is user experience), not to dispatchers.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace simba {
+
+/// Error wrapper so `Result<std::string>` stays unambiguous.
+struct Error {
+  std::string message;
+};
+
+inline Error make_error(std::string message) { return Error{std::move(message)}; }
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : error_(std::move(error.message)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::string error_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error.message)), ok_(false) {}  // NOLINT
+
+  static Status success() { return Status{}; }
+  static Status failure(std::string message) {
+    return Status{Error{std::move(message)}};
+  }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  std::string error_;
+  bool ok_ = true;
+};
+
+}  // namespace simba

@@ -1,0 +1,138 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace simba {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_name(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::child(std::string_view name) const {
+  // Mix the parent's seed with the child name so distinct names give
+  // independent streams and the same name always gives the same stream.
+  std::uint64_t mix = seed_ ^ rotl(hash_name(name), 31);
+  return Rng{splitmix64(mix)};
+}
+
+double Rng::uniform() {
+  // 53 random bits into the mantissa: uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  // Debiased modulo (Lemire-style rejection kept simple).
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) return 0.0;
+  double u = uniform();
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  return -mean * std::log1p(-u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = std::nextafter(0.0, 1.0);
+  const double u2 = uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double xm, double alpha) {
+  double u = uniform();
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  return xm / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(const double* weights, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += std::max(weights[i], 0.0);
+  if (total <= 0.0) return 0;
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < n; ++i) {
+    r -= std::max(weights[i], 0.0);
+    if (r < 0.0) return i;
+  }
+  return n - 1;
+}
+
+Duration Rng::exponential_duration(Duration mean) {
+  return Duration{static_cast<std::int64_t>(
+      exponential(static_cast<double>(mean.count())))};
+}
+
+Duration Rng::uniform_duration(Duration lo, Duration hi) {
+  if (hi <= lo) return lo;
+  return Duration{uniform_int(lo.count(), hi.count())};
+}
+
+Duration Rng::normal_duration(Duration mean, Duration stddev) {
+  const double v = normal(static_cast<double>(mean.count()),
+                          static_cast<double>(stddev.count()));
+  return Duration{static_cast<std::int64_t>(std::max(v, 0.0))};
+}
+
+Duration Rng::lognormal_duration(Duration median, double sigma) {
+  const double mu = std::log(std::max<double>(
+      1.0, static_cast<double>(median.count())));
+  return Duration{static_cast<std::int64_t>(lognormal(mu, sigma))};
+}
+
+}  // namespace simba

@@ -1,0 +1,82 @@
+// Streaming statistics and percentile reporting for the benchmark
+// harnesses. Every experiment in EXPERIMENTS.md reports through these.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace simba {
+
+/// Streaming mean/variance via Welford's algorithm, plus retained
+/// samples for exact percentiles. Holds doubles; callers decide units.
+class Summary {
+ public:
+  void add(double x);
+  void add(Duration d) { add(to_seconds(d)); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Exact percentile by nearest-rank on sorted samples; p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double total() const { return sum_; }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// "n=100 mean=0.93 p50=0.91 p99=1.40 min=0.52 max=1.61" with the
+  /// given printf format for values (default "%.3f").
+  std::string report(const char* value_format = "%.3f") const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Counter bag: named integer counters for fault logs and recovery
+/// statistics (experiment E6 reports these directly).
+class Counters {
+ public:
+  void bump(const std::string& name, std::int64_t by = 1);
+  std::int64_t get(const std::string& name) const;
+  const std::map<std::string, std::int64_t>& all() const { return counts_; }
+  std::string report() const;
+
+ private:
+  std::map<std::string, std::int64_t> counts_;
+};
+
+/// Fixed-boundary histogram for latency distributions.
+class Histogram {
+ public:
+  /// Buckets are [b0,b1), [b1,b2), ..., plus an overflow bucket.
+  explicit Histogram(std::vector<double> boundaries);
+
+  void add(double x);
+  void add(Duration d) { add(to_seconds(d)); }
+  std::size_t count() const { return total_; }
+  const std::vector<std::size_t>& buckets() const { return counts_; }
+  /// Multi-line ASCII rendering with bars, for bench output.
+  std::string render(const char* unit = "s") const;
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<std::size_t> counts_;  // boundaries_.size()+1 entries
+  std::size_t total_ = 0;
+};
+
+}  // namespace simba

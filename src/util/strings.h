@@ -1,0 +1,27 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simba {
+
+std::vector<std::string> split(std::string_view text, char sep);
+/// Split on sep, trimming whitespace from each piece and dropping empties.
+std::vector<std::string> split_trimmed(std::string_view text, char sep);
+std::string_view trim(std::string_view text);
+std::string to_lower(std::string_view text);
+bool iequals(std::string_view a, std::string_view b);
+bool contains(std::string_view haystack, std::string_view needle);
+bool icontains(std::string_view haystack, std::string_view needle);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits an RFC-822-style sender "Display Name <addr@host>" into
+/// {display, address}. Without angle brackets the whole string is the
+/// address and the display name is empty.
+std::pair<std::string, std::string> parse_email_from(std::string_view from);
+
+}  // namespace simba

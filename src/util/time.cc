@@ -1,0 +1,62 @@
+#include "util/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace simba {
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  const std::int64_t us = d.count();
+  const std::int64_t abs_us = us < 0 ? -us : us;
+  const char* sign = us < 0 ? "-" : "";
+  if (abs_us < 1000) {
+    std::snprintf(buf, sizeof buf, "%s%lldus", sign,
+                  static_cast<long long>(abs_us));
+  } else if (abs_us < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%s%lldms", sign,
+                  static_cast<long long>(abs_us / 1000));
+  } else if (abs_us < 60LL * 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%s%.2fs", sign,
+                  static_cast<double>(abs_us) / 1e6);
+  } else if (abs_us < 3600LL * 1'000'000) {
+    const std::int64_t s = abs_us / 1'000'000;
+    std::snprintf(buf, sizeof buf, "%s%lldm%02llds", sign,
+                  static_cast<long long>(s / 60),
+                  static_cast<long long>(s % 60));
+  } else {
+    const std::int64_t s = abs_us / 1'000'000;
+    const std::int64_t dd = s / 86400;
+    const std::int64_t hh = (s % 86400) / 3600;
+    const std::int64_t mm = (s % 3600) / 60;
+    const std::int64_t ss = s % 60;
+    if (dd > 0) {
+      std::snprintf(buf, sizeof buf, "%s%lldd%02lld:%02lld:%02lld", sign,
+                    static_cast<long long>(dd), static_cast<long long>(hh),
+                    static_cast<long long>(mm), static_cast<long long>(ss));
+    } else {
+      std::snprintf(buf, sizeof buf, "%s%lld:%02lld:%02lld", sign,
+                    static_cast<long long>(hh), static_cast<long long>(mm),
+                    static_cast<long long>(ss));
+    }
+  }
+  return buf;
+}
+
+std::string format_time(TimePoint t) {
+  const std::int64_t us = t.time_since_epoch().count();
+  const std::int64_t s = us / 1'000'000;
+  const std::int64_t ms = (us % 1'000'000) / 1000;
+  const std::int64_t day = s / 86400;
+  const std::int64_t hh = (s % 86400) / 3600;
+  const std::int64_t mm = (s % 3600) / 60;
+  const std::int64_t ss = s % 60;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%lld+%02lld:%02lld:%02lld.%03lld",
+                static_cast<long long>(day), static_cast<long long>(hh),
+                static_cast<long long>(mm), static_cast<long long>(ss),
+                static_cast<long long>(ms));
+  return buf;
+}
+
+}  // namespace simba

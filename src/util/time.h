@@ -1,0 +1,64 @@
+// Virtual-time types used throughout SIMBA.
+//
+// Everything in the reproduction runs on a discrete-event simulator
+// (src/sim) with a virtual clock, so a one-month fault-injection run
+// (experiment E6) completes in milliseconds and is bit-for-bit
+// reproducible. These types give virtual time the same type safety as
+// std::chrono wall-clock time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace simba {
+
+/// Resolution of the virtual clock. Microseconds comfortably cover both
+/// sub-second IM latencies (experiment E1) and month-long runs (E6):
+/// 31 days is ~2.7e12 us, well within int64 range.
+using Duration = std::chrono::microseconds;
+
+/// Tag clock for virtual time. Never ticks on its own; the simulator
+/// advances it by popping events.
+struct VirtualClock {
+  using duration = Duration;
+  using rep = Duration::rep;
+  using period = Duration::period;
+  using time_point = std::chrono::time_point<VirtualClock, Duration>;
+  static constexpr bool is_steady = true;
+};
+
+/// A point in virtual time. Time zero is the start of the simulation run.
+using TimePoint = VirtualClock::time_point;
+
+inline constexpr TimePoint kTimeZero{};
+
+/// Convenience literals-in-spirit: `seconds(2.5)` etc. accept fractional
+/// amounts and round to the clock resolution.
+constexpr Duration micros(std::int64_t n) { return Duration{n}; }
+constexpr Duration millis(double n) {
+  return Duration{static_cast<std::int64_t>(n * 1e3)};
+}
+constexpr Duration seconds(double n) {
+  return Duration{static_cast<std::int64_t>(n * 1e6)};
+}
+constexpr Duration minutes(double n) { return seconds(n * 60.0); }
+constexpr Duration hours(double n) { return seconds(n * 3600.0); }
+constexpr Duration days(double n) { return seconds(n * 86400.0); }
+
+/// Duration expressed as floating-point seconds, for stats and reports.
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+constexpr double to_seconds(TimePoint t) {
+  return to_seconds(t.time_since_epoch());
+}
+constexpr double to_minutes(Duration d) { return to_seconds(d) / 60.0; }
+
+/// Formats a duration humanely: "953ms", "2.50s", "4m13s", "1d03:12:09".
+std::string format_duration(Duration d);
+
+/// Formats a time point as "d+hh:mm:ss.mmm" (day number + time of day).
+std::string format_time(TimePoint t);
+
+}  // namespace simba

@@ -1,0 +1,313 @@
+// Unit tests for the Aladdin home-networking substrate: media,
+// devices, transceiver bridging, the powerline monitor, and the home
+// gateway's alert generation.
+#include <gtest/gtest.h>
+
+#include "aladdin/devices.h"
+#include "aladdin/home_network.h"
+#include "aladdin/monitor.h"
+#include "sim/simulator.h"
+#include "sss/sss.h"
+
+namespace simba::aladdin {
+namespace {
+
+MediumModel instant() { return MediumModel{millis(1), Duration::zero(), 0.0}; }
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_{1};
+  HomeNetwork net_{sim_};
+};
+
+TEST_F(NetworkTest, ListenersReceiveOnOwnMediumOnly) {
+  net_.set_model(Medium::kRf, instant());
+  net_.set_model(Medium::kPowerline, instant());
+  int rf = 0, pl = 0;
+  net_.listen(Medium::kRf, [&](const HomeSignal&) { ++rf; });
+  net_.listen(Medium::kPowerline, [&](const HomeSignal&) { ++pl; });
+  net_.transmit(HomeSignal{"dev", "X", Medium::kRf, {}});
+  sim_.run();
+  EXPECT_EQ(rf, 1);
+  EXPECT_EQ(pl, 0);
+}
+
+TEST_F(NetworkTest, BroadcastReachesAllListeners) {
+  net_.set_model(Medium::kRf, instant());
+  int count = 0;
+  net_.listen(Medium::kRf, [&](const HomeSignal&) { ++count; });
+  net_.listen(Medium::kRf, [&](const HomeSignal&) { ++count; });
+  net_.transmit(HomeSignal{"dev", "X", Medium::kRf, {}});
+  sim_.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(NetworkTest, PowerlineIsSlow) {
+  // Default X10-style powerline latency is seconds, not millis.
+  TimePoint arrival{};
+  net_.listen(Medium::kPowerline,
+              [&](const HomeSignal&) { arrival = sim_.now(); });
+  net_.transmit(HomeSignal{"dev", "ON", Medium::kPowerline, {}});
+  sim_.run();
+  EXPECT_GE(arrival, kTimeZero + seconds(2));
+  EXPECT_LE(arrival, kTimeZero + seconds(4));
+}
+
+TEST_F(NetworkTest, UnlistenStopsDelivery) {
+  net_.set_model(Medium::kIr, instant());
+  int count = 0;
+  const auto id = net_.listen(Medium::kIr, [&](const HomeSignal&) { ++count; });
+  net_.unlisten(id);
+  net_.transmit(HomeSignal{"dev", "X", Medium::kIr, {}});
+  sim_.run();
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(NetworkTest, UnlistenMidFlightDropsFrame) {
+  int count = 0;
+  const auto id = net_.listen(Medium::kPowerline,
+                              [&](const HomeSignal&) { ++count; });
+  net_.transmit(HomeSignal{"dev", "X", Medium::kPowerline, {}});
+  net_.unlisten(id);  // frame is in flight
+  sim_.run();
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(NetworkTest, LossyMediumDrops) {
+  net_.set_model(Medium::kIr, MediumModel{millis(1), Duration::zero(), 1.0});
+  int count = 0;
+  net_.listen(Medium::kIr, [&](const HomeSignal&) { ++count; });
+  for (int i = 0; i < 10; ++i) {
+    net_.transmit(HomeSignal{"dev", "X", Medium::kIr, {}});
+  }
+  sim_.run();
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(net_.stats().get("lost.ir"), 10);
+}
+
+TEST_F(NetworkTest, SensorTransmitsStateChanges) {
+  net_.set_model(Medium::kPowerline, instant());
+  Sensor sensor(sim_, net_, "basement_water", Medium::kPowerline);
+  std::vector<std::string> payloads;
+  net_.listen(Medium::kPowerline, [&](const HomeSignal& s) {
+    payloads.push_back(s.payload);
+  });
+  sensor.set_state(true);
+  sensor.set_state(false);
+  sim_.run();
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0], "ON");
+  EXPECT_EQ(payloads[1], "OFF");
+}
+
+TEST_F(NetworkTest, DeadBatterySilencesSensor) {
+  net_.set_model(Medium::kRf, instant());
+  Sensor sensor(sim_, net_, "garage_door", Medium::kRf);
+  int frames = 0;
+  net_.listen(Medium::kRf, [&](const HomeSignal&) { ++frames; });
+  sensor.start_heartbeat(minutes(1));
+  // The extra seconds drain any in-flight frame before we snapshot.
+  sim_.run_for(minutes(5) + seconds(2));
+  const int before = frames;
+  EXPECT_GE(before, 4);
+  sensor.set_battery_dead(true);
+  sim_.run_for(minutes(5));
+  EXPECT_EQ(frames, before);  // silence
+  sensor.stop_heartbeat();
+}
+
+TEST_F(NetworkTest, TransceiverBridgesRfToPowerline) {
+  net_.set_model(Medium::kRf, instant());
+  net_.set_model(Medium::kPowerline, instant());
+  Transceiver bridge(sim_, net_, Medium::kRf, Medium::kPowerline, millis(250));
+  RemoteControl remote(sim_, net_, "keyfob");
+  std::string seen;
+  TimePoint at{};
+  net_.listen(Medium::kPowerline, [&](const HomeSignal& s) {
+    seen = s.payload;
+    at = sim_.now();
+  });
+  remote.press("DISARM");
+  sim_.run();
+  EXPECT_EQ(seen, "DISARM");
+  EXPECT_GE(at, kTimeZero + millis(250));  // conversion delay applied
+}
+
+// ---------------------------------------------------------------------------
+// Monitor + gateway
+// ---------------------------------------------------------------------------
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest() {
+    net_.set_model(Medium::kPowerline, instant());
+    monitor_ = std::make_unique<PowerlineMonitor>(sim_, net_, store_,
+                                                  seconds(1.5));
+  }
+
+  sim::Simulator sim_{1};
+  HomeNetwork net_{sim_};
+  sss::SssServer store_{sim_, "pc1"};
+  std::unique_ptr<PowerlineMonitor> monitor_;
+};
+
+TEST_F(MonitorTest, RegisteredDeviceFramesBecomeVariables) {
+  monitor_->register_device("basement_water", {});
+  net_.transmit(HomeSignal{"basement_water", "ON", Medium::kPowerline, {}});
+  sim_.run_for(seconds(5));
+  auto v = store_.read("device.basement_water");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().value, "ON");
+}
+
+TEST_F(MonitorTest, UnregisteredDeviceDropped) {
+  net_.transmit(HomeSignal{"mystery", "ON", Medium::kPowerline, {}});
+  sim_.run_for(seconds(5));
+  EXPECT_FALSE(store_.read("device.mystery").ok());
+  EXPECT_EQ(monitor_->stats().get("frames.unknown_device"), 1);
+}
+
+TEST_F(MonitorTest, PollIntervalDelaysApplication) {
+  monitor_->register_device("s", {});
+  net_.transmit(HomeSignal{"s", "ON", Medium::kPowerline, {}});
+  // The frame arrives in ~1 ms but is applied at the next poll tick.
+  sim_.run_until(kTimeZero + seconds(1));
+  EXPECT_FALSE(store_.read("device.s").ok());
+  sim_.run_until(kTimeZero + seconds(2));
+  EXPECT_TRUE(store_.read("device.s").ok());
+}
+
+TEST_F(MonitorTest, HeartbeatsRefreshWithoutValueChange) {
+  PowerlineMonitor::DeviceConfig config;
+  config.refresh_period = minutes(1);
+  config.max_missed_refreshes = 2;
+  monitor_->register_device("garage", config);
+  net_.transmit(HomeSignal{"garage", "OFF", Medium::kPowerline, {}});
+  sim_.run_for(seconds(5));
+  int updates = 0;
+  store_.subscribe_variable("device.garage", [&](const sss::Event& e) {
+    if (e.kind == sss::EventKind::kUpdated) ++updates;
+  });
+  net_.transmit(HomeSignal{"garage", "HEARTBEAT", Medium::kPowerline, {}});
+  sim_.run_for(seconds(5));
+  EXPECT_EQ(updates, 0);  // refresh, not update
+  EXPECT_FALSE(store_.read("device.garage").value().timed_out);
+}
+
+TEST_F(MonitorTest, MissedHeartbeatsTimeOutAndGatewayAlerts) {
+  PowerlineMonitor::DeviceConfig config;
+  config.refresh_period = minutes(1);
+  config.max_missed_refreshes = 2;
+  monitor_->register_device("garage", config);
+  HomeGatewayServer gateway(sim_, store_);
+  gateway.declare_critical("garage", "Garage Door");
+  std::vector<core::Alert> alerts;
+  gateway.set_alert_sink([&](const core::Alert& a) { alerts.push_back(a); });
+
+  Sensor sensor(sim_, net_, "garage", Medium::kPowerline);
+  sensor.set_state(false);
+  sensor.start_heartbeat(minutes(1));
+  sim_.run_for(minutes(10));
+  const auto creation_alerts = alerts.size();  // create event may alert
+  sensor.set_battery_dead(true);  // goes silent
+  sim_.run_for(minutes(10));
+  ASSERT_GT(alerts.size(), creation_alerts);
+  const core::Alert& broken = alerts.back();
+  EXPECT_EQ(broken.subject, "Garage Door Sensor Broken");
+  EXPECT_EQ(broken.native_category, "Sensor Broken");
+  EXPECT_TRUE(broken.high_importance);
+}
+
+TEST_F(MonitorTest, CriticalSensorOnGeneratesHighImportanceAlert) {
+  monitor_->register_device("basement_water", {});
+  HomeGatewayServer gateway(sim_, store_);
+  gateway.declare_critical("basement_water", "Basement Water");
+  std::vector<core::Alert> alerts;
+  gateway.set_alert_sink([&](const core::Alert& a) { alerts.push_back(a); });
+  net_.transmit(HomeSignal{"basement_water", "ON", Medium::kPowerline, {}});
+  sim_.run_for(seconds(5));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].subject, "Basement Water Sensor ON");
+  EXPECT_EQ(alerts[0].native_category, "Sensor ON");
+  EXPECT_TRUE(alerts[0].high_importance);
+  EXPECT_EQ(alerts[0].source, "aladdin");
+}
+
+TEST_F(MonitorTest, OffIsNormalImportance) {
+  monitor_->register_device("basement_water", {});
+  HomeGatewayServer gateway(sim_, store_);
+  gateway.declare_critical("basement_water", "Basement Water");
+  std::vector<core::Alert> alerts;
+  gateway.set_alert_sink([&](const core::Alert& a) { alerts.push_back(a); });
+  net_.transmit(HomeSignal{"basement_water", "OFF", Medium::kPowerline, {}});
+  sim_.run_for(seconds(5));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].native_category, "Sensor OFF");
+  EXPECT_FALSE(alerts[0].high_importance);
+}
+
+TEST_F(MonitorTest, NonCriticalSensorsDoNotAlert) {
+  monitor_->register_device("hallway_motion", {});
+  HomeGatewayServer gateway(sim_, store_);
+  int alerts = 0;
+  gateway.set_alert_sink([&](const core::Alert&) { ++alerts; });
+  net_.transmit(HomeSignal{"hallway_motion", "ON", Medium::kPowerline, {}});
+  sim_.run_for(seconds(5));
+  EXPECT_EQ(alerts, 0);
+  EXPECT_GE(gateway.stats().get("events.non_critical"), 1);
+}
+
+TEST_F(MonitorTest, GatewayAlertsCarryUniqueIds) {
+  monitor_->register_device("s", {});
+  HomeGatewayServer gateway(sim_, store_);
+  gateway.declare_critical("s", "S");
+  std::vector<core::Alert> alerts;
+  gateway.set_alert_sink([&](const core::Alert& a) { alerts.push_back(a); });
+  net_.transmit(HomeSignal{"s", "ON", Medium::kPowerline, {}});
+  sim_.run_for(seconds(5));
+  net_.transmit(HomeSignal{"s", "OFF", Medium::kPowerline, {}});
+  sim_.run_for(seconds(5));
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_NE(alerts[0].id, alerts[1].id);
+}
+
+// Full in-home chain with replication: remote press -> RF -> powerline
+// -> monitor -> local SSS -> phoneline multicast -> gateway SSS ->
+// gateway alert (the Section 5 disarm scenario, minus the IM leg).
+TEST(AladdinE2eTest, DisarmScenarioChain) {
+  sim::Simulator sim(7);
+  HomeNetwork net(sim);
+  sss::SssServer pc_store(sim, "pc1");
+  sss::SssServer gw_store(sim, "gateway");
+  sss::SssReplicationGroup phoneline(sim);
+  phoneline.join(pc_store);
+  phoneline.join(gw_store);
+
+  Transceiver bridge(sim, net, Medium::kRf, Medium::kPowerline);
+  PowerlineMonitor monitor(sim, net, pc_store, seconds(1.5));
+  PowerlineMonitor::DeviceConfig config;
+  monitor.register_device("security_remote", config);
+  HomeGatewayServer gateway(sim, gw_store);
+  gateway.declare_critical("security_remote", "Security System");
+  std::vector<core::Alert> alerts;
+  TimePoint alert_at{};
+  gateway.set_alert_sink([&](const core::Alert& a) {
+    alerts.push_back(a);
+    alert_at = sim.now();
+  });
+
+  RemoteControl remote(sim, net, "security_remote");
+  const TimePoint pressed_at = sim.now() + seconds(1);
+  sim.at(pressed_at, [&] { remote.press("DISARM"); });
+  sim.run_for(minutes(1));
+
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_NE(alerts[0].body.find("DISARM"), std::string::npos);
+  // In-home leg of the paper's 11 s end-to-end: seconds, not millis.
+  const Duration in_home = alert_at - pressed_at;
+  EXPECT_GE(in_home, seconds(2));
+  EXPECT_LE(in_home, seconds(15));
+}
+
+}  // namespace
+}  // namespace simba::aladdin

@@ -1,0 +1,121 @@
+// Unit tests for the desktop assistant: idle detection, important-email
+// alerts, reminders.
+#include <gtest/gtest.h>
+
+#include "assistant/assistant.h"
+#include "sim/simulator.h"
+
+namespace simba::assistant {
+namespace {
+
+class AssistantTest : public ::testing::Test {
+ protected:
+  AssistantTest()
+      : assistant_(sim_, mail_, "me@work.example.net", minutes(15)) {
+    email::EmailDelayModel fast;
+    fast.fast_probability = 1.0;
+    fast.fast_median = seconds(2);
+    fast.fast_sigma = 0.1;
+    fast.loss_probability = 0.0;
+    mail_.set_delay_model(fast);
+    assistant_.set_alert_sink([this](const core::Alert& a) {
+      alerts_.push_back(a);
+    });
+    assistant_.start(seconds(30));
+  }
+
+  void send_mail(bool important, const std::string& subject) {
+    email::Email m;
+    m.from = "boss@work.example.net";
+    m.to = "me@work.example.net";
+    m.subject = subject;
+    m.high_importance = important;
+    ASSERT_TRUE(mail_.submit(std::move(m)).ok());
+  }
+
+  sim::Simulator sim_{1};
+  email::EmailServer mail_{sim_};
+  DesktopAssistant assistant_;
+  std::vector<core::Alert> alerts_;
+};
+
+TEST_F(AssistantTest, IdleTracking) {
+  EXPECT_FALSE(assistant_.user_away());
+  sim_.run_for(minutes(20));
+  EXPECT_TRUE(assistant_.user_away());
+  EXPECT_EQ(assistant_.idle_time(), minutes(20));
+  assistant_.record_user_activity();
+  EXPECT_FALSE(assistant_.user_away());
+}
+
+TEST_F(AssistantTest, NoAlertsWhileUserPresent) {
+  send_mail(true, "URGENT: production down");
+  sim_.run_for(minutes(5));  // idle < threshold
+  EXPECT_TRUE(alerts_.empty());
+}
+
+TEST_F(AssistantTest, ImportantEmailAlertsWhenAway) {
+  sim_.run_for(minutes(20));  // user goes idle
+  send_mail(true, "URGENT: production down");
+  sim_.run_for(minutes(2));
+  ASSERT_EQ(alerts_.size(), 1u);
+  EXPECT_EQ(alerts_[0].source, "desktop.assistant");
+  EXPECT_EQ(alerts_[0].native_category, "Important Email");
+  EXPECT_NE(alerts_[0].subject.find("boss@work.example.net"),
+            std::string::npos);
+  EXPECT_TRUE(alerts_[0].high_importance);
+}
+
+TEST_F(AssistantTest, NormalEmailNeverAlerts) {
+  sim_.run_for(minutes(20));
+  send_mail(false, "newsletter");
+  sim_.run_for(minutes(2));
+  EXPECT_TRUE(alerts_.empty());
+}
+
+TEST_F(AssistantTest, MailReadByReturningUserNotReAlerted) {
+  // Mail arrives while present; user reads it (activity); then leaves.
+  send_mail(true, "read me");
+  sim_.run_for(minutes(1));
+  assistant_.record_user_activity();
+  sim_.run_for(minutes(30));  // away now
+  EXPECT_TRUE(alerts_.empty());
+}
+
+TEST_F(AssistantTest, ReminderAlertsOnlyWhenAway) {
+  assistant_.add_reminder(kTimeZero + minutes(5), "standup", true);
+  assistant_.add_reminder(kTimeZero + hours(1), "dentist", true);
+  // At +5 min the user is present (popped on screen, no alert); at
+  // +1 h the user has been idle since t=0.
+  sim_.run_for(hours(2));
+  ASSERT_EQ(alerts_.size(), 1u);
+  EXPECT_EQ(alerts_[0].subject, "Reminder: dentist");
+  EXPECT_EQ(assistant_.stats().get("reminders_seen_locally"), 1);
+}
+
+TEST_F(AssistantTest, LowImportanceReminderNotForwarded) {
+  assistant_.add_reminder(kTimeZero + hours(1), "water plants", false);
+  sim_.run_for(hours(2));
+  EXPECT_TRUE(alerts_.empty());
+  EXPECT_EQ(assistant_.stats().get("reminders_fired"), 1);
+}
+
+TEST_F(AssistantTest, AlertsHaveUniqueIds) {
+  sim_.run_for(minutes(20));
+  send_mail(true, "one");
+  send_mail(true, "two");
+  sim_.run_for(minutes(2));
+  ASSERT_EQ(alerts_.size(), 2u);
+  EXPECT_NE(alerts_[0].id, alerts_[1].id);
+}
+
+TEST_F(AssistantTest, StopHaltsSweeps) {
+  assistant_.stop();
+  sim_.run_for(minutes(20));
+  send_mail(true, "missed");
+  sim_.run_for(minutes(5));
+  EXPECT_TRUE(alerts_.empty());
+}
+
+}  // namespace
+}  // namespace simba::assistant

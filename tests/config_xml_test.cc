@@ -1,0 +1,144 @@
+// Tests for whole-configuration XML persistence (core/config_xml.h).
+#include <gtest/gtest.h>
+
+#include "core/config_xml.h"
+
+namespace simba::core {
+namespace {
+
+MabConfig sample_config() {
+  MabConfig config;
+  config.profile = UserProfile("alice");
+  config.profile.addresses().put(
+      Address{"MSN IM", CommType::kIm, "alice", true});
+  config.profile.addresses().put(
+      Address{"Cell SMS", CommType::kSms, "4255550100@sms.example", false});
+  config.profile.define_mode(DeliveryMode::sample_urgent_mode());
+  DeliveryMode casual("Casual");
+  casual.add_block(minutes(1)).actions.push_back(
+      DeliveryAction{"Home email", false});
+  config.profile.define_mode(casual);
+
+  UserProfile bob("bob");
+  bob.addresses().put(Address{"Bob IM", CommType::kIm, "bob", true});
+  DeliveryMode bob_mode("BobIm");
+  bob_mode.add_block(seconds(20)).actions.push_back(
+      DeliveryAction{"Bob IM", true});
+  bob.define_mode(bob_mode);
+  config.shared_profiles["bob"] = std::move(bob);
+
+  config.classifier.add_rule(SourceRule{
+      "aladdin", KeywordLocation::kNativeCategory, {}, "email the gateway"});
+  config.classifier.add_rule(SourceRule{"alerts@yahoo.example",
+                                        KeywordLocation::kSenderName,
+                                        {"Stocks", "Weather"},
+                                        "http://yahoo.example/manage"});
+  config.categories.map_keyword("Stocks", "Investment");
+  config.categories.map_keyword("Sensor ON", "Home Emergency");
+  config.categories.set_category_enabled("Gossip", false);
+  config.categories.set_delivery_window(
+      "Investment", DailyWindow{TimeOfDay::at(9, 30), TimeOfDay::at(16, 0)});
+  config.subscriptions.subscribe("Investment", "alice", "Casual");
+  config.subscriptions.subscribe("Home Emergency", "alice", "Urgent");
+  config.subscriptions.subscribe("Home Emergency", "bob", "BobIm");
+  return config;
+}
+
+TEST(ConfigXmlTest, RoundTripPreservesEverything) {
+  const MabConfig original = sample_config();
+  const std::string text = config_to_xml(original);
+  auto parsed = config_from_xml(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const MabConfig& config = parsed.value();
+
+  EXPECT_EQ(config.profile.user(), "alice");
+  EXPECT_EQ(config.profile.addresses().all().size(), 2u);
+  EXPECT_FALSE(config.profile.addresses().enabled("Cell SMS"));
+  ASSERT_NE(config.profile.mode("Urgent"), nullptr);
+  EXPECT_EQ(config.profile.mode("Urgent")->blocks().size(), 2u);
+  EXPECT_TRUE(config.profile.mode("Urgent")->blocks()[0].actions[0].require_ack);
+  ASSERT_NE(config.profile.mode("Casual"), nullptr);
+
+  ASSERT_EQ(config.shared_profiles.size(), 1u);
+  const UserProfile& bob = config.shared_profiles.at("bob");
+  EXPECT_EQ(bob.addresses().find("Bob IM")->value, "bob");
+  ASSERT_NE(bob.mode("BobIm"), nullptr);
+  EXPECT_EQ(bob.mode("BobIm")->blocks()[0].timeout, seconds(20));
+
+  ASSERT_EQ(config.classifier.rules().size(), 2u);
+  const SourceRule* yahoo = config.classifier.rule_for("alerts@yahoo.example");
+  ASSERT_NE(yahoo, nullptr);
+  EXPECT_EQ(yahoo->location, KeywordLocation::kSenderName);
+  EXPECT_EQ(yahoo->keywords.size(), 2u);
+  EXPECT_EQ(yahoo->unsubscribe_info, "http://yahoo.example/manage");
+
+  EXPECT_EQ(config.categories.category_for("Stocks").value_or(""),
+            "Investment");
+  EXPECT_FALSE(config.categories.category_enabled("Gossip"));
+  ASSERT_EQ(config.categories.windows().count("Investment"), 1u);
+  EXPECT_EQ(config.categories.windows().at("Investment").start,
+            TimeOfDay::at(9, 30));
+
+  EXPECT_EQ(config.subscriptions.size(), 3u);
+  EXPECT_EQ(config.subscriptions.for_category("Home Emergency").size(), 2u);
+}
+
+TEST(ConfigXmlTest, DoubleRoundTripIsStable) {
+  const std::string once = config_to_xml(sample_config());
+  auto parsed = config_from_xml(once);
+  ASSERT_TRUE(parsed.ok());
+  const std::string twice = config_to_xml(parsed.value());
+  EXPECT_EQ(once, twice);
+}
+
+TEST(ConfigXmlTest, EmptyConfigRoundTrips) {
+  MabConfig empty;
+  empty.profile = UserProfile("nobody");
+  auto parsed = config_from_xml(config_to_xml(empty));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().profile.user(), "nobody");
+  EXPECT_TRUE(parsed.value().subscriptions.all().empty());
+}
+
+TEST(ConfigXmlTest, RejectsWrongRoot) {
+  EXPECT_FALSE(config_from_xml("<other/>").ok());
+  EXPECT_FALSE(config_from_xml("not xml at all").ok());
+}
+
+TEST(ConfigXmlTest, RejectsBadRule) {
+  EXPECT_FALSE(config_from_xml(
+                   R"(<mabConfig owner="a"><classifier><rule location="subject"/></classifier></mabConfig>)")
+                   .ok());  // missing source
+  EXPECT_FALSE(config_from_xml(
+                   R"(<mabConfig owner="a"><classifier><rule source="s" location="telepathy"/></classifier></mabConfig>)")
+                   .ok());  // bad location
+}
+
+TEST(ConfigXmlTest, RejectsBadWindow) {
+  EXPECT_FALSE(config_from_xml(
+                   R"(<mabConfig owner="a"><categories><window category="c" start="25:00" end="09:00"/></categories></mabConfig>)")
+                   .ok());
+  EXPECT_FALSE(config_from_xml(
+                   R"(<mabConfig owner="a"><categories><window category="c" start="oops" end="09:00"/></categories></mabConfig>)")
+                   .ok());
+}
+
+TEST(ConfigXmlTest, RejectsBadSubscription) {
+  EXPECT_FALSE(config_from_xml(
+                   R"(<mabConfig owner="a"><subscriptions><subscription category="c"/></subscriptions></mabConfig>)")
+                   .ok());  // missing user/mode
+}
+
+TEST(KeywordLocationTest, RoundTripAllValues) {
+  for (const auto location :
+       {KeywordLocation::kNativeCategory, KeywordLocation::kSenderName,
+        KeywordLocation::kSubject, KeywordLocation::kBody}) {
+    auto parsed = keyword_location_from_string(to_string(location));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), location);
+  }
+  EXPECT_FALSE(keyword_location_from_string("nope").ok());
+}
+
+}  // namespace
+}  // namespace simba::core

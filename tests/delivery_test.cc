@@ -1,0 +1,339 @@
+// Tests for the delivery engine: block fallback semantics, IM acks,
+// disabled addresses, timeouts — plus the SourceEndpoint and
+// UserEndpoint built on top of it.
+#include <gtest/gtest.h>
+
+#include "core/delivery_engine.h"
+#include "core/source_endpoint.h"
+#include "core/user_endpoint.h"
+#include "test_world.h"
+
+namespace simba::core {
+namespace {
+
+using testing::World;
+
+Alert make_alert(const std::string& id, bool important = true) {
+  Alert a;
+  a.id = id;
+  a.source = "test";
+  a.native_category = "Test";
+  a.subject = "subject " + id;
+  a.body = "body";
+  a.high_importance = important;
+  return a;
+}
+
+// Fixture: a sender stack (client+managers+engine) and a receiving
+// user endpoint that acknowledges IMs.
+class DeliveryTest : public ::testing::Test {
+ protected:
+  DeliveryTest() {
+    world_.im_server.register_account("sender");
+    sender_im_client_ = std::make_unique<im::ImClientApp>(
+        world_.sim, desktop_, world_.bus, world_.im_server.address(), "sender",
+        gui::FaultProfile{}, im::ImClientConfig{});
+    sender_email_client_ = std::make_unique<email::EmailClientApp>(
+        world_.sim, desktop_, world_.email_server, "sender@svc.example.net",
+        gui::FaultProfile{});
+    im_manager_ = std::make_unique<automation::ImManager>(
+        world_.sim, desktop_, *sender_im_client_);
+    email_manager_ = std::make_unique<automation::EmailManager>(
+        world_.sim, desktop_, *sender_email_client_);
+    engine_ = std::make_unique<DeliveryEngine>(world_.sim, im_manager_.get(),
+                                               email_manager_.get());
+    // Route incoming acks into the engine.
+    im_manager_->set_on_new_message([this] {
+      for (const auto& m : im_manager_->fetch_unread_safe()) {
+        engine_->handle_incoming(m);
+      }
+    });
+    im_manager_->start();
+    email_manager_->start();
+
+    UserEndpointOptions options;
+    options.name = "alice";
+    options.ack_reaction_mean = seconds(2);
+    user_ = std::make_unique<UserEndpoint>(world_.sim, world_.bus,
+                                           world_.im_server,
+                                           world_.email_server,
+                                           world_.sms_gateway, options);
+    user_->start();
+    world_.sim.run_for(seconds(20));  // everyone signed in
+
+    book_ = AddressBook("alice");
+    book_.put(Address{"MSN IM", CommType::kIm, "alice", true});
+    book_.put(Address{"Cell SMS", CommType::kSms, user_->sms_address(), true});
+    book_.put(Address{"Home email", CommType::kEmail, user_->email_account(),
+                      true});
+  }
+
+  DeliveryOutcome deliver(const Alert& alert, const DeliveryMode& mode,
+                          Duration wait = minutes(5)) {
+    DeliveryOutcome outcome;
+    bool done = false;
+    engine_->deliver(alert, book_, mode, [&](const DeliveryOutcome& o) {
+      outcome = o;
+      done = true;
+    });
+    world_.sim.run_for(wait);
+    EXPECT_TRUE(done);
+    return outcome;
+  }
+
+  World world_;
+  gui::Desktop desktop_{world_.sim};
+  std::unique_ptr<im::ImClientApp> sender_im_client_;
+  std::unique_ptr<email::EmailClientApp> sender_email_client_;
+  std::unique_ptr<automation::ImManager> im_manager_;
+  std::unique_ptr<automation::EmailManager> email_manager_;
+  std::unique_ptr<DeliveryEngine> engine_;
+  std::unique_ptr<UserEndpoint> user_;
+  AddressBook book_;
+};
+
+DeliveryMode im_ack_mode(Duration timeout = seconds(45)) {
+  DeliveryMode mode("im");
+  DeliveryBlock& block = mode.add_block(timeout);
+  block.actions.push_back(DeliveryAction{"MSN IM", /*require_ack=*/true});
+  return mode;
+}
+
+DeliveryMode figure4_mode() {
+  DeliveryMode mode("Urgent");
+  DeliveryBlock& first = mode.add_block(seconds(45));
+  first.actions.push_back(DeliveryAction{"MSN IM", true});
+  first.actions.push_back(DeliveryAction{"Cell SMS", false});
+  DeliveryBlock& second = mode.add_block(seconds(30));
+  second.actions.push_back(DeliveryAction{"Home email", false});
+  return mode;
+}
+
+TEST_F(DeliveryTest, ImWithAckSucceedsWhenUserOnline) {
+  const DeliveryOutcome outcome = deliver(make_alert("a1"), im_ack_mode());
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.block_used, 0);
+  EXPECT_EQ(outcome.messages_sent, 1);
+  EXPECT_TRUE(user_->first_seen("a1").has_value());
+  EXPECT_EQ(user_->first_seen_channel("a1").value_or(""), "im");
+  EXPECT_EQ(engine_->stats().get("acks.received"), 1);
+}
+
+TEST_F(DeliveryTest, ImWithoutAckSucceedsOnServiceAccept) {
+  DeliveryMode mode("im-noack");
+  mode.add_block(seconds(30)).actions.push_back(
+      DeliveryAction{"MSN IM", false});
+  const DeliveryOutcome outcome = deliver(make_alert("a2"), mode);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(engine_->stats().get("acks.received"), 0);
+}
+
+TEST_F(DeliveryTest, FallsBackToEmailWhenUserImOffline) {
+  // Sign the user's IM out for a long window.
+  sim::OutagePlan offline;
+  offline.add(world_.sim.now(), hours(12));
+  UserEndpointOptions options;
+  options.name = "bob";
+  options.im_offline_plan = offline;
+  options.email_check_interval = minutes(10);
+  UserEndpoint bob(world_.sim, world_.bus, world_.im_server,
+                   world_.email_server, world_.sms_gateway, options);
+  bob.start();
+  world_.sim.run_for(seconds(5));
+  book_ = AddressBook("bob");
+  book_.put(Address{"MSN IM", CommType::kIm, "bob", true});
+  book_.put(Address{"Home email", CommType::kEmail, bob.email_account(), true});
+
+  DeliveryMode mode("im-then-email");
+  mode.add_block(seconds(45)).actions.push_back(DeliveryAction{"MSN IM", true});
+  mode.add_block(seconds(30)).actions.push_back(
+      DeliveryAction{"Home email", false});
+
+  const DeliveryOutcome outcome = deliver(make_alert("a3"), mode, hours(1));
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.block_used, 1);  // the email fallback block
+  EXPECT_EQ(bob.first_seen_channel("a3").value_or(""), "email");
+}
+
+TEST_F(DeliveryTest, MissingAckTimesOutIntoFallback) {
+  // User is away from the desk: the IM is accepted (client online) but
+  // no human acks it within the block timeout.
+  sim::OutagePlan away;
+  away.add(world_.sim.now(), hours(2));
+  UserEndpointOptions options;
+  options.name = "carol";
+  options.away_plan = away;
+  options.email_check_interval = minutes(5);
+  UserEndpoint carol(world_.sim, world_.bus, world_.im_server,
+                     world_.email_server, world_.sms_gateway, options);
+  carol.start();
+  world_.sim.run_for(seconds(5));
+  book_ = AddressBook("carol");
+  book_.put(Address{"MSN IM", CommType::kIm, "carol", true});
+  book_.put(
+      Address{"Home email", CommType::kEmail, carol.email_account(), true});
+
+  DeliveryMode mode("im-then-email");
+  mode.add_block(seconds(45)).actions.push_back(DeliveryAction{"MSN IM", true});
+  mode.add_block(seconds(30)).actions.push_back(
+      DeliveryAction{"Home email", false});
+  const DeliveryOutcome outcome = deliver(make_alert("a4"), mode, minutes(10));
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.block_used, 1);
+  EXPECT_EQ(engine_->stats().get("blocks.timed_out"), 1);
+}
+
+TEST_F(DeliveryTest, DisabledAddressSkipsToNextBlock) {
+  // Figure-4 mode with both block-1 addresses disabled: "any delivery
+  // block that contains [only disabled] actions automatically fails".
+  book_.set_enabled("MSN IM", false);
+  book_.set_enabled("Cell SMS", false);
+  const DeliveryOutcome outcome =
+      deliver(make_alert("a5"), figure4_mode(), minutes(10));
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.block_used, 1);
+  EXPECT_EQ(engine_->stats().get("blocks.all_disabled"), 1);
+  // No IM/SMS message was ever sent.
+  EXPECT_EQ(engine_->stats().get("messages.im"), 0);
+  EXPECT_EQ(engine_->stats().get("messages.sms"), 0);
+}
+
+TEST_F(DeliveryTest, ParallelActionsInBlockOneSuccessSuffices) {
+  const DeliveryOutcome outcome =
+      deliver(make_alert("a6"), figure4_mode(), minutes(5));
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.block_used, 0);
+  // Both block-1 actions fired (IM + SMS): 2 messages.
+  EXPECT_EQ(outcome.messages_sent, 2);
+}
+
+TEST_F(DeliveryTest, AllBlocksExhaustedReportsFailure) {
+  DeliveryMode mode("unknown-only");
+  mode.add_block(seconds(10)).actions.push_back(
+      DeliveryAction{"No Such Address", false});
+  const DeliveryOutcome outcome = deliver(make_alert("a7"), mode, minutes(2));
+  EXPECT_FALSE(outcome.delivered);
+  EXPECT_EQ(outcome.block_used, -1);
+  EXPECT_EQ(engine_->stats().get("deliveries_failed"), 1);
+}
+
+TEST_F(DeliveryTest, NoChannelsFailsActionsGracefully) {
+  DeliveryEngine bare(world_.sim, nullptr, nullptr);
+  DeliveryOutcome outcome;
+  bool done = false;
+  bare.deliver(make_alert("a8"), book_, figure4_mode(),
+               [&](const DeliveryOutcome& o) {
+                 outcome = o;
+                 done = true;
+               });
+  world_.sim.run_for(minutes(5));
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(outcome.delivered);
+}
+
+TEST_F(DeliveryTest, DuplicateDeliveriesDiscardedByUser) {
+  deliver(make_alert("dup"), im_ack_mode());
+  deliver(make_alert("dup"), im_ack_mode());
+  EXPECT_EQ(user_->sightings("dup"), 2);
+  EXPECT_EQ(user_->stats().get("duplicates_discarded"), 1);
+  EXPECT_EQ(user_->alerts_seen(), 1u);
+}
+
+TEST_F(DeliveryTest, SmsOnlyModeReachesPhone) {
+  DeliveryMode mode("sms");
+  mode.add_block(minutes(2)).actions.push_back(
+      DeliveryAction{"Cell SMS", false});
+  const DeliveryOutcome outcome = deliver(make_alert("a9"), mode, minutes(10));
+  EXPECT_TRUE(outcome.delivered);  // relay accepted
+  EXPECT_EQ(user_->first_seen_channel("a9").value_or(""), "sms");
+  ASSERT_EQ(user_->phone().received().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SourceEndpoint end-to-end (source -> buddy-like receiver)
+// ---------------------------------------------------------------------------
+
+TEST(SourceEndpointTest, ImAckThenEmailModeDelivers) {
+  World world(3);
+  SourceEndpointOptions options;
+  options.name = "aladdin.gateway";
+  SourceEndpoint source(world.sim, world.bus, world.im_server,
+                        world.email_server, options);
+  source.start();
+
+  // The "buddy": a user endpoint that acks instantly (stands in for a
+  // MAB's library-level ack).
+  UserEndpointOptions buddy_options;
+  buddy_options.name = "buddy";
+  buddy_options.ack_reaction_mean = millis(100);
+  UserEndpoint buddy(world.sim, world.bus, world.im_server, world.email_server,
+                     world.sms_gateway, buddy_options);
+  buddy.start();
+  world.sim.run_for(seconds(20));
+  source.set_target("buddy", buddy.email_account());
+
+  Alert alert = make_alert("src-1");
+  DeliveryOutcome outcome;
+  bool done = false;
+  source.send_alert(alert, [&](const DeliveryOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  world.sim.run_for(minutes(2));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.block_used, 0);  // IM leg, no fallback needed
+  EXPECT_EQ(source.stats().get("alerts_delivered"), 1);
+}
+
+TEST(SourceEndpointTest, NoTargetDropsAlert) {
+  World world(4);
+  SourceEndpoint source(world.sim, world.bus, world.im_server,
+                        world.email_server, {});
+  source.start();
+  bool done = false;
+  source.send_alert(make_alert("x"), [&](const DeliveryOutcome& o) {
+    EXPECT_FALSE(o.delivered);
+    done = true;
+  });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(source.stats().get("alerts_dropped_no_target"), 1);
+}
+
+TEST(SourceEndpointTest, FallsBackToEmailDuringImOutage) {
+  World world(5);
+  sim::OutagePlan plan;
+  plan.add(kTimeZero + minutes(1), hours(2));
+  world.im_server.set_outage_plan(plan);
+
+  SourceEndpointOptions options;
+  options.name = "proxy";
+  options.im_block_timeout = seconds(20);
+  SourceEndpoint source(world.sim, world.bus, world.im_server,
+                        world.email_server, options);
+  source.start();
+  UserEndpointOptions buddy_options;
+  buddy_options.name = "buddy";
+  buddy_options.email_check_interval = minutes(5);
+  UserEndpoint buddy(world.sim, world.bus, world.im_server, world.email_server,
+                     world.sms_gateway, buddy_options);
+  buddy.start();
+  world.sim.run_for(seconds(30));
+  source.set_target("buddy", buddy.email_account());
+
+  world.sim.run_until(kTimeZero + minutes(5));  // mid-outage
+  DeliveryOutcome outcome;
+  bool done = false;
+  source.send_alert(make_alert("fallback-1"), [&](const DeliveryOutcome& o) {
+    outcome = o;
+    done = true;
+  });
+  world.sim.run_for(minutes(20));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(outcome.delivered);
+  EXPECT_EQ(outcome.block_used, 1);  // email fallback
+  EXPECT_EQ(buddy.first_seen_channel("fallback-1").value_or(""), "email");
+}
+
+}  // namespace
+}  // namespace simba::core

@@ -1,0 +1,259 @@
+// Unit tests for the email substrate (server delays/loss, client sync)
+// and the SMS gateway path.
+#include <gtest/gtest.h>
+
+#include "email/email_client.h"
+#include "email/email_server.h"
+#include "sim/simulator.h"
+#include "sms/sms.h"
+
+namespace simba {
+namespace {
+
+using email::Email;
+using email::EmailClientApp;
+using email::EmailDelayModel;
+using email::EmailServer;
+
+Email make_mail(const std::string& from, const std::string& to,
+                const std::string& subject) {
+  Email m;
+  m.from = from;
+  m.to = to;
+  m.subject = subject;
+  m.body = "body";
+  return m;
+}
+
+class EmailTest : public ::testing::Test {
+ protected:
+  EmailTest() {
+    // Deterministic-ish fast delivery for most tests.
+    EmailDelayModel model;
+    model.fast_probability = 1.0;
+    model.fast_median = seconds(5);
+    model.fast_sigma = 0.2;
+    model.loss_probability = 0.0;
+    server_.set_delay_model(model);
+    server_.create_mailbox("user@example.net");
+  }
+
+  sim::Simulator sim_{1};
+  EmailServer server_{sim_};
+};
+
+TEST_F(EmailTest, SubmitAndDeliverToMailbox) {
+  ASSERT_TRUE(server_.submit(make_mail("a@x", "user@example.net", "hi")).ok());
+  EXPECT_TRUE(server_.mailbox("user@example.net").empty());  // in transit
+  sim_.run();
+  ASSERT_EQ(server_.mailbox("user@example.net").size(), 1u);
+  const Email& delivered = server_.mailbox("user@example.net")[0];
+  EXPECT_EQ(delivered.subject, "hi");
+  EXPECT_GT(delivered.delivered_at, delivered.submitted_at);
+}
+
+TEST_F(EmailTest, UnroutableRecipientRejected) {
+  const Status s = server_.submit(make_mail("a@x", "ghost@nowhere", "hi"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(server_.stats().get("rejected.unroutable"), 1);
+}
+
+TEST_F(EmailTest, RelayOutageRejectsSubmission) {
+  sim::OutagePlan plan;
+  plan.add(kTimeZero, minutes(10));
+  server_.set_outage_plan(plan);
+  EXPECT_FALSE(server_.submit(make_mail("a@x", "user@example.net", "x")).ok());
+  sim_.run_until(kTimeZero + minutes(11));
+  EXPECT_TRUE(server_.submit(make_mail("a@x", "user@example.net", "x")).ok());
+}
+
+TEST_F(EmailTest, LossIsSilent) {
+  EmailDelayModel lossy;
+  lossy.loss_probability = 1.0;
+  server_.set_delay_model(lossy);
+  // Submission still reports success — "the sender cannot tell".
+  EXPECT_TRUE(server_.submit(make_mail("a@x", "user@example.net", "x")).ok());
+  sim_.run();
+  EXPECT_TRUE(server_.mailbox("user@example.net").empty());
+  EXPECT_EQ(server_.stats().get("lost"), 1);
+}
+
+TEST_F(EmailTest, HeavyTailProducesSlowDeliveries) {
+  EmailDelayModel model;  // default: 5% slow with multi-hour median
+  server_.set_delay_model(model);
+  Rng rng(7);
+  int slow = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample(rng) > hours(1)) ++slow;
+  }
+  // Roughly the slow-mixture mass should exceed an hour.
+  EXPECT_GT(slow, n / 50);
+  EXPECT_LT(slow, n / 5);
+}
+
+TEST_F(EmailTest, DeliveredCallbackFires) {
+  std::string delivered_to;
+  server_.set_on_delivered(
+      [&](const std::string& address, const Email&) { delivered_to = address; });
+  server_.submit(make_mail("a@x", "user@example.net", "hi"));
+  sim_.run();
+  EXPECT_EQ(delivered_to, "user@example.net");
+}
+
+TEST_F(EmailTest, ClientSyncsInboxAndFiresEvent) {
+  gui::Desktop desktop(sim_);
+  EmailClientApp client(sim_, desktop, server_, "client@example.net", {});
+  client.launch();
+  int events = 0;
+  client.set_new_mail_event([&] { ++events; });
+  server_.submit(make_mail("a@x", "client@example.net", "one"));
+  sim_.run_for(minutes(2));
+  EXPECT_EQ(events, 1);
+  auto unread = client.fetch_unread();
+  ASSERT_EQ(unread.size(), 1u);
+  EXPECT_EQ(unread[0].subject, "one");
+}
+
+TEST_F(EmailTest, ClientResyncAfterRestartDoesNotDuplicate) {
+  gui::Desktop desktop(sim_);
+  EmailClientApp client(sim_, desktop, server_, "client@example.net", {});
+  client.launch();
+  server_.submit(make_mail("a@x", "client@example.net", "one"));
+  sim_.run_for(minutes(2));
+  ASSERT_EQ(client.fetch_unread().size(), 1u);
+  client.kill();
+  client.launch();
+  sim_.run_for(minutes(2));
+  EXPECT_TRUE(client.fetch_unread().empty());  // cursor survived
+}
+
+TEST_F(EmailTest, ClientUnreadSurvivesMabCrashButNotClientCrash) {
+  gui::Desktop desktop(sim_);
+  EmailClientApp client(sim_, desktop, server_, "client@example.net", {});
+  client.launch();
+  server_.submit(make_mail("a@x", "client@example.net", "one"));
+  sim_.run_for(minutes(2));
+  EXPECT_EQ(client.unread_count(), 1u);
+  // The message also remains in the durable server mailbox.
+  EXPECT_EQ(server_.mailbox("client@example.net").size(), 1u);
+}
+
+TEST_F(EmailTest, ClientSendStampsFromAddress) {
+  gui::Desktop desktop(sim_);
+  EmailClientApp client(sim_, desktop, server_, "client@example.net", {});
+  client.launch();
+  Email m = make_mail("ignored", "user@example.net", "out");
+  ASSERT_TRUE(client.send_email(std::move(m)).ok());
+  // run_for, not run(): the client's poll task repeats forever.
+  sim_.run_for(minutes(1));
+  ASSERT_EQ(server_.mailbox("user@example.net").size(), 1u);
+  EXPECT_EQ(server_.mailbox("user@example.net")[0].from, "client@example.net");
+}
+
+// ---------------------------------------------------------------------------
+// SMS
+// ---------------------------------------------------------------------------
+
+class SmsTest : public ::testing::Test {
+ protected:
+  SmsTest() : gateway_(sim_), phone_(sim_, "4255550100") {
+    sms::SmsDelayModel model;
+    model.fast_probability = 1.0;
+    model.fast_median = seconds(10);
+    model.fast_sigma = 0.2;
+    model.loss_probability = 0.0;
+    gateway_.set_delay_model(model);
+    gateway_.register_phone(phone_);
+  }
+
+  sim::Simulator sim_{1};
+  EmailServer server_{sim_};
+  sms::SmsGateway gateway_;
+  sms::Phone phone_;
+};
+
+TEST_F(SmsTest, DirectSubmitDelivers) {
+  ASSERT_TRUE(gateway_.submit("4255550100", "hello phone").ok());
+  sim_.run();
+  ASSERT_EQ(phone_.received().size(), 1u);
+  EXPECT_EQ(phone_.received()[0].text, "hello phone");
+}
+
+TEST_F(SmsTest, UnknownNumberRejected) {
+  EXPECT_FALSE(gateway_.submit("0000", "x").ok());
+}
+
+TEST_F(SmsTest, EmailBridgeDeliversWithHeaders) {
+  gateway_.attach_to(server_);
+  Email m;
+  m.from = "svc@x";
+  m.to = gateway_.email_address("4255550100");
+  m.subject = "Sensor ON";
+  m.body = "basement";
+  m.headers["alert_id"] = "al-1";
+  EmailDelayModel fast;
+  fast.fast_probability = 1.0;
+  fast.fast_median = seconds(2);
+  fast.fast_sigma = 0.1;
+  fast.loss_probability = 0.0;
+  server_.set_delay_model(fast);
+  ASSERT_TRUE(server_.submit(std::move(m)).ok());
+  sim_.run();
+  ASSERT_EQ(phone_.received().size(), 1u);
+  EXPECT_NE(phone_.received()[0].text.find("Sensor ON"), std::string::npos);
+  EXPECT_EQ(phone_.received()[0].headers.at("alert_id"), "al-1");
+}
+
+TEST_F(SmsTest, BridgeTruncatesTo160) {
+  gateway_.attach_to(server_);
+  Email m;
+  m.from = "svc@x";
+  m.to = gateway_.email_address("4255550100");
+  m.subject = std::string(200, 'a');
+  EmailDelayModel fast;
+  fast.fast_probability = 1.0;
+  fast.fast_median = seconds(2);
+  fast.fast_sigma = 0.1;
+  fast.loss_probability = 0.0;
+  server_.set_delay_model(fast);
+  server_.submit(std::move(m));
+  sim_.run();
+  ASSERT_EQ(phone_.received().size(), 1u);
+  EXPECT_EQ(phone_.received()[0].text.size(), 160u);
+}
+
+TEST_F(SmsTest, StoreAndForwardWaitsForCoverage) {
+  sim::OutagePlan plan;
+  plan.add(kTimeZero, hours(1));
+  phone_.set_outage_plan(plan);
+  gateway_.submit("4255550100", "waiting");
+  sim_.run_until(kTimeZero + minutes(30));
+  EXPECT_TRUE(phone_.received().empty());
+  sim_.run_until(kTimeZero + hours(2));
+  ASSERT_EQ(phone_.received().size(), 1u);
+  EXPECT_GE(phone_.received()[0].delivered_at, kTimeZero + hours(1));
+}
+
+TEST_F(SmsTest, CarrierGivesUpAfterRetryHorizon) {
+  phone_.set_retry_horizon(minutes(30));
+  sim::OutagePlan plan;
+  plan.add(kTimeZero, days(1));
+  phone_.set_outage_plan(plan);
+  gateway_.submit("4255550100", "never");
+  sim_.run_until(kTimeZero + days(2));
+  EXPECT_TRUE(phone_.received().empty());
+  EXPECT_EQ(gateway_.stats().get("expired"), 1);
+}
+
+TEST_F(SmsTest, OnReceiveCallbackFires) {
+  std::string got;
+  phone_.set_on_receive(
+      [&](const sms::SmsMessage& m) { got = m.text; });
+  gateway_.submit("4255550100", "cb");
+  sim_.run();
+  EXPECT_EQ(got, "cb");
+}
+
+}  // namespace
+}  // namespace simba

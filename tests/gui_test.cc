@@ -1,0 +1,257 @@
+// Unit tests for the simulated desktop and flaky client-app framework.
+#include <gtest/gtest.h>
+
+#include "gui/client_app.h"
+#include "gui/desktop.h"
+#include "sim/simulator.h"
+
+namespace simba::gui {
+namespace {
+
+class GuiTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_{1};
+  Desktop desktop_{sim_};
+};
+
+// A concrete app for testing the base-class machinery.
+class TestApp : public ClientApp {
+ public:
+  using ClientApp::begin_operation;
+  using ClientApp::ClientApp;
+};
+
+FaultProfile quiet_profile() { return FaultProfile{}; }
+
+TEST_F(GuiTest, DesktopShowAndClick) {
+  DialogBox box;
+  box.owner = "app";
+  box.caption = "Connection Error";
+  box.buttons = {"OK", "Cancel"};
+  std::string clicked;
+  desktop_.show(box, [&](const std::string& b) { clicked = b; });
+  EXPECT_EQ(desktop_.count(), 1u);
+  EXPECT_TRUE(desktop_.click("connection", "ok"));  // case-insensitive
+  EXPECT_EQ(clicked, "OK");
+  EXPECT_EQ(desktop_.count(), 0u);
+}
+
+TEST_F(GuiTest, ClickRequiresMatchingButton) {
+  DialogBox box;
+  box.owner = "app";
+  box.caption = "Warning";
+  box.buttons = {"Yes", "No"};
+  desktop_.show(box);
+  EXPECT_FALSE(desktop_.click("Warning", "OK"));
+  EXPECT_EQ(desktop_.count(), 1u);
+  EXPECT_TRUE(desktop_.click("Warning", "Yes"));
+}
+
+TEST_F(GuiTest, BlockingSemantics) {
+  DialogBox modal;
+  modal.owner = "app";
+  modal.caption = "Modal";
+  modal.buttons = {"OK"};
+  modal.blocks_owner = true;
+  desktop_.show(modal);
+  EXPECT_TRUE(desktop_.any_blocking("app"));
+  EXPECT_FALSE(desktop_.any_blocking("other"));
+
+  DialogBox system_modal;
+  system_modal.owner = "system";
+  system_modal.caption = "System Fault";
+  system_modal.buttons = {"OK"};
+  desktop_.show(system_modal);
+  // System dialogs block every app on the desktop.
+  EXPECT_TRUE(desktop_.any_blocking("other"));
+}
+
+TEST_F(GuiTest, CloseOwnedByReapsOnlyThatOwner) {
+  DialogBox a, b;
+  a.owner = "app1";
+  a.caption = "A";
+  a.buttons = {"OK"};
+  b.owner = "app2";
+  b.caption = "B";
+  b.buttons = {"OK"};
+  desktop_.show(a);
+  desktop_.show(b);
+  desktop_.close_owned_by("app1");
+  ASSERT_EQ(desktop_.count(), 1u);
+  EXPECT_EQ(desktop_.dialogs()[0].owner, "app2");
+}
+
+TEST_F(GuiTest, OldestAgeTracksTime) {
+  DialogBox box;
+  box.owner = "app";
+  box.caption = "X";
+  box.buttons = {"OK"};
+  desktop_.show(box);
+  sim_.run_for(seconds(30));
+  EXPECT_EQ(desktop_.oldest_age(), seconds(30));
+}
+
+TEST_F(GuiTest, LaunchKillLifecycle) {
+  TestApp app(sim_, desktop_, "app", quiet_profile());
+  EXPECT_EQ(app.state(), ProcessState::kNotRunning);
+  app.launch();
+  EXPECT_TRUE(app.running());
+  const auto first_instance = app.instance();
+  app.kill();
+  EXPECT_EQ(app.state(), ProcessState::kNotRunning);
+  app.launch();
+  EXPECT_GT(app.instance(), first_instance);
+}
+
+TEST_F(GuiTest, LaunchWhileHungIsIgnored) {
+  TestApp app(sim_, desktop_, "app", quiet_profile());
+  app.launch();
+  app.force_hang();
+  EXPECT_EQ(app.state(), ProcessState::kHung);
+  app.launch();  // a human double-clicking: the hung singleton remains
+  EXPECT_EQ(app.state(), ProcessState::kHung);
+  app.kill();  // TerminateProcess works on hung processes
+  app.launch();
+  EXPECT_TRUE(app.running());
+}
+
+TEST_F(GuiTest, OperationsGatedByState) {
+  TestApp app(sim_, desktop_, "app", quiet_profile());
+  EXPECT_FALSE(app.begin_operation("op").ok());  // not running
+  app.launch();
+  EXPECT_TRUE(app.begin_operation("op").ok());
+  app.force_hang();
+  EXPECT_FALSE(app.begin_operation("op").ok());
+}
+
+TEST_F(GuiTest, OperationsBlockedByOwnModalDialog) {
+  TestApp app(sim_, desktop_, "app", quiet_profile());
+  app.launch();
+  app.pop_dialog(DialogSpec{"Stuck", "OK", 1.0, /*blocks_app=*/true});
+  EXPECT_FALSE(app.begin_operation("op").ok());
+  desktop_.click("Stuck", "OK");
+  EXPECT_TRUE(app.begin_operation("op").ok());
+}
+
+TEST_F(GuiTest, NonBlockingDialogDoesNotGate) {
+  TestApp app(sim_, desktop_, "app", quiet_profile());
+  app.launch();
+  DialogSpec spec{"FYI", "OK", 1.0, /*blocks_app=*/false};
+  app.pop_dialog(spec);
+  EXPECT_TRUE(app.begin_operation("op").ok());
+}
+
+TEST_F(GuiTest, SystemOwnedDialogSurvivesKill) {
+  TestApp app(sim_, desktop_, "app", quiet_profile());
+  app.launch();
+  DialogSpec spec;
+  spec.caption = "Unexpected Error 0x80004005";
+  spec.button = "OK";
+  spec.system_owned = true;
+  app.pop_dialog(spec);
+  app.kill();
+  EXPECT_EQ(desktop_.count(), 1u);  // OS dialog survives the app
+  app.launch();
+  EXPECT_FALSE(app.begin_operation("op").ok());  // still blocked
+}
+
+TEST_F(GuiTest, InjectedExceptionThrows) {
+  FaultProfile profile;
+  profile.op_exception_probability = 1.0;
+  TestApp app(sim_, desktop_, "app", profile);
+  app.launch();
+  EXPECT_THROW(app.begin_operation("op"), AutomationError);
+  EXPECT_EQ(app.stats().get("op_exceptions"), 1);
+}
+
+TEST_F(GuiTest, TransientFailureReturnsError) {
+  FaultProfile profile;
+  profile.op_transient_failure_probability = 1.0;
+  TestApp app(sim_, desktop_, "app", profile);
+  app.launch();
+  const Status s = app.begin_operation("op");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.error().find("transient"), std::string::npos);
+}
+
+TEST_F(GuiTest, ScheduledHangFires) {
+  FaultProfile profile;
+  profile.mean_time_to_hang = minutes(10);
+  TestApp app(sim_, desktop_, "app", profile);
+  app.launch();
+  sim_.run_for(hours(2));
+  EXPECT_EQ(app.state(), ProcessState::kHung);
+  EXPECT_GE(app.stats().get("hangs"), 1);
+}
+
+TEST_F(GuiTest, ScheduledCrashClearsDialogs) {
+  FaultProfile profile;
+  profile.mean_time_to_crash = minutes(10);
+  TestApp app(sim_, desktop_, "app", profile);
+  app.launch();
+  app.pop_dialog(DialogSpec{"Owned", "OK"});
+  sim_.run_for(hours(2));
+  EXPECT_EQ(app.state(), ProcessState::kNotRunning);
+  EXPECT_EQ(desktop_.count(), 0u);
+}
+
+TEST_F(GuiTest, SpontaneousDialogsAppear) {
+  FaultProfile profile;
+  profile.mean_time_to_dialog = minutes(30);
+  profile.dialog_pool = {DialogSpec{"Random Warning", "OK"}};
+  TestApp app(sim_, desktop_, "app", profile);
+  app.launch();
+  sim_.run_for(hours(6));
+  EXPECT_GE(app.stats().get("dialogs_popped"), 1);
+}
+
+TEST_F(GuiTest, MemoryLeakGrowsAndResetsOnRestart) {
+  FaultProfile profile;
+  profile.base_memory_mb = 40;
+  profile.leak_mb_per_hour = 10;
+  TestApp app(sim_, desktop_, "app", profile);
+  EXPECT_DOUBLE_EQ(app.memory_mb(), 0.0);  // not running
+  app.launch();
+  sim_.run_for(hours(5));
+  EXPECT_NEAR(app.memory_mb(), 90.0, 0.1);
+  app.kill();
+  app.launch();
+  EXPECT_NEAR(app.memory_mb(), 40.0, 0.1);
+}
+
+TEST_F(GuiTest, MemoryExhaustionHangsOnNextOperation) {
+  FaultProfile profile;
+  profile.base_memory_mb = 40;
+  profile.leak_mb_per_hour = 100;
+  profile.memory_hang_threshold_mb = 140;
+  TestApp app(sim_, desktop_, "app", profile);
+  app.launch();
+  sim_.run_for(hours(2));  // 240 MB > threshold
+  EXPECT_FALSE(app.begin_operation("op").ok());
+  EXPECT_EQ(app.state(), ProcessState::kHung);
+}
+
+TEST_F(GuiTest, AutomationPointerStaleAfterRestart) {
+  TestApp app(sim_, desktop_, "app", quiet_profile());
+  app.launch();
+  AutomationPointer pointer(app);
+  EXPECT_TRUE(pointer.valid());
+  app.kill();
+  EXPECT_FALSE(pointer.valid());
+  app.launch();
+  EXPECT_FALSE(pointer.valid());  // new instance, old pointer
+  AutomationPointer fresh(app);
+  EXPECT_TRUE(fresh.valid());
+}
+
+TEST_F(GuiTest, UptimeTracksRunTime) {
+  TestApp app(sim_, desktop_, "app", quiet_profile());
+  app.launch();
+  sim_.run_for(minutes(90));
+  EXPECT_EQ(app.uptime(), minutes(90));
+  app.kill();
+  EXPECT_EQ(app.uptime(), Duration::zero());
+}
+
+}  // namespace
+}  // namespace simba::gui

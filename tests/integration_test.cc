@@ -1,0 +1,339 @@
+// Integration tests: every one of the paper's five alert-source types
+// flowing through the full SIMBA architecture (source substrate ->
+// SourceEndpoint -> IM/email -> MyAlertBuddy -> delivery mode -> user
+// devices), plus the investment-aggregation scenario of Section 3.3.
+#include <gtest/gtest.h>
+
+#include "aladdin/devices.h"
+#include "aladdin/monitor.h"
+#include "assistant/assistant.h"
+#include "core/mab_host.h"
+#include "core/source_endpoint.h"
+#include "core/user_endpoint.h"
+#include "proxy/proxy.h"
+#include "sss/sss.h"
+#include "test_world.h"
+#include "wish/wish.h"
+
+namespace simba {
+namespace {
+
+using core::Address;
+using core::CommType;
+using core::DeliveryAction;
+using core::DeliveryMode;
+using core::KeywordLocation;
+using core::MabConfig;
+using core::MabHost;
+using core::MabHostOptions;
+using core::SourceEndpoint;
+using core::SourceEndpointOptions;
+using core::SourceRule;
+using core::UserEndpoint;
+using core::UserEndpointOptions;
+using core::UserProfile;
+using testing::World;
+
+// One full SIMBA deployment with a configurable user config.
+struct Deployment {
+  explicit Deployment(std::uint64_t seed = 11) : world(seed) {
+    UserEndpointOptions user_options;
+    user_options.name = "victor";
+    user_options.ack_reaction_mean = seconds(3);
+    user_options.email_check_interval = minutes(10);
+    user = std::make_unique<UserEndpoint>(world.sim, world.bus,
+                                          world.im_server, world.email_server,
+                                          world.sms_gateway, user_options);
+    user->start();
+
+    MabHostOptions options;
+    options.owner = "victor";
+    options.config = make_config();
+    host = std::make_unique<MabHost>(world.sim, world.bus, world.im_server,
+                                     world.email_server, std::move(options));
+    host->start();
+    world.sim.run_for(seconds(30));
+  }
+
+  MabConfig make_config() {
+    MabConfig config;
+    config.profile = UserProfile("victor");
+    auto& book = config.profile.addresses();
+    book.put(Address{"MSN IM", CommType::kIm, "victor", true});
+    book.put(Address{"Cell SMS", CommType::kSms,
+                     world.sms_gateway.email_address("4255550100"), true});
+    book.put(Address{"Home email", CommType::kEmail,
+                     "victor@home.example.net", true});
+    DeliveryMode urgent("Urgent");
+    urgent.add_block(seconds(45)).actions.push_back(
+        DeliveryAction{"MSN IM", true});
+    urgent.add_block(minutes(1)).actions.push_back(
+        DeliveryAction{"Cell SMS", false});
+    urgent.add_block(minutes(1)).actions.push_back(
+        DeliveryAction{"Home email", false});
+    config.profile.define_mode(urgent);
+    DeliveryMode casual("Casual");
+    casual.add_block(minutes(1)).actions.push_back(
+        DeliveryAction{"Home email", false});
+    config.profile.define_mode(casual);
+    DeliveryMode sms_first("SmsFirst");
+    sms_first.add_block(minutes(1)).actions.push_back(
+        DeliveryAction{"Cell SMS", false});
+    sms_first.add_block(minutes(1)).actions.push_back(
+        DeliveryAction{"Home email", false});
+    config.profile.define_mode(sms_first);
+
+    config.classifier.add_rule(
+        SourceRule{"aladdin", KeywordLocation::kNativeCategory, {}, ""});
+    config.classifier.add_rule(
+        SourceRule{"wish", KeywordLocation::kNativeCategory, {}, ""});
+    config.classifier.add_rule(SourceRule{
+        "desktop.assistant", KeywordLocation::kNativeCategory, {}, ""});
+    config.classifier.add_rule(SourceRule{
+        "alert.proxy.election", KeywordLocation::kNativeCategory, {}, ""});
+    config.classifier.add_rule(SourceRule{
+        "alert.proxy.community", KeywordLocation::kNativeCategory, {}, ""});
+    config.classifier.add_rule(SourceRule{"alerts@yahoo.example",
+                                          KeywordLocation::kSenderName,
+                                          {"Stocks"},
+                                          ""});
+    config.classifier.add_rule(SourceRule{"wsj@news.example",
+                                          KeywordLocation::kSubject,
+                                          {"Financial news"},
+                                          ""});
+    config.classifier.add_rule(SourceRule{"cbs@marketwatch.example",
+                                          KeywordLocation::kSubject,
+                                          {"Earnings reports"},
+                                          ""});
+
+    config.categories.map_keyword("Sensor ON", "Home Emergency");
+    config.categories.map_keyword("Sensor DISARM", "Home Emergency");
+    config.categories.map_keyword("Sensor Broken", "Home Maintenance");
+    config.categories.map_keyword("Location", "Tracking");
+    config.categories.map_keyword("Important Email", "Work Urgent");
+    config.categories.map_keyword("Reminder", "Work Urgent");
+    config.categories.map_keyword("Election", "News");
+    config.categories.map_keyword("Community Photos", "Friends");
+    config.categories.map_keyword("Stocks", "Investment");
+    config.categories.map_keyword("Financial news", "Investment");
+    config.categories.map_keyword("Earnings reports", "Investment");
+
+    auto& subs = config.subscriptions;
+    subs.subscribe("Home Emergency", "victor", "Urgent");
+    subs.subscribe("Home Maintenance", "victor", "Casual");
+    subs.subscribe("Tracking", "victor", "Urgent");
+    subs.subscribe("Work Urgent", "victor", "SmsFirst");
+    subs.subscribe("News", "victor", "Urgent");
+    subs.subscribe("Friends", "victor", "Casual");
+    subs.subscribe("Investment", "victor", "Casual");
+    return config;
+  }
+
+  std::unique_ptr<SourceEndpoint> make_source(const std::string& name) {
+    SourceEndpointOptions options;
+    options.name = name;
+    options.im_block_timeout = seconds(30);
+    auto source = std::make_unique<SourceEndpoint>(
+        world.sim, world.bus, world.im_server, world.email_server, options);
+    source->start();
+    world.sim.run_for(seconds(10));
+    source->set_target(host->im_address(), host->email_address());
+    return source;
+  }
+
+  World world;
+  std::unique_ptr<UserEndpoint> user;
+  std::unique_ptr<MabHost> host;
+};
+
+// Source type 3 (Section 2.3): Aladdin home networking, the full
+// Section-5 disarm chain ending at the user's IM.
+TEST(IntegrationTest, AladdinDisarmScenarioEndToEnd) {
+  Deployment d;
+  auto source = d.make_source("aladdin");
+
+  aladdin::HomeNetwork net(d.world.sim);
+  sss::SssServer pc_store(d.world.sim, "pc1");
+  sss::SssServer gw_store(d.world.sim, "gateway");
+  sss::SssReplicationGroup phoneline(d.world.sim);
+  phoneline.join(pc_store);
+  phoneline.join(gw_store);
+  aladdin::Transceiver bridge(d.world.sim, net, aladdin::Medium::kRf,
+                              aladdin::Medium::kPowerline);
+  aladdin::PowerlineMonitor monitor(d.world.sim, net, pc_store, seconds(1.5));
+  monitor.register_device("security_remote", {});
+  aladdin::HomeGatewayServer gateway(d.world.sim, gw_store);
+  gateway.declare_critical("security_remote", "Security System");
+  gateway.set_alert_sink(source->sink());
+
+  aladdin::RemoteControl remote(d.world.sim, net, "security_remote");
+  const TimePoint pressed = d.world.sim.now();
+  remote.press("DISARM");
+  d.world.sim.run_for(minutes(3));
+
+  ASSERT_EQ(d.user->alerts_seen(), 1u);
+  EXPECT_EQ(d.user->stats().get("seen_via_im"), 1);
+  // End-to-end "button to IM popup": the paper measured ~11 s; the
+  // shape to preserve is "about ten seconds, not one, not a hundred".
+  const auto& seen_ids = d.user->first_seen("aladdin-1");
+  ASSERT_TRUE(seen_ids.has_value());
+  const double e2e = to_seconds(*seen_ids - pressed);
+  EXPECT_GT(e2e, 4.0);
+  EXPECT_LT(e2e, 30.0);
+}
+
+// Source type 4 (Section 2.4): WISH location tracking to IM alert.
+TEST(IntegrationTest, WishLocationTrackingEndToEnd) {
+  Deployment d;
+  auto source = d.make_source("wish");
+
+  wish::FloorMap map;
+  map.add_ap(wish::AccessPoint{"ap1", {10, 10}, "Building 31 / NE"});
+  map.add_ap(wish::AccessPoint{"ap2", {80, 10}, "Building 31 / SW"});
+  wish::RadioModel radio;
+  radio.shadow_sigma_db = 1.0;
+  sss::SssServer store(d.world.sim, "wish-server");
+  wish::WishServer server(d.world.sim, map, radio, store);
+  wish::WishAlertService alerts(d.world.sim, store);
+  alerts.subscribe("victor-tracker", "walker", {}, source->sink());
+
+  wish::WishClient client(d.world.sim, map, radio, server, "walker",
+                          seconds(3));
+  client.set_position({12, 12});
+  const TimePoint entered = d.world.sim.now();
+  client.start();
+  d.world.sim.run_for(minutes(1));
+
+  ASSERT_GE(d.user->alerts_seen(), 1u);
+  ASSERT_TRUE(d.user->first_seen("wish-1").has_value());
+  // Paper: ~5 s from wireless report to subscriber IM.
+  const double e2e = to_seconds(*d.user->first_seen("wish-1") - entered);
+  EXPECT_LT(e2e, 20.0);
+  client.stop();
+}
+
+// Source type 1 (Section 2.1): information alerts via the polling
+// proxy (the election-recount example).
+TEST(IntegrationTest, ElectionProxyEndToEnd) {
+  Deployment d;
+  auto source = d.make_source("proxy-host");
+  proxy::WebDirectory web(d.world.sim);
+  web.set_fetch_failure_probability(0.0);
+  proxy::AlertProxy alert_proxy(d.world.sim, web);
+  web.put("http://election.example/fl", "<r>Bush +537</r>");
+  proxy::AlertProxy::WatchConfig watch;
+  watch.url = "http://election.example/fl";
+  watch.poll_interval = seconds(30);
+  watch.start_keyword = "<r>";
+  watch.end_keyword = "</r>";
+  watch.source_name = "alert.proxy.election";
+  watch.category = "Election";
+  watch.high_importance = true;
+  alert_proxy.add_watch(watch, source->sink());
+  d.world.sim.run_for(minutes(2));  // baseline poll
+  web.put("http://election.example/fl", "<r>Bush +327</r>");
+  d.world.sim.run_for(minutes(2));
+  ASSERT_EQ(d.user->alerts_seen(), 1u);
+  EXPECT_EQ(d.user->stats().get("seen_via_im"), 1);
+}
+
+// Source type 2 (Section 2.2): web-store / community change alerts
+// through the same proxy machinery.
+TEST(IntegrationTest, CommunityPhotoAlbumEndToEnd) {
+  Deployment d;
+  auto source = d.make_source("community-proxy");
+  proxy::WebDirectory web(d.world.sim);
+  web.set_fetch_failure_probability(0.0);
+  proxy::AlertProxy alert_proxy(d.world.sim, web);
+  web.put("http://communities.example/album", "photos: <c>12</c>");
+  proxy::AlertProxy::WatchConfig watch;
+  watch.url = "http://communities.example/album";
+  watch.poll_interval = minutes(1);
+  watch.start_keyword = "<c>";
+  watch.end_keyword = "</c>";
+  watch.source_name = "alert.proxy.community";
+  watch.category = "Community Photos";
+  alert_proxy.add_watch(watch, source->sink());
+  d.world.sim.run_for(minutes(3));
+  web.put("http://communities.example/album", "photos: <c>13</c>");
+  d.world.sim.run_for(minutes(20));
+  // "Friends" category uses the Casual (email) mode.
+  ASSERT_EQ(d.user->alerts_seen(), 1u);
+  EXPECT_EQ(d.user->stats().get("seen_via_email"), 1);
+}
+
+// Source type 5 (Section 2.5): the desktop assistant forwarding an
+// important email while the user is away; "Work Urgent" is SMS-first.
+TEST(IntegrationTest, DesktopAssistantEndToEnd) {
+  Deployment d;
+  auto source = d.make_source("assistant-host");
+  assistant::DesktopAssistant assistant(d.world.sim, d.world.email_server,
+                                        "victor@work.example.net",
+                                        minutes(15));
+  assistant.set_alert_sink(source->sink());
+  assistant.start(seconds(30));
+  d.world.sim.run_for(minutes(20));  // victor is now idle at work
+
+  email::Email urgent;
+  urgent.from = "boss@work.example.net";
+  urgent.to = "victor@work.example.net";
+  urgent.subject = "Need the report NOW";
+  urgent.high_importance = true;
+  ASSERT_TRUE(d.world.email_server.submit(std::move(urgent)).ok());
+  d.world.sim.run_for(minutes(10));
+  ASSERT_EQ(d.user->alerts_seen(), 1u);
+  EXPECT_EQ(d.user->stats().get("seen_via_sms"), 1);
+}
+
+// Section 3.3's motivating scenario: three services aggregate into one
+// "Investment" category; switching that category's delivery mode at
+// the buddy redirects all three at once.
+TEST(IntegrationTest, InvestmentAggregationAndDynamicModeSwitch) {
+  Deployment d;
+  auto mail_from = [&](const std::string& from, const std::string& subject) {
+    email::Email m;
+    m.from = from;
+    m.to = d.host->email_address();
+    m.subject = subject;
+    ASSERT_TRUE(d.world.email_server.submit(std::move(m)).ok());
+  };
+  mail_from("Yahoo! Alerts - Stocks <alerts@yahoo.example>", "MSFT at $100");
+  mail_from("wsj@news.example", "Financial news: markets rally");
+  mail_from("cbs@marketwatch.example", "Earnings reports: Q4 beat");
+  d.world.sim.run_for(minutes(25));
+  // All three aggregated to Investment -> Casual -> email.
+  EXPECT_EQ(d.user->alerts_seen(), 3u);
+  EXPECT_EQ(d.user->stats().get("seen_via_email"), 3);
+
+  // The user "needs to make timely investment decisions": one change
+  // at the buddy switches all three services to the Urgent (IM) mode.
+  d.host->config().subscriptions.subscribe("Investment", "victor", "Urgent");
+  mail_from("Yahoo! Alerts - Stocks <alerts@yahoo.example>", "MSFT at $101");
+  mail_from("wsj@news.example", "Financial news: more rally");
+  d.world.sim.run_for(minutes(25));
+  EXPECT_EQ(d.user->alerts_seen(), 5u);
+  EXPECT_EQ(d.user->stats().get("seen_via_im"), 2);
+}
+
+// Privacy property (Sections 1, 3.3): sources only ever see the
+// buddy's addresses, never the user's own.
+TEST(IntegrationTest, SourcesNeverLearnUserAddresses) {
+  Deployment d;
+  auto source = d.make_source("aladdin");
+  core::Alert alert;
+  alert.source = "aladdin";
+  alert.native_category = "Sensor ON";
+  alert.subject = "s";
+  alert.id = "priv-1";
+  source->send_alert(alert);
+  d.world.sim.run_for(minutes(2));
+  EXPECT_TRUE(d.user->first_seen("priv-1").has_value());
+  // The source's configuration mentions only the buddy.
+  EXPECT_EQ(d.host->im_address(), "victor.mab");
+  // (Structural property: set_target received only buddy addresses; the
+  // user's IM account, phone number, and home email never flow to the
+  // source API.)
+}
+
+}  // namespace
+}  // namespace simba

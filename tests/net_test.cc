@@ -1,0 +1,183 @@
+// Unit tests for the message bus: latency, loss, partitions, endpoint
+// lifecycle.
+#include <gtest/gtest.h>
+
+#include "net/bus.h"
+#include "sim/simulator.h"
+
+namespace simba::net {
+namespace {
+
+class BusTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_{1};
+  MessageBus bus_{sim_};
+};
+
+Message make(const std::string& from, const std::string& to) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.type = "test";
+  m.body = "hello";
+  return m;
+}
+
+TEST_F(BusTest, DeliversToAttachedEndpoint) {
+  int received = 0;
+  bus_.attach("b", [&](const Message& m) {
+    EXPECT_EQ(m.body, "hello");
+    EXPECT_EQ(m.from, "a");
+    ++received;
+  });
+  bus_.send(make("a", "b"));
+  sim_.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(bus_.stats().get("delivered"), 1);
+}
+
+TEST_F(BusTest, LatencyWithinConfiguredBounds) {
+  bus_.set_default_link(LinkModel{millis(100), millis(50), 0.0});
+  TimePoint arrival{};
+  bus_.attach("b", [&](const Message&) { arrival = sim_.now(); });
+  bus_.send(make("a", "b"));
+  sim_.run();
+  EXPECT_GE(arrival, kTimeZero + millis(100));
+  EXPECT_LE(arrival, kTimeZero + millis(150));
+}
+
+TEST_F(BusTest, PerLinkOverride) {
+  bus_.set_default_link(LinkModel{millis(10), Duration::zero(), 0.0});
+  bus_.set_link("a", "b", LinkModel{seconds(2), Duration::zero(), 0.0});
+  TimePoint ab{}, ba{};
+  bus_.attach("a", [&](const Message&) { ba = sim_.now(); });
+  bus_.attach("b", [&](const Message&) { ab = sim_.now(); });
+  bus_.send(make("a", "b"));
+  bus_.send(make("b", "a"));
+  sim_.run();
+  EXPECT_EQ(ab, kTimeZero + seconds(2));   // override applies one-way
+  EXPECT_EQ(ba, kTimeZero + millis(10));   // reverse uses default
+}
+
+TEST_F(BusTest, TotalLossDropsEverything) {
+  bus_.set_default_link(LinkModel{millis(10), Duration::zero(), 1.0});
+  int received = 0;
+  bus_.attach("b", [&](const Message&) { ++received; });
+  for (int i = 0; i < 20; ++i) bus_.send(make("a", "b"));
+  sim_.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(bus_.stats().get("dropped.loss"), 20);
+}
+
+TEST_F(BusTest, UnattachedEndpointCountsUnreachable) {
+  bus_.send(make("a", "ghost"));
+  sim_.run();
+  EXPECT_EQ(bus_.stats().get("dropped.unreachable"), 1);
+}
+
+TEST_F(BusTest, DetachMidFlightLosesMessage) {
+  int received = 0;
+  bus_.attach("b", [&](const Message&) { ++received; });
+  bus_.send(make("a", "b"));
+  bus_.detach("b");  // before delivery event fires
+  sim_.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(BusTest, PartitionBlocksBothDirections) {
+  int received = 0;
+  bus_.attach("a", [&](const Message&) { ++received; });
+  bus_.attach("b", [&](const Message&) { ++received; });
+  bus_.partition("a", "b");
+  EXPECT_TRUE(bus_.partitioned("a", "b"));
+  EXPECT_TRUE(bus_.partitioned("b", "a"));
+  bus_.send(make("a", "b"));
+  bus_.send(make("b", "a"));
+  sim_.run();
+  EXPECT_EQ(received, 0);
+  bus_.heal("a", "b");
+  EXPECT_FALSE(bus_.partitioned("a", "b"));
+  bus_.send(make("a", "b"));
+  sim_.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(BusTest, PartitionAppliedAtArrivalTime) {
+  // A partition that begins while the message is in flight eats it.
+  bus_.set_default_link(LinkModel{seconds(1), Duration::zero(), 0.0});
+  int received = 0;
+  bus_.attach("b", [&](const Message&) { ++received; });
+  bus_.send(make("a", "b"));
+  sim_.after(millis(500), [&] { bus_.partition("a", "b"); });
+  sim_.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(BusTest, NestedPartitionsNeedMatchingHeals) {
+  bus_.partition("a", "b");
+  bus_.partition("a", "b");
+  bus_.heal("a", "b");
+  EXPECT_TRUE(bus_.partitioned("a", "b"));
+  bus_.heal("a", "b");
+  EXPECT_FALSE(bus_.partitioned("a", "b"));
+}
+
+TEST_F(BusTest, HealWithoutPartitionIsSafe) {
+  bus_.heal("a", "b");
+  EXPECT_FALSE(bus_.partitioned("a", "b"));
+}
+
+TEST_F(BusTest, MessageIdsIncrease) {
+  bus_.attach("b", [](const Message&) {});
+  const auto id1 = bus_.send(make("a", "b"));
+  const auto id2 = bus_.send(make("a", "b"));
+  EXPECT_LT(id1, id2);
+}
+
+TEST_F(BusTest, AttachReplacesHandler) {
+  int first = 0, second = 0;
+  bus_.attach("b", [&](const Message&) { ++first; });
+  bus_.attach("b", [&](const Message&) { ++second; });
+  bus_.send(make("a", "b"));
+  sim_.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST_F(BusTest, HeadersSurviveTransit) {
+  Message m = make("a", "b");
+  m.headers["alert_id"] = "x-1";
+  std::string got;
+  bus_.attach("b", [&](const Message& r) { got = r.headers.at("alert_id"); });
+  bus_.send(std::move(m));
+  sim_.run();
+  EXPECT_EQ(got, "x-1");
+}
+
+// Parameterized loss-rate sweep: observed loss should track the model.
+class BusLossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BusLossSweep, ObservedLossTracksModel) {
+  sim::Simulator sim(42);
+  MessageBus bus(sim);
+  bus.set_default_link(LinkModel{millis(1), Duration::zero(), GetParam()});
+  int received = 0;
+  bus.attach("b", [&](const Message&) { ++received; });
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    Message m;
+    m.from = "a";
+    m.to = "b";
+    m.type = "t";
+    bus.send(std::move(m));
+  }
+  sim.run();
+  const double observed = 1.0 - static_cast<double>(received) / n;
+  EXPECT_NEAR(observed, GetParam(), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, BusLossSweep,
+                         ::testing::Values(0.0, 0.05, 0.25, 0.5, 0.9));
+
+}  // namespace
+}  // namespace simba::net

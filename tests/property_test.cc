@@ -1,0 +1,368 @@
+// Property-based tests: invariants that must hold across randomized
+// inputs and seeds, exercised with parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/alert_log.h"
+#include "core/delivery_engine.h"
+#include "core/mab_host.h"
+#include "core/source_endpoint.h"
+#include "core/user_endpoint.h"
+#include "sim/fault.h"
+#include "sss/sss.h"
+#include "test_world.h"
+
+namespace simba {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Determinism: the same seed reproduces an entire deployment bit for bit.
+// ---------------------------------------------------------------------------
+
+class DeterminismSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+struct PipelineTrace {
+  std::vector<std::pair<std::string, std::int64_t>> user_stats;
+  std::uint64_t events = 0;
+  std::size_t alerts_seen = 0;
+};
+
+PipelineTrace run_pipeline(std::uint64_t seed) {
+  testing::World world(seed);
+  core::UserEndpointOptions user_options;
+  user_options.name = "alice";
+  core::UserEndpoint user(world.sim, world.bus, world.im_server,
+                          world.email_server, world.sms_gateway, user_options);
+  user.start();
+
+  core::MabHostOptions host_options;
+  host_options.owner = "alice";
+  host_options.config.profile = core::UserProfile("alice");
+  host_options.config.profile.addresses().put(
+      core::Address{"MSN IM", core::CommType::kIm, "alice", true});
+  host_options.config.profile.addresses().put(core::Address{
+      "Home email", core::CommType::kEmail, user.email_account(), true});
+  core::DeliveryMode urgent("Urgent");
+  urgent.add_block(seconds(30)).actions.push_back(
+      core::DeliveryAction{"MSN IM", true});
+  urgent.add_block(minutes(1)).actions.push_back(
+      core::DeliveryAction{"Home email", false});
+  host_options.config.profile.define_mode(urgent);
+  host_options.config.classifier.add_rule(core::SourceRule{
+      "src", core::KeywordLocation::kNativeCategory, {}, ""});
+  host_options.config.categories.map_keyword("K", "Cat");
+  host_options.config.subscriptions.subscribe("Cat", "alice", "Urgent");
+  // Make the world eventful: server session resets + a flaky client.
+  world.im_server.set_session_reset_mtbf(hours(6));
+  gui::FaultProfile flaky;
+  flaky.mean_time_to_hang = hours(10);
+  flaky.op_exception_probability = 1e-3;
+  flaky.exception_op = "fetch_unread";
+  host_options.im_client_profile = flaky;
+  core::MabHost host(world.sim, world.bus, world.im_server, world.email_server,
+                     std::move(host_options));
+  host.start();
+
+  core::SourceEndpointOptions source_options;
+  source_options.name = "src";
+  core::SourceEndpoint source(world.sim, world.bus, world.im_server,
+                              world.email_server, source_options);
+  source.start();
+  world.sim.run_for(seconds(30));
+  source.set_target(host.im_address(), host.email_address());
+
+  Rng rng = world.sim.make_rng("load");
+  for (int i = 0; i < 60; ++i) {
+    world.sim.run_for(rng.exponential_duration(minutes(10)));
+    core::Alert alert;
+    alert.source = "src";
+    alert.native_category = "K";
+    alert.subject = "s" + std::to_string(i);
+    alert.id = "p-" + std::to_string(i);
+    alert.created_at = world.sim.now();
+    source.send_alert(alert);
+  }
+  world.sim.run_for(hours(2));
+
+  PipelineTrace trace;
+  for (const auto& [key, value] : user.stats().all()) {
+    trace.user_stats.emplace_back(key, value);
+  }
+  trace.events = world.sim.events_processed();
+  trace.alerts_seen = user.alerts_seen();
+  return trace;
+}
+
+TEST_P(DeterminismSweep, IdenticalSeedsIdenticalWorlds) {
+  const PipelineTrace a = run_pipeline(GetParam());
+  const PipelineTrace b = run_pipeline(GetParam());
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.alerts_seen, b.alerts_seen);
+  EXPECT_EQ(a.user_stats, b.user_stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep,
+                         ::testing::Values(1u, 7u, 42u, 1999u, 31337u));
+
+// ---------------------------------------------------------------------------
+// Delivery engine: randomized modes never double-complete, never hang.
+// ---------------------------------------------------------------------------
+
+class DeliveryModeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeliveryModeFuzz, EveryDeliveryCompletesExactlyOnce) {
+  testing::World world(GetParam());
+  core::UserEndpointOptions user_options;
+  user_options.name = "u";
+  core::UserEndpoint user(world.sim, world.bus, world.im_server,
+                          world.email_server, world.sms_gateway, user_options);
+  user.start();
+
+  gui::Desktop desktop(world.sim);
+  world.im_server.register_account("sender");
+  im::ImClientApp im_client(world.sim, desktop, world.bus,
+                            world.im_server.address(), "sender", {}, {});
+  email::EmailClientApp email_client(world.sim, desktop, world.email_server,
+                                     "sender@svc", {});
+  automation::ImManager im_manager(world.sim, desktop, im_client);
+  automation::EmailManager email_manager(world.sim, desktop, email_client);
+  core::DeliveryEngine engine(world.sim, &im_manager, &email_manager);
+  im_manager.set_on_new_message([&] {
+    for (const auto& m : im_manager.fetch_unread_safe()) {
+      engine.handle_incoming(m);
+    }
+  });
+  im_manager.start();
+  email_manager.start();
+  world.sim.run_for(seconds(20));
+
+  core::AddressBook book("u");
+  book.put(core::Address{"im", core::CommType::kIm, "u", true});
+  book.put(core::Address{"sms", core::CommType::kSms,
+                         world.sms_gateway.email_address("4255550100"), true});
+  book.put(core::Address{"em", core::CommType::kEmail,
+                         "u@home.example.net", true});
+  book.put(core::Address{"ghost", core::CommType::kIm, "nobody", true});
+
+  Rng rng(GetParam() ^ 0xfeed);
+  const char* names[] = {"im", "sms", "em", "ghost", "missing"};
+  Duration total_budget{};
+  int completions = 0;
+  int started = 0;
+  for (int round = 0; round < 25; ++round) {
+    core::DeliveryMode mode("fuzz");
+    const int blocks = static_cast<int>(rng.uniform_int(1, 3));
+    Duration mode_budget{};
+    for (int b = 0; b < blocks; ++b) {
+      const Duration timeout = seconds(rng.uniform_int(5, 40));
+      core::DeliveryBlock& block = mode.add_block(timeout);
+      mode_budget += timeout;
+      const int actions = static_cast<int>(rng.uniform_int(1, 3));
+      for (int a = 0; a < actions; ++a) {
+        core::DeliveryAction action;
+        action.address_name = names[rng.uniform_int(0, 4)];
+        action.require_ack = rng.chance(0.4);
+        block.actions.push_back(action);
+      }
+    }
+    // Randomly disable addresses per round.
+    book.set_enabled("im", !rng.chance(0.2));
+    book.set_enabled("sms", !rng.chance(0.2));
+    book.set_enabled("em", !rng.chance(0.2));
+    core::Alert alert;
+    alert.id = "fz-" + std::to_string(round);
+    alert.source = "s";
+    alert.subject = "x";
+    ++started;
+    engine.deliver(alert, book, mode,
+                   [&completions](const core::DeliveryOutcome&) {
+                     ++completions;
+                   });
+    total_budget += mode_budget;
+    world.sim.run_for(seconds(rng.uniform_int(0, 30)));
+  }
+  // Generous horizon: all deliveries must have completed exactly once.
+  world.sim.run_for(total_budget + minutes(10));
+  EXPECT_EQ(completions, started);
+  EXPECT_EQ(engine.in_flight(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeliveryModeFuzz,
+                         ::testing::Values(3u, 17u, 99u, 12345u));
+
+// ---------------------------------------------------------------------------
+// OutagePlan: generated plans are well-formed for any parameters.
+// ---------------------------------------------------------------------------
+
+class OutagePlanSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(OutagePlanSweep, GeneratedPlansWellFormed) {
+  const auto [mtbf_days, median_minutes] = GetParam();
+  Rng rng(11);
+  const Duration horizon = days(30);
+  const sim::OutagePlan plan = sim::OutagePlan::generate(
+      rng, horizon, days(mtbf_days), minutes(median_minutes), 1.2);
+  TimePoint previous_end{};
+  for (const auto& outage : plan.outages()) {
+    EXPECT_GE(outage.start, previous_end);  // disjoint, sorted
+    EXPECT_GT(outage.length(), Duration::zero());
+    EXPECT_LT(outage.start, kTimeZero + horizon);
+    previous_end = outage.end;
+    // Point queries agree with the windows.
+    EXPECT_TRUE(plan.down_at(outage.start));
+    EXPECT_FALSE(plan.down_at(outage.end));
+    EXPECT_EQ(plan.up_again_at(outage.start), outage.end);
+  }
+  // Total downtime equals the sum of in-horizon window lengths.
+  Duration sum{};
+  for (const auto& outage : plan.outages()) {
+    sum += std::min(outage.end, kTimeZero + horizon) - outage.start;
+  }
+  EXPECT_EQ(plan.total_downtime(kTimeZero + horizon), sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OutagePlanSweep,
+    ::testing::Combine(::testing::Values(0.5, 2.0, 10.0),
+                       ::testing::Values(2.0, 15.0, 120.0)));
+
+// ---------------------------------------------------------------------------
+// AlertLog: random interleavings keep the unprocessed-set invariant.
+// ---------------------------------------------------------------------------
+
+class AlertLogFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlertLogFuzz, UnprocessedIsAppendedMinusMarked) {
+  Rng rng(GetParam());
+  core::AlertLog log;
+  std::map<std::string, bool> model;  // id -> processed
+  for (int i = 0; i < 500; ++i) {
+    const std::string id = "id-" + std::to_string(rng.uniform_int(0, 80));
+    if (rng.chance(0.6)) {
+      core::Alert alert;
+      alert.id = id;
+      const bool fresh = log.append(alert, kTimeZero + seconds(i));
+      EXPECT_EQ(fresh, model.find(id) == model.end());
+      model.try_emplace(id, false);
+    } else {
+      log.mark_processed(id, kTimeZero + seconds(i));
+      const auto it = model.find(id);
+      if (it != model.end()) it->second = true;
+    }
+  }
+  std::size_t expected_unprocessed = 0;
+  for (const auto& [id, processed] : model) {
+    EXPECT_EQ(log.contains(id), true);
+    EXPECT_EQ(log.processed(id), processed);
+    if (!processed) ++expected_unprocessed;
+  }
+  EXPECT_EQ(log.unprocessed().size(), expected_unprocessed);
+  EXPECT_EQ(log.size(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlertLogFuzz,
+                         ::testing::Values(5u, 55u, 555u));
+
+// ---------------------------------------------------------------------------
+// SSS replication: any write interleaving converges once quiescent.
+// ---------------------------------------------------------------------------
+
+class SssConvergenceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SssConvergenceFuzz, ReplicasConvergeAfterQuiescence) {
+  sim::Simulator sim(GetParam());
+  sss::MediumModel medium;
+  medium.base_latency = millis(50);
+  medium.jitter = millis(400);
+  medium.loss_probability = 0.0;
+  sss::SssReplicationGroup group(sim, medium);
+  sss::SssServer a(sim, "a"), b(sim, "b"), c(sim, "c");
+  group.join(a);
+  group.join(b);
+  group.join(c);
+  a.define_type("t");
+  a.create("t", "v1", "0", Duration::zero(), 0);
+  a.create("t", "v2", "0", Duration::zero(), 0);
+  sim.run_for(seconds(5));
+
+  Rng rng(GetParam() ^ 0xabc);
+  sss::SssServer* nodes[] = {&a, &b, &c};
+  for (int i = 0; i < 200; ++i) {
+    sss::SssServer* node = nodes[rng.uniform_int(0, 2)];
+    const std::string name = rng.chance(0.5) ? "v1" : "v2";
+    node->write(name, "w" + std::to_string(i));
+    if (rng.chance(0.3)) sim.run_for(millis(rng.uniform_int(0, 600)));
+  }
+  sim.run_for(minutes(1));  // quiescence
+
+  for (const char* name : {"v1", "v2"}) {
+    const auto va = a.read(name);
+    const auto vb = b.read(name);
+    const auto vc = c.read(name);
+    ASSERT_TRUE(va.ok() && vb.ok() && vc.ok());
+    EXPECT_EQ(va.value().value, vb.value().value) << name;
+    EXPECT_EQ(vb.value().value, vc.value().value) << name;
+    EXPECT_EQ(va.value().version, vb.value().version) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SssConvergenceFuzz,
+                         ::testing::Values(2u, 20u, 200u, 2000u));
+
+// ---------------------------------------------------------------------------
+// Simulator: random schedule/cancel interleavings keep time monotonic.
+// ---------------------------------------------------------------------------
+
+class SimulatorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorFuzz, TimeMonotoneAndCancelsHonored) {
+  sim::Simulator sim(GetParam());
+  Rng rng(GetParam() ^ 0x5a5a);
+  TimePoint last{};
+  bool monotone = true;
+  std::vector<sim::EventId> cancellable;
+  int fired = 0, cancelled_count = 0;
+  std::vector<bool> cancelled_fired;
+
+  for (int i = 0; i < 300; ++i) {
+    const Duration delay = millis(rng.uniform_int(0, 10'000));
+    if (rng.chance(0.3)) {
+      const std::size_t index = cancelled_fired.size();
+      cancelled_fired.push_back(false);
+      cancellable.push_back(sim.after(delay, [&cancelled_fired, index] {
+        cancelled_fired[index] = true;
+      }));
+    } else {
+      sim.after(delay, [&] {
+        monotone = monotone && sim.now() >= last;
+        last = sim.now();
+        ++fired;
+        // Nested scheduling mid-run.
+        sim.after(millis(1), [&] {
+          monotone = monotone && sim.now() >= last;
+          last = sim.now();
+        });
+      });
+    }
+  }
+  // Cancel half of the cancellable ones.
+  for (std::size_t i = 0; i < cancellable.size(); i += 2) {
+    sim.cancel(cancellable[i]);
+    ++cancelled_count;
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_GT(fired, 0);
+  for (std::size_t i = 0; i < cancelled_fired.size(); ++i) {
+    if (i % 2 == 0) EXPECT_FALSE(cancelled_fired[i]) << i;
+  }
+  (void)cancelled_count;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorFuzz,
+                         ::testing::Values(4u, 44u, 444u, 4444u));
+
+}  // namespace
+}  // namespace simba

@@ -1,0 +1,170 @@
+// Unit tests for the alert proxy: block extraction, change detection,
+// poll cadence, and fetch-failure tolerance.
+#include <gtest/gtest.h>
+
+#include "proxy/proxy.h"
+#include "sim/simulator.h"
+
+namespace simba::proxy {
+namespace {
+
+TEST(ExtractBlockTest, BasicExtraction) {
+  const auto block = extract_block(
+      "<html>Votes: <b>BEGIN</b> Gore 2,912,253 <b>END</b></html>", "BEGIN",
+      "END");
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(*block, "</b> Gore 2,912,253 <b>");
+}
+
+TEST(ExtractBlockTest, MissingKeywords) {
+  EXPECT_FALSE(extract_block("abc", "X", "Y").has_value());
+  EXPECT_FALSE(extract_block("Xabc", "X", "Y").has_value());
+  EXPECT_FALSE(extract_block("abcY", "X", "Y").has_value());
+}
+
+TEST(ExtractBlockTest, EndBeforeStartNotMatched) {
+  EXPECT_FALSE(extract_block("END stuff START", "START", "END").has_value());
+}
+
+TEST(ExtractBlockTest, EmptyBlockAllowed) {
+  const auto block = extract_block("AB", "A", "B");
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(*block, "");
+}
+
+TEST(ExtractBlockTest, TrimsWhitespace) {
+  const auto block = extract_block("A  padded  B", "A", "B");
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(*block, "padded");
+}
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  ProxyTest() : web_(sim_), proxy_(sim_, web_) {
+    web_.set_fetch_failure_probability(0.0);
+    web_.put("http://election.example/florida",
+             "Recount <begin>Bush +537</begin> more");
+  }
+
+  AlertProxy::WatchConfig florida_watch() {
+    AlertProxy::WatchConfig config;
+    config.url = "http://election.example/florida";
+    config.poll_interval = seconds(30);
+    config.start_keyword = "<begin>";
+    config.end_keyword = "</begin>";
+    config.source_name = "alert.proxy.election";
+    config.category = "Election";
+    return config;
+  }
+
+  sim::Simulator sim_{1};
+  WebDirectory web_;
+  AlertProxy proxy_;
+  std::vector<core::Alert> alerts_;
+};
+
+TEST_F(ProxyTest, FirstPollEstablishesBaselineOnly) {
+  proxy_.add_watch(florida_watch(),
+                   [&](const core::Alert& a) { alerts_.push_back(a); });
+  sim_.run_for(minutes(5));
+  EXPECT_TRUE(alerts_.empty());
+  EXPECT_GE(proxy_.stats().get("polls"), 9);
+}
+
+TEST_F(ProxyTest, ChangeGeneratesAlertWithBlockBody) {
+  proxy_.add_watch(florida_watch(),
+                   [&](const core::Alert& a) { alerts_.push_back(a); });
+  web_.put_at(kTimeZero + minutes(2), "http://election.example/florida",
+              "Recount <begin>Bush +327</begin> more");
+  sim_.run_for(minutes(5));
+  ASSERT_EQ(alerts_.size(), 1u);
+  EXPECT_EQ(alerts_[0].body, "Bush +327");
+  EXPECT_EQ(alerts_[0].native_category, "Election");
+  EXPECT_EQ(alerts_[0].source, "alert.proxy.election");
+  // Detected within one poll interval + fetch latency of the change.
+  EXPECT_LE(alerts_[0].created_at, kTimeZero + minutes(2) + seconds(35));
+}
+
+TEST_F(ProxyTest, UnchangedContentNeverAlerts) {
+  proxy_.add_watch(florida_watch(),
+                   [&](const core::Alert& a) { alerts_.push_back(a); });
+  // Rewrite identical content: the *block* did not change.
+  web_.put_at(kTimeZero + minutes(1), "http://election.example/florida",
+              "Recount <begin>Bush +537</begin> different outside text");
+  sim_.run_for(minutes(5));
+  EXPECT_TRUE(alerts_.empty());
+}
+
+TEST_F(ProxyTest, MultipleChangesMultipleAlerts) {
+  proxy_.add_watch(florida_watch(),
+                   [&](const core::Alert& a) { alerts_.push_back(a); });
+  web_.put_at(kTimeZero + minutes(1), "http://election.example/florida",
+              "<begin>A</begin>");
+  web_.put_at(kTimeZero + minutes(3), "http://election.example/florida",
+              "<begin>B</begin>");
+  sim_.run_for(minutes(5));
+  ASSERT_EQ(alerts_.size(), 2u);
+  EXPECT_NE(alerts_[0].id, alerts_[1].id);
+}
+
+TEST_F(ProxyTest, MissingKeywordsCounted) {
+  web_.put("http://bare.example", "no keywords here");
+  AlertProxy::WatchConfig config = florida_watch();
+  config.url = "http://bare.example";
+  proxy_.add_watch(config, [&](const core::Alert& a) { alerts_.push_back(a); });
+  sim_.run_for(minutes(2));
+  EXPECT_TRUE(alerts_.empty());
+  EXPECT_GE(proxy_.stats().get("block_not_found"), 1);
+}
+
+TEST_F(ProxyTest, Http404Counted) {
+  AlertProxy::WatchConfig config = florida_watch();
+  config.url = "http://gone.example";
+  proxy_.add_watch(config, nullptr);
+  sim_.run_for(minutes(2));
+  EXPECT_GE(proxy_.stats().get("fetch_404"), 1);
+}
+
+TEST_F(ProxyTest, RemoveWatchStopsPolling) {
+  const auto id = proxy_.add_watch(florida_watch(), nullptr);
+  sim_.run_for(minutes(1));
+  const auto polls = proxy_.stats().get("polls");
+  proxy_.remove_watch(id);
+  sim_.run_for(minutes(5));
+  EXPECT_EQ(proxy_.stats().get("polls"), polls);
+}
+
+TEST_F(ProxyTest, TransientFetchFailuresRecovered) {
+  web_.set_fetch_failure_probability(0.5);
+  proxy_.add_watch(florida_watch(),
+                   [&](const core::Alert& a) { alerts_.push_back(a); });
+  web_.put_at(kTimeZero + minutes(2), "http://election.example/florida",
+              "<begin>changed</begin>");
+  sim_.run_for(minutes(30));
+  // Some polls failed, but the change was still detected eventually.
+  ASSERT_EQ(alerts_.size(), 1u);
+  EXPECT_GE(proxy_.stats().get("fetch_failures"), 1);
+}
+
+TEST_F(ProxyTest, TwoWatchesIndependent) {
+  web_.put("http://ps2.example", "stock: <b>SOLD OUT</b>");
+  AlertProxy::WatchConfig ps2;
+  ps2.url = "http://ps2.example";
+  ps2.poll_interval = seconds(60);
+  ps2.start_keyword = "<b>";
+  ps2.end_keyword = "</b>";
+  ps2.category = "PlayStation2";
+  std::vector<core::Alert> ps2_alerts;
+  proxy_.add_watch(florida_watch(),
+                   [&](const core::Alert& a) { alerts_.push_back(a); });
+  proxy_.add_watch(ps2, [&](const core::Alert& a) { ps2_alerts.push_back(a); });
+  web_.put_at(kTimeZero + minutes(2), "http://ps2.example",
+              "stock: <b>IN STOCK</b>");
+  sim_.run_for(minutes(5));
+  EXPECT_TRUE(alerts_.empty());
+  ASSERT_EQ(ps2_alerts.size(), 1u);
+  EXPECT_EQ(ps2_alerts[0].body, "IN STOCK");
+}
+
+}  // namespace
+}  // namespace simba::proxy

@@ -1,0 +1,141 @@
+// Tests for Aladdin's email-based remote home automation.
+#include <gtest/gtest.h>
+
+#include "aladdin/home_network.h"
+#include "aladdin/monitor.h"
+#include "aladdin/remote_automation.h"
+#include "sim/simulator.h"
+
+namespace simba::aladdin {
+namespace {
+
+class RemoteAutomationTest : public ::testing::Test {
+ protected:
+  RemoteAutomationTest()
+      : net_(sim_),
+        automation_(sim_, mail_, net_, "gateway@home.example", "s3cret") {
+    email::EmailDelayModel fast;
+    fast.fast_probability = 1.0;
+    fast.fast_median = seconds(3);
+    fast.fast_sigma = 0.2;
+    fast.loss_probability = 0.0;
+    mail_.set_delay_model(fast);
+    mail_.create_mailbox("owner@work.example");
+    net_.set_model(Medium::kPowerline, {millis(5), millis(1), 0.0});
+    automation_.authorize("owner@work.example");
+    automation_.register_device("porch_light");
+    automation_.register_device("basement_pump");
+    automation_.start(seconds(10));
+    net_.listen(Medium::kPowerline, [this](const HomeSignal& signal) {
+      frames_.push_back(signal);
+    });
+  }
+
+  void command(const std::string& from, const std::string& subject) {
+    email::Email m;
+    m.from = from;
+    m.to = "gateway@home.example";
+    m.subject = subject;
+    ASSERT_TRUE(mail_.submit(std::move(m)).ok());
+    sim_.run_for(minutes(1));
+  }
+
+  sim::Simulator sim_{1};
+  email::EmailServer mail_{sim_};
+  HomeNetwork net_;
+  RemoteAutomation automation_;
+  std::vector<HomeSignal> frames_;
+};
+
+TEST_F(RemoteAutomationTest, ValidCommandActuatesAndConfirms) {
+  std::string actuated;
+  bool state = false;
+  automation_.set_on_actuate([&](const std::string& device, bool on) {
+    actuated = device;
+    state = on;
+  });
+  command("owner@work.example", "ALADDIN s3cret SET porch_light ON");
+  EXPECT_EQ(actuated, "porch_light");
+  EXPECT_TRUE(state);
+  EXPECT_EQ(automation_.stats().get("accepted"), 1);
+  // The command frame went out on the powerline...
+  ASSERT_EQ(frames_.size(), 1u);
+  EXPECT_EQ(frames_[0].source_id, "porch_light");
+  EXPECT_EQ(frames_[0].payload, "ON");
+  // ...and a confirmation email went back.
+  sim_.run_for(minutes(1));
+  ASSERT_EQ(mail_.mailbox("owner@work.example").size(), 1u);
+  EXPECT_NE(mail_.mailbox("owner@work.example")[0].body.find("ON"),
+            std::string::npos);
+}
+
+TEST_F(RemoteAutomationTest, OffCommand) {
+  command("owner@work.example", "ALADDIN s3cret SET basement_pump OFF");
+  ASSERT_EQ(frames_.size(), 1u);
+  EXPECT_EQ(frames_[0].payload, "OFF");
+}
+
+TEST_F(RemoteAutomationTest, CaseInsensitiveVerbs) {
+  command("owner@work.example", "aladdin s3cret set porch_light on");
+  EXPECT_EQ(automation_.stats().get("accepted"), 1);
+}
+
+TEST_F(RemoteAutomationTest, UnauthorizedSenderRejectedSilently) {
+  command("attacker@evil.example", "ALADDIN s3cret SET porch_light ON");
+  EXPECT_EQ(automation_.stats().get("rejected.unauthorized"), 1);
+  EXPECT_TRUE(frames_.empty());
+  // No confirmation to strangers either (don't leak the gateway).
+  EXPECT_EQ(automation_.stats().get("confirmations"), 0);
+}
+
+TEST_F(RemoteAutomationTest, WrongSecretRejected) {
+  command("owner@work.example", "ALADDIN wrong SET porch_light ON");
+  EXPECT_EQ(automation_.stats().get("rejected.bad_secret"), 1);
+  EXPECT_TRUE(frames_.empty());
+}
+
+TEST_F(RemoteAutomationTest, UnknownDeviceRejectedWithReply) {
+  command("owner@work.example", "ALADDIN s3cret SET toaster ON");
+  EXPECT_EQ(automation_.stats().get("rejected.unknown_device"), 1);
+  EXPECT_TRUE(frames_.empty());
+  sim_.run_for(minutes(1));
+  ASSERT_EQ(mail_.mailbox("owner@work.example").size(), 1u);
+  EXPECT_NE(mail_.mailbox("owner@work.example")[0].body.find("toaster"),
+            std::string::npos);
+}
+
+TEST_F(RemoteAutomationTest, MalformedCommandsRejected) {
+  command("owner@work.example", "ALADDIN s3cret SET porch_light");
+  command("owner@work.example", "ALADDIN s3cret FROB porch_light ON");
+  command("owner@work.example", "ALADDIN s3cret SET porch_light MAYBE");
+  EXPECT_EQ(automation_.stats().get("rejected.malformed"), 3);
+  EXPECT_TRUE(frames_.empty());
+}
+
+TEST_F(RemoteAutomationTest, OrdinaryMailIgnored) {
+  command("owner@work.example", "lunch on friday?");
+  EXPECT_EQ(automation_.stats().get("ignored.not_a_command"), 1);
+  EXPECT_EQ(automation_.stats().get("confirmations"), 0);
+}
+
+TEST_F(RemoteAutomationTest, SenderWithDisplayNameAuthorized) {
+  command("The Owner <owner@work.example>",
+          "ALADDIN s3cret SET porch_light ON");
+  EXPECT_EQ(automation_.stats().get("accepted"), 1);
+}
+
+TEST_F(RemoteAutomationTest, CommandFrameFlowsIntoSssViaMonitor) {
+  // Closing the loop: the actuation frame is a normal powerline frame,
+  // so the monitor/SSS/gateway alert machinery sees the state change.
+  sss::SssServer store(sim_, "pc");
+  PowerlineMonitor monitor(sim_, net_, store, seconds(1));
+  monitor.register_device("porch_light", {});
+  command("owner@work.example", "ALADDIN s3cret SET porch_light ON");
+  sim_.run_for(seconds(5));
+  auto variable = store.read("device.porch_light");
+  ASSERT_TRUE(variable.ok());
+  EXPECT_EQ(variable.value().value, "ON");
+}
+
+}  // namespace
+}  // namespace simba::aladdin

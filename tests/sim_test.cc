@@ -1,0 +1,256 @@
+// Unit tests for the discrete-event kernel and fault plans.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fault.h"
+#include "sim/simulator.h"
+
+namespace simba::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), kTimeZero);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(seconds(3), [&] { order.push_back(3); });
+  sim.after(seconds(1), [&] { order.push_back(1); });
+  sim.after(seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), kTimeZero + seconds(3));
+}
+
+TEST(SimulatorTest, EqualTimesFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.after(seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  TimePoint inner_time{};
+  sim.after(seconds(1), [&] {
+    sim.after(seconds(2), [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time, kTimeZero + seconds(3));
+}
+
+TEST(SimulatorTest, PastSchedulingClampsToNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.after(seconds(5), [&] {
+    sim.at(kTimeZero, [&] { ran = true; });  // in the past
+  });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), kTimeZero + seconds(5));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.after(seconds(1), [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsSafe) {
+  Simulator sim;
+  sim.cancel(12345);
+  sim.after(seconds(1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  sim.after(seconds(1), [&] { ++count; });
+  sim.after(seconds(10), [&] { ++count; });
+  sim.run_until(kTimeZero + seconds(5));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), kTimeZero + seconds(5));
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, RunForAdvancesRelative) {
+  Simulator sim;
+  sim.run_for(seconds(2));
+  sim.run_for(seconds(3));
+  EXPECT_EQ(sim.now(), kTimeZero + seconds(5));
+}
+
+TEST(SimulatorTest, StopFromCallback) {
+  Simulator sim;
+  int count = 0;
+  sim.after(seconds(1), [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.after(seconds(2), [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, EveryRepeatsUntilCancelled) {
+  Simulator sim;
+  int ticks = 0;
+  TaskHandle task = sim.every(seconds(10), [&] { ++ticks; });
+  sim.run_until(kTimeZero + seconds(35));
+  EXPECT_EQ(ticks, 3);
+  task.cancel();
+  sim.run_until(kTimeZero + seconds(100));
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(SimulatorTest, EveryImmediateFiresAtZeroDelay) {
+  Simulator sim;
+  int ticks = 0;
+  sim.every(seconds(10), [&] { ++ticks; }, "t", /*immediate=*/true);
+  sim.run_until(kTimeZero + seconds(5));
+  EXPECT_EQ(ticks, 1);
+}
+
+TEST(SimulatorTest, CancelInsideOwnCallbackStopsRepetition) {
+  Simulator sim;
+  int ticks = 0;
+  TaskHandle task;
+  task = sim.every(seconds(1), [&] {
+    ++ticks;
+    if (ticks == 2) task.cancel();
+  });
+  sim.run_until(kTimeZero + seconds(10));
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(SimulatorTest, MakeRngIsDeterministicPerName) {
+  Simulator a(99), b(99);
+  EXPECT_EQ(a.make_rng("x").next(), b.make_rng("x").next());
+  EXPECT_NE(a.make_rng("x").next(), a.make_rng("y").next());
+}
+
+TEST(SimulatorTest, DeterministicEndToEnd) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    Rng rng = sim.make_rng("load");
+    std::vector<std::int64_t> times;
+    for (int i = 0; i < 50; ++i) {
+      sim.after(rng.exponential_duration(seconds(10)),
+                [&times, &sim] { times.push_back(sim.now().time_since_epoch().count()); });
+    }
+    sim.run();
+    return times;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+// ---------------------------------------------------------------------------
+// OutagePlan
+// ---------------------------------------------------------------------------
+
+TEST(OutagePlanTest, EmptyPlanAlwaysUp) {
+  OutagePlan plan;
+  EXPECT_FALSE(plan.down_at(kTimeZero));
+  EXPECT_FALSE(plan.down_at(kTimeZero + days(100)));
+  EXPECT_EQ(plan.total_downtime(kTimeZero + days(1)), Duration::zero());
+}
+
+TEST(OutagePlanTest, WindowBoundaries) {
+  OutagePlan plan;
+  plan.add(kTimeZero + minutes(10), minutes(5));
+  EXPECT_FALSE(plan.down_at(kTimeZero + minutes(9)));
+  EXPECT_TRUE(plan.down_at(kTimeZero + minutes(10)));
+  EXPECT_TRUE(plan.down_at(kTimeZero + minutes(14)));
+  EXPECT_FALSE(plan.down_at(kTimeZero + minutes(15)));  // closed-open
+}
+
+TEST(OutagePlanTest, OverlappingWindowsMerge) {
+  OutagePlan plan;
+  plan.add(kTimeZero + minutes(10), minutes(10));
+  plan.add(kTimeZero + minutes(15), minutes(10));
+  EXPECT_EQ(plan.outages().size(), 1u);
+  EXPECT_EQ(plan.total_downtime(kTimeZero + hours(1)), minutes(15));
+}
+
+TEST(OutagePlanTest, OutOfOrderAddsSort) {
+  OutagePlan plan;
+  plan.add(kTimeZero + minutes(30), minutes(1));
+  plan.add(kTimeZero + minutes(10), minutes(1));
+  EXPECT_EQ(plan.outages()[0].start, kTimeZero + minutes(10));
+}
+
+TEST(OutagePlanTest, UpAgainAt) {
+  OutagePlan plan;
+  plan.add(kTimeZero + minutes(10), minutes(5));
+  EXPECT_EQ(plan.up_again_at(kTimeZero + minutes(12)),
+            kTimeZero + minutes(15));
+  EXPECT_EQ(plan.up_again_at(kTimeZero + minutes(5)), kTimeZero + minutes(5));
+}
+
+TEST(OutagePlanTest, ZeroLengthIgnored) {
+  OutagePlan plan;
+  plan.add(kTimeZero + minutes(1), Duration::zero());
+  EXPECT_TRUE(plan.outages().empty());
+}
+
+TEST(OutagePlanTest, GenerateRespectsHorizonAndIsDeterministic) {
+  Rng rng1(5), rng2(5);
+  const Duration horizon = days(30);
+  OutagePlan p1 =
+      OutagePlan::generate(rng1, horizon, days(6), minutes(12), 1.0);
+  OutagePlan p2 =
+      OutagePlan::generate(rng2, horizon, days(6), minutes(12), 1.0);
+  ASSERT_EQ(p1.outages().size(), p2.outages().size());
+  for (const auto& o : p1.outages()) {
+    EXPECT_LT(o.start, kTimeZero + horizon);
+    EXPECT_GT(o.length(), Duration::zero());
+  }
+}
+
+TEST(OutagePlanTest, DescribeMentionsWindows) {
+  OutagePlan plan;
+  EXPECT_NE(plan.describe().find("no outages"), std::string::npos);
+  plan.add(kTimeZero + minutes(1), minutes(2));
+  EXPECT_NE(plan.describe().find("down"), std::string::npos);
+}
+
+
+TEST(TaskHandleTest, ActiveReflectsCancellation) {
+  Simulator sim;
+  TaskHandle empty;
+  EXPECT_FALSE(empty.active());
+  TaskHandle task = sim.every(seconds(1), [] {});
+  EXPECT_TRUE(task.active());
+  TaskHandle copy = task;  // copies share the task
+  copy.cancel();
+  EXPECT_FALSE(task.active());
+}
+
+TEST(SimulatorTest, RecurringTaskSurvivesHandleDestruction) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    TaskHandle task = sim.every(seconds(1), [&] { ++ticks; });
+    // handle goes out of scope WITHOUT cancel
+  }
+  sim.run_until(kTimeZero + seconds(5));
+  EXPECT_EQ(ticks, 5);  // destruction does not cancel (documented)
+}
+
+}  // namespace
+}  // namespace simba::sim

@@ -1,0 +1,235 @@
+// Unit tests for the Soft-State Store: types, variables, refresh
+// timeouts, subscriptions, and multicast replication.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sss/sss.h"
+
+namespace simba::sss {
+namespace {
+
+class SssTest : public ::testing::Test {
+ protected:
+  SssTest() { store_.define_type("sensor"); }
+  sim::Simulator sim_{1};
+  SssServer store_{sim_, "pc1"};
+};
+
+TEST_F(SssTest, CreateRequiresDefinedType) {
+  EXPECT_FALSE(store_.create("ghost", "v", "x", seconds(10), 2).ok());
+  EXPECT_TRUE(store_.create("sensor", "v", "x", seconds(10), 2).ok());
+}
+
+TEST_F(SssTest, CreateRejectsDuplicatesAndBadParams) {
+  ASSERT_TRUE(store_.create("sensor", "v", "x", seconds(10), 2).ok());
+  EXPECT_FALSE(store_.create("sensor", "v", "y", seconds(10), 2).ok());
+  EXPECT_FALSE(store_.create("sensor", "", "y", seconds(10), 2).ok());
+  EXPECT_FALSE(store_.create("sensor", "w", "y", seconds(-1), 2).ok());
+  EXPECT_FALSE(store_.create("sensor", "w", "y", seconds(10), -1).ok());
+}
+
+TEST_F(SssTest, ReadWriteRoundTrip) {
+  store_.create("sensor", "v", "OFF", seconds(10), 2);
+  ASSERT_TRUE(store_.write("v", "ON").ok());
+  auto v = store_.read("v");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().value, "ON");
+  EXPECT_EQ(v.value().type, "sensor");
+  EXPECT_FALSE(store_.read("missing").ok());
+}
+
+TEST_F(SssTest, TimeoutAfterMissedRefreshes) {
+  // refresh period 10 s, 2 allowed misses => timed out 30 s after the
+  // last refresh.
+  store_.create("sensor", "v", "ON", seconds(10), 2);
+  sim_.run_until(kTimeZero + seconds(29));
+  EXPECT_FALSE(store_.read("v").value().timed_out);
+  sim_.run_until(kTimeZero + seconds(31));
+  EXPECT_TRUE(store_.read("v").value().timed_out);
+  EXPECT_EQ(store_.stats().get("timeouts"), 1);
+}
+
+TEST_F(SssTest, RefreshPreventsTimeout) {
+  store_.create("sensor", "v", "ON", seconds(10), 2);
+  for (int i = 1; i <= 10; ++i) {
+    sim_.run_until(kTimeZero + seconds(10 * i));
+    store_.refresh("v");
+  }
+  sim_.run_until(kTimeZero + seconds(120));
+  EXPECT_FALSE(store_.read("v").value().timed_out);
+}
+
+TEST_F(SssTest, WriteClearsTimeout) {
+  store_.create("sensor", "v", "ON", seconds(10), 2);
+  sim_.run_until(kTimeZero + minutes(5));
+  ASSERT_TRUE(store_.read("v").value().timed_out);
+  store_.write("v", "ON");
+  EXPECT_FALSE(store_.read("v").value().timed_out);
+}
+
+TEST_F(SssTest, ZeroRefreshPeriodNeverTimesOut) {
+  store_.create("sensor", "v", "ON", Duration::zero(), 0);
+  sim_.run_until(kTimeZero + days(10));
+  EXPECT_FALSE(store_.read("v").value().timed_out);
+}
+
+TEST_F(SssTest, VariableSubscriptionSeesLifecycle) {
+  std::vector<EventKind> kinds;
+  store_.subscribe_variable("v", [&](const Event& e) {
+    kinds.push_back(e.kind);
+  });
+  store_.create("sensor", "v", "OFF", seconds(10), 0);
+  store_.write("v", "ON");
+  store_.refresh("v");
+  sim_.run_until(kTimeZero + minutes(5));  // times out
+  store_.remove("v");
+  ASSERT_EQ(kinds.size(), 5u);
+  EXPECT_EQ(kinds[0], EventKind::kCreated);
+  EXPECT_EQ(kinds[1], EventKind::kUpdated);
+  EXPECT_EQ(kinds[2], EventKind::kRefreshed);
+  EXPECT_EQ(kinds[3], EventKind::kTimedOut);
+  EXPECT_EQ(kinds[4], EventKind::kDeleted);
+}
+
+TEST_F(SssTest, WriteSameValueIsRefreshEvent) {
+  std::vector<EventKind> kinds;
+  store_.create("sensor", "v", "ON", Duration::zero(), 0);
+  store_.subscribe_variable("v", [&](const Event& e) {
+    kinds.push_back(e.kind);
+  });
+  store_.write("v", "ON");  // same value
+  ASSERT_EQ(kinds.size(), 1u);
+  EXPECT_EQ(kinds[0], EventKind::kRefreshed);
+}
+
+TEST_F(SssTest, TypeSubscriptionMatchesAllVariablesOfType) {
+  int events = 0;
+  store_.define_type("other");
+  store_.subscribe_type("sensor", [&](const Event&) { ++events; });
+  store_.create("sensor", "a", "1", Duration::zero(), 0);
+  store_.create("sensor", "b", "1", Duration::zero(), 0);
+  store_.create("other", "c", "1", Duration::zero(), 0);
+  EXPECT_EQ(events, 2);
+}
+
+TEST_F(SssTest, UnsubscribeStopsEvents) {
+  int events = 0;
+  const SubscriptionId id =
+      store_.subscribe_type("sensor", [&](const Event&) { ++events; });
+  store_.create("sensor", "a", "1", Duration::zero(), 0);
+  store_.unsubscribe(id);
+  store_.write("a", "2");
+  EXPECT_EQ(events, 1);
+}
+
+TEST_F(SssTest, TimedOutEventForRecoveredVariableIsUpdated) {
+  store_.create("sensor", "v", "ON", seconds(10), 0);
+  sim_.run_until(kTimeZero + minutes(2));
+  ASSERT_TRUE(store_.read("v").value().timed_out);
+  std::vector<EventKind> kinds;
+  store_.subscribe_variable("v", [&](const Event& e) { kinds.push_back(e.kind); });
+  store_.refresh("v");  // recovery from timeout is a state change
+  ASSERT_EQ(kinds.size(), 1u);
+  EXPECT_EQ(kinds[0], EventKind::kUpdated);
+}
+
+// ---------------------------------------------------------------------------
+// Replication
+// ---------------------------------------------------------------------------
+
+class SssReplicationTest : public ::testing::Test {
+ protected:
+  SssReplicationTest() {
+    MediumModel phoneline;
+    phoneline.base_latency = millis(100);
+    phoneline.jitter = millis(50);
+    phoneline.loss_probability = 0.0;
+    group_ = std::make_unique<SssReplicationGroup>(sim_, phoneline);
+    group_->join(pc1_);
+    group_->join(gateway_);
+    pc1_.define_type("sensor");
+  }
+
+  sim::Simulator sim_{1};
+  SssServer pc1_{sim_, "pc1"};
+  SssServer gateway_{sim_, "gateway"};
+  std::unique_ptr<SssReplicationGroup> group_;
+};
+
+TEST_F(SssReplicationTest, CreatePropagates) {
+  pc1_.create("sensor", "device.remote", "DISARM", Duration::zero(), 0);
+  EXPECT_FALSE(gateway_.read("device.remote").ok());  // in flight
+  sim_.run_for(seconds(1));
+  auto v = gateway_.read("device.remote");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().value, "DISARM");
+  EXPECT_EQ(v.value().origin, "pc1");
+}
+
+TEST_F(SssReplicationTest, UpdatePropagatesAndFiresRemoteEvents) {
+  pc1_.create("sensor", "v", "OFF", Duration::zero(), 0);
+  sim_.run_for(seconds(1));
+  int remote_updates = 0;
+  gateway_.subscribe_variable("v", [&](const Event& e) {
+    if (e.kind == EventKind::kUpdated) ++remote_updates;
+  });
+  pc1_.write("v", "ON");
+  sim_.run_for(seconds(1));
+  EXPECT_EQ(remote_updates, 1);
+  EXPECT_EQ(gateway_.read("v").value().value, "ON");
+}
+
+TEST_F(SssReplicationTest, StaleReplicaLosesLww) {
+  pc1_.create("sensor", "v", "1", Duration::zero(), 0);
+  sim_.run_for(seconds(1));
+  // Both write "simultaneously"; higher version (more writes) wins.
+  gateway_.write("v", "from-gateway");
+  gateway_.write("v", "from-gateway-2");  // version 3
+  pc1_.write("v", "from-pc1");            // version 2
+  sim_.run_for(seconds(2));
+  EXPECT_EQ(pc1_.read("v").value().value, "from-gateway-2");
+  EXPECT_EQ(gateway_.read("v").value().value, "from-gateway-2");
+}
+
+TEST_F(SssReplicationTest, EqualVersionTieBreaksByOrigin) {
+  pc1_.create("sensor", "v", "1", Duration::zero(), 0);
+  sim_.run_for(seconds(1));
+  gateway_.write("v", "G");  // version 2 at gateway
+  pc1_.write("v", "P");      // version 2 at pc1
+  sim_.run_for(seconds(2));
+  // "pc1" > "gateway" lexicographically; both sides converge on P.
+  EXPECT_EQ(pc1_.read("v").value().value, "P");
+  EXPECT_EQ(gateway_.read("v").value().value, "P");
+}
+
+TEST_F(SssReplicationTest, LossyMediumMissesSomeUpdates) {
+  MediumModel lossy;
+  lossy.base_latency = millis(10);
+  lossy.jitter = millis(1);
+  lossy.loss_probability = 1.0;
+  sim::Simulator sim(2);
+  SssServer a(sim, "a"), b(sim, "b");
+  SssReplicationGroup group(sim, lossy);
+  group.join(a);
+  group.join(b);
+  a.define_type("t");
+  a.create("t", "v", "x", Duration::zero(), 0);
+  sim.run();
+  EXPECT_FALSE(b.read("v").ok());
+  EXPECT_GE(group.stats().get("lost"), 1);
+}
+
+TEST_F(SssReplicationTest, ThreeNodeConvergence) {
+  SssServer pc2(sim_, "pc2");
+  group_->join(pc2);
+  pc1_.create("sensor", "v", "A", Duration::zero(), 0);
+  sim_.run_for(seconds(1));
+  pc2.write("v", "B");
+  sim_.run_for(seconds(1));
+  EXPECT_EQ(pc1_.read("v").value().value, "B");
+  EXPECT_EQ(gateway_.read("v").value().value, "B");
+  EXPECT_EQ(pc2.read("v").value().value, "B");
+}
+
+}  // namespace
+}  // namespace simba::sss

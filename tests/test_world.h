@@ -1,0 +1,51 @@
+// Shared test fixture: one wired-up world with IM, email, and SMS
+// infrastructure using fast, loss-free delay models so unit tests are
+// quick and deterministic. Experiments use realistic models instead.
+#pragma once
+
+#include "email/email_server.h"
+#include "im/im_server.h"
+#include "net/bus.h"
+#include "sim/simulator.h"
+#include "sms/sms.h"
+
+namespace simba::testing {
+
+struct World {
+  explicit World(std::uint64_t seed = 1)
+      : sim(seed),
+        bus(sim),
+        im_server(sim, bus),
+        email_server(sim),
+        sms_gateway(sim, "sms.example.net") {
+    // IM links: ~200-500 ms per hop (the paper's sub-second one-way).
+    net::LinkModel im_link;
+    im_link.base_latency = millis(150);
+    im_link.jitter = millis(200);
+    im_link.loss_probability = 0.0;
+    bus.set_default_link(im_link);
+    // Email: seconds, no tail, no loss (tests override when needed).
+    email::EmailDelayModel fast_email;
+    fast_email.fast_probability = 1.0;
+    fast_email.fast_median = seconds(6);
+    fast_email.fast_sigma = 0.3;
+    fast_email.loss_probability = 0.0;
+    email_server.set_delay_model(fast_email);
+    // SMS: tens of seconds, no loss.
+    sms::SmsDelayModel fast_sms;
+    fast_sms.fast_probability = 1.0;
+    fast_sms.fast_median = seconds(12);
+    fast_sms.fast_sigma = 0.3;
+    fast_sms.loss_probability = 0.0;
+    sms_gateway.set_delay_model(fast_sms);
+    sms_gateway.attach_to(email_server);
+  }
+
+  sim::Simulator sim;
+  net::MessageBus bus;
+  im::ImServer im_server;
+  email::EmailServer email_server;
+  sms::SmsGateway sms_gateway;
+};
+
+}  // namespace simba::testing

@@ -1,0 +1,235 @@
+// Unit tests for the WISH location service: radio model, localization,
+// soft-state presence, and enter/move/leave alerts.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include <cmath>
+
+#include "wish/wish.h"
+
+namespace simba::wish {
+namespace {
+
+FloorMap building31() {
+  FloorMap map;
+  map.add_ap(AccessPoint{"ap-ne", {10, 10}, "Building 31 / NE wing"});
+  map.add_ap(AccessPoint{"ap-sw", {60, 40}, "Building 31 / SW wing"});
+  map.add_ap(AccessPoint{"ap-lab", {100, 10}, "Building 31 / Lab"});
+  return map;
+}
+
+RadioModel quiet_radio() {
+  RadioModel r;
+  r.shadow_sigma_db = 0.5;  // near-deterministic for unit tests
+  return r;
+}
+
+TEST(RadioModelTest, RssiFallsWithDistance) {
+  RadioModel r = quiet_radio();
+  Rng rng(1);
+  const double near = r.sample_rssi(2.0, rng);
+  const double far = r.sample_rssi(40.0, rng);
+  EXPECT_GT(near, far);
+}
+
+TEST(RadioModelTest, DistanceInversionRoundTrips) {
+  RadioModel r;
+  for (const double d : {1.0, 5.0, 20.0, 60.0}) {
+    const double rssi =
+        r.power_at_1m_dbm - 10.0 * r.path_loss_exponent * std::log10(d);
+    EXPECT_NEAR(r.distance_for_rssi(rssi), d, d * 0.01);
+  }
+}
+
+TEST(RadioModelTest, ClampsTinyDistances) {
+  RadioModel r = quiet_radio();
+  Rng rng(1);
+  // No infinities at zero distance.
+  EXPECT_LT(r.sample_rssi(0.0, rng), 0.0);
+}
+
+TEST(FloorMapTest, LookupById) {
+  FloorMap map = building31();
+  ASSERT_NE(map.ap("ap-ne"), nullptr);
+  EXPECT_EQ(map.ap("ap-ne")->zone, "Building 31 / NE wing");
+  EXPECT_EQ(map.ap("missing"), nullptr);
+}
+
+class WishTest : public ::testing::Test {
+ protected:
+  WishTest()
+      : store_(sim_, "wish-server"),
+        server_(sim_, building31(), quiet_radio(), store_) {
+    server_.set_user_refresh(seconds(10), 2);
+  }
+
+  sim::Simulator sim_{1};
+  sss::SssServer store_;
+  WishServer server_;
+};
+
+TEST_F(WishTest, EstimateMapsApToZoneWithConfidence) {
+  Report report;
+  report.user = "victor";
+  report.ap_id = "ap-ne";
+  report.rssi_dbm = -40.0;  // very close
+  const Estimate e = server_.estimate(report);
+  EXPECT_EQ(e.zone, "Building 31 / NE wing");
+  EXPECT_GT(e.confidence_pct, 80.0);
+  Report far = report;
+  far.rssi_dbm = -85.0;
+  const Estimate far_e = server_.estimate(far);
+  EXPECT_LT(far_e.confidence_pct, e.confidence_pct);
+}
+
+TEST_F(WishTest, UnknownApLowConfidence) {
+  Report report;
+  report.user = "victor";
+  report.ap_id = "rogue";
+  report.rssi_dbm = -40.0;
+  const Estimate e = server_.estimate(report);
+  EXPECT_EQ(e.zone, "unknown");
+  EXPECT_DOUBLE_EQ(e.confidence_pct, 0.0);
+}
+
+TEST_F(WishTest, ReportCreatesSoftStateVariable) {
+  Report report;
+  report.user = "victor";
+  report.ap_id = "ap-lab";
+  report.rssi_dbm = -50.0;
+  server_.handle_report(report);
+  auto v = store_.read(WishServer::user_variable("victor"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().value, "Building 31 / Lab");
+  ASSERT_TRUE(server_.last_estimate("victor").has_value());
+}
+
+TEST_F(WishTest, SilenceTimesOutUserVariable) {
+  Report report;
+  report.user = "victor";
+  report.ap_id = "ap-ne";
+  report.rssi_dbm = -50.0;
+  server_.handle_report(report);
+  sim_.run_for(minutes(2));  // 10 s refresh, 2 misses => 30 s grace
+  EXPECT_TRUE(store_.read(WishServer::user_variable("victor")).value().timed_out);
+}
+
+TEST_F(WishTest, ClientAssociatesWithNearestAp) {
+  WishClient client(sim_, building31(), quiet_radio(), server_, "victor",
+                    seconds(3));
+  client.set_position({12, 12});  // near ap-ne
+  client.start();
+  sim_.run_for(seconds(10));
+  client.stop();
+  auto est = server_.last_estimate("victor");
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->zone, "Building 31 / NE wing");
+  EXPECT_GE(server_.stats().get("reports"), 2);
+}
+
+TEST_F(WishTest, OutOfRangeClientStopsReporting) {
+  WishClient client(sim_, building31(), quiet_radio(), server_, "victor",
+                    seconds(3));
+  client.set_position({12, 12});
+  client.start();
+  sim_.run_for(seconds(10));
+  const auto reports = server_.stats().get("reports");
+  client.set_in_range(false);
+  sim_.run_for(seconds(30));
+  EXPECT_EQ(server_.stats().get("reports"), reports);
+  EXPECT_GE(client.stats().get("cycles.out_of_range"), 5);
+  client.stop();
+}
+
+class WishAlertTest : public WishTest {
+ protected:
+  WishAlertTest() : alerts_service_(sim_, store_) {
+    alerts_service_.subscribe("boss", "victor", {}, [this](const core::Alert& a) {
+      alerts_.push_back(a);
+    });
+  }
+
+  void report_from(const std::string& ap) {
+    Report r;
+    r.user = "victor";
+    r.ap_id = ap;
+    r.rssi_dbm = -45.0;
+    server_.handle_report(r);
+  }
+
+  WishAlertService alerts_service_;
+  std::vector<core::Alert> alerts_;
+};
+
+TEST_F(WishAlertTest, EnterAlertOnFirstSighting) {
+  report_from("ap-ne");
+  ASSERT_EQ(alerts_.size(), 1u);
+  EXPECT_EQ(alerts_[0].subject, "victor entered Building 31 / NE wing");
+  EXPECT_EQ(alerts_[0].source, "wish");
+  EXPECT_EQ(alerts_[0].native_category, "Location");
+}
+
+TEST_F(WishAlertTest, MoveAlertOnZoneChangeOnly) {
+  report_from("ap-ne");
+  report_from("ap-ne");  // same zone: no new alert
+  EXPECT_EQ(alerts_.size(), 1u);
+  report_from("ap-sw");
+  ASSERT_EQ(alerts_.size(), 2u);
+  EXPECT_EQ(alerts_[1].subject, "victor moved to Building 31 / SW wing");
+}
+
+TEST_F(WishAlertTest, LeaveAlertOnTimeout) {
+  report_from("ap-ne");
+  sim_.run_for(minutes(2));  // variable times out
+  ASSERT_EQ(alerts_.size(), 2u);
+  EXPECT_EQ(alerts_[1].subject, "victor left the building");
+}
+
+TEST_F(WishAlertTest, ReenterAfterLeaveIsEnter) {
+  report_from("ap-ne");
+  sim_.run_for(minutes(2));
+  report_from("ap-lab");
+  ASSERT_EQ(alerts_.size(), 3u);
+  EXPECT_EQ(alerts_[2].subject, "victor entered Building 31 / Lab");
+}
+
+TEST_F(WishAlertTest, TriggerMaskSuppressesUnwanted) {
+  std::vector<core::Alert> move_only;
+  WishAlertService service(sim_, store_);
+  WishAlertService::Triggers triggers;
+  triggers.on_enter = false;
+  triggers.on_leave = false;
+  service.subscribe("boss", "walker", triggers,
+                    [&](const core::Alert& a) { move_only.push_back(a); });
+  Report r;
+  r.user = "walker";
+  r.ap_id = "ap-ne";
+  r.rssi_dbm = -45.0;
+  server_.handle_report(r);  // enter: suppressed
+  EXPECT_TRUE(move_only.empty());
+  r.ap_id = "ap-sw";
+  server_.handle_report(r);  // move: delivered
+  ASSERT_EQ(move_only.size(), 1u);
+  sim_.run_for(minutes(2));  // leave: suppressed
+  EXPECT_EQ(move_only.size(), 1u);
+}
+
+TEST_F(WishAlertTest, WalkAcrossBuildingEndToEnd) {
+  WishClient client(sim_, building31(), quiet_radio(), server_, "victor",
+                    seconds(3));
+  client.set_position({10, 10});
+  client.start();
+  sim_.run_for(seconds(10));
+  client.set_position({60, 40});  // walk to SW wing
+  sim_.run_for(seconds(10));
+  client.set_in_range(false);  // leaves the building
+  sim_.run_for(minutes(2));
+  client.stop();
+  ASSERT_GE(alerts_.size(), 3u);
+  EXPECT_NE(alerts_[0].subject.find("entered"), std::string::npos);
+  EXPECT_NE(alerts_[1].subject.find("moved"), std::string::npos);
+  EXPECT_NE(alerts_.back().subject.find("left"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simba::wish

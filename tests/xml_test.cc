@@ -1,0 +1,167 @@
+// Unit tests for the from-scratch XML parser/writer.
+#include <gtest/gtest.h>
+
+#include "xml/xml.h"
+
+namespace simba::xml {
+namespace {
+
+TEST(XmlParseTest, SimpleElement) {
+  auto doc = parse("<a/>");
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  EXPECT_EQ(doc.value().root().name(), "a");
+}
+
+TEST(XmlParseTest, AttributesBothQuoteStyles) {
+  auto doc = parse(R"(<a x="1" y='two'/>)");
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  EXPECT_EQ(doc.value().root().attr_or("x", ""), "1");
+  EXPECT_EQ(doc.value().root().attr_or("y", ""), "two");
+  EXPECT_FALSE(doc.value().root().attr("z").has_value());
+}
+
+TEST(XmlParseTest, NestedChildrenAndText) {
+  auto doc = parse("<mode><block><action a=\"IM\"/></block>"
+                   "<block>fallback</block></mode>");
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  const Element& root = doc.value().root();
+  ASSERT_EQ(root.children().size(), 2u);
+  EXPECT_EQ(root.children("block").size(), 2u);
+  EXPECT_EQ(root.children()[1]->text(), "fallback");
+  const Element* block = root.child("block");
+  ASSERT_NE(block, nullptr);
+  EXPECT_NE(block->child("action"), nullptr);
+}
+
+TEST(XmlParseTest, EntityDecoding) {
+  auto doc = parse("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>");
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  EXPECT_EQ(doc.value().root().text(), "<x> & \"y\" 'z'");
+}
+
+TEST(XmlParseTest, NumericEntities) {
+  auto doc = parse("<a>&#65;&#x42;</a>");
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  EXPECT_EQ(doc.value().root().text(), "AB");
+}
+
+TEST(XmlParseTest, EntityInAttribute) {
+  auto doc = parse(R"(<a name="Tom &amp; Jerry"/>)");
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  EXPECT_EQ(doc.value().root().attr_or("name", ""), "Tom & Jerry");
+}
+
+TEST(XmlParseTest, DeclarationCommentsDoctypeSkipped) {
+  auto doc = parse("<?xml version=\"1.0\"?>\n<!DOCTYPE a>\n"
+                   "<!-- hello -->\n<a><!-- inner --><b/></a>\n<!-- post -->");
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  EXPECT_NE(doc.value().root().child("b"), nullptr);
+}
+
+TEST(XmlParseTest, TextWhitespaceTrimmed) {
+  auto doc = parse("<a>\n   padded   \n</a>");
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  EXPECT_EQ(doc.value().root().text(), "padded");
+}
+
+TEST(XmlParseTest, ErrorMismatchedTags) {
+  auto doc = parse("<a><b></a></b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.error().find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParseTest, ErrorUnterminated) {
+  EXPECT_FALSE(parse("<a><b>").ok());
+  EXPECT_FALSE(parse("<a attr=>").ok());
+  EXPECT_FALSE(parse("<a attr=\"x>").ok());
+  EXPECT_FALSE(parse("").ok());
+}
+
+TEST(XmlParseTest, ErrorDuplicateAttribute) {
+  EXPECT_FALSE(parse(R"(<a x="1" x="2"/>)").ok());
+}
+
+TEST(XmlParseTest, ErrorTrailingContent) {
+  EXPECT_FALSE(parse("<a/><b/>").ok());
+}
+
+TEST(XmlParseTest, ErrorUnknownEntity) {
+  EXPECT_FALSE(parse("<a>&bogus;</a>").ok());
+}
+
+TEST(XmlParseTest, ErrorMessageCarriesLineNumber) {
+  auto doc = parse("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.error().find("3:"), std::string::npos);
+}
+
+TEST(XmlWriteTest, EscapesSpecials) {
+  Element e("a");
+  e.set_attr("x", "a<b>&\"c'");
+  e.set_text("1 < 2 & 3");
+  const std::string out = e.serialize(-1);
+  EXPECT_EQ(out,
+            "<a x=\"a&lt;b&gt;&amp;&quot;c&apos;\">1 &lt; 2 &amp; 3</a>");
+}
+
+TEST(XmlWriteTest, SelfClosingWhenEmpty) {
+  Element e("empty");
+  EXPECT_EQ(e.serialize(-1), "<empty/>");
+}
+
+TEST(XmlRoundTripTest, ComplexDocumentSurvives) {
+  Element root("deliveryMode");
+  root.set_attr("name", "Urgent & Fast");
+  Element& block = root.add_child("block");
+  block.set_attr("timeout", "45s");
+  Element& action = block.add_child("action");
+  action.set_attr("address", "MSN IM");
+  action.set_attr("requireAck", "true");
+  Element& b2 = root.add_child("block");
+  b2.add_child("action").set_attr("address", "Work email");
+
+  const std::string text = root.serialize();
+  auto doc = parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  const Element& r = doc.value().root();
+  EXPECT_EQ(r.attr_or("name", ""), "Urgent & Fast");
+  ASSERT_EQ(r.children("block").size(), 2u);
+  EXPECT_EQ(r.children("block")[0]->child("action")->attr_or("address", ""),
+            "MSN IM");
+}
+
+TEST(XmlElementTest, ChildTextHelper) {
+  auto doc = parse("<a><name>Fred</name></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root().child_text("name"), "Fred");
+  EXPECT_EQ(doc.value().root().child_text("missing", "dflt"), "dflt");
+}
+
+TEST(XmlElementTest, SetAttrReplaces) {
+  Element e("a");
+  e.set_attr("k", "1");
+  e.set_attr("k", "2");
+  EXPECT_EQ(e.attrs().size(), 1u);
+  EXPECT_EQ(e.attr_or("k", ""), "2");
+}
+
+// Property-style sweep: escape/parse round trip over tricky strings.
+class XmlEscapeRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(XmlEscapeRoundTrip, Survives) {
+  Element e("t");
+  e.set_text(GetParam());
+  e.set_attr("v", GetParam());
+  auto doc = parse(e.serialize());
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  EXPECT_EQ(doc.value().root().text(), GetParam());
+  EXPECT_EQ(doc.value().root().attr_or("v", ""), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TrickyStrings, XmlEscapeRoundTrip,
+    ::testing::Values("plain", "<tag>", "a&b", "quote\"inside", "apos'inside",
+                      "mixed <&\"'> all", "unicode \xC3\xA9\xE2\x82\xAC"));
+
+}  // namespace
+}  // namespace simba::xml
