@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_availability_ablation.dir/bench_availability_ablation.cc.o"
+  "CMakeFiles/bench_availability_ablation.dir/bench_availability_ablation.cc.o.d"
+  "bench_availability_ablation"
+  "bench_availability_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_availability_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

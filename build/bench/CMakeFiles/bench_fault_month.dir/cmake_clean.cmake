@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_month.dir/bench_fault_month.cc.o"
+  "CMakeFiles/bench_fault_month.dir/bench_fault_month.cc.o.d"
+  "bench_fault_month"
+  "bench_fault_month.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_month.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

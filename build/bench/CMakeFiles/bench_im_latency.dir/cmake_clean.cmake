@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_im_latency.dir/bench_im_latency.cc.o"
+  "CMakeFiles/bench_im_latency.dir/bench_im_latency.cc.o.d"
+  "bench_im_latency"
+  "bench_im_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_im_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_portal_scale.dir/bench_portal_scale.cc.o"
+  "CMakeFiles/bench_portal_scale.dir/bench_portal_scale.cc.o.d"
+  "bench_portal_scale"
+  "bench_portal_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_portal_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proxy_routing.dir/bench_proxy_routing.cc.o"
+  "CMakeFiles/bench_proxy_routing.dir/bench_proxy_routing.cc.o.d"
+  "bench_proxy_routing"
+  "bench_proxy_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proxy_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

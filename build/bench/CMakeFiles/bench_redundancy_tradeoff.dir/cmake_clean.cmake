@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_redundancy_tradeoff.dir/bench_redundancy_tradeoff.cc.o"
+  "CMakeFiles/bench_redundancy_tradeoff.dir/bench_redundancy_tradeoff.cc.o.d"
+  "bench_redundancy_tradeoff"
+  "bench_redundancy_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redundancy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

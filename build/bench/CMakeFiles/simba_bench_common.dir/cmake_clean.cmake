@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_bench_common.dir/common.cc.o"
+  "CMakeFiles/simba_bench_common.dir/common.cc.o.d"
+  "libsimba_bench_common.a"
+  "libsimba_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

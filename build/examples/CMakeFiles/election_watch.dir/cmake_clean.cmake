@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/election_watch.dir/election_watch.cpp.o"
+  "CMakeFiles/election_watch.dir/election_watch.cpp.o.d"
+  "election_watch"
+  "election_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/election_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_security.dir/home_security.cpp.o"
+  "CMakeFiles/home_security.dir/home_security.cpp.o.d"
+  "home_security"
+  "home_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/investment_day.dir/investment_day.cpp.o"
+  "CMakeFiles/investment_day.dir/investment_day.cpp.o.d"
+  "investment_day"
+  "investment_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/investment_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/where_is_victor.cpp" "examples/CMakeFiles/where_is_victor.dir/where_is_victor.cpp.o" "gcc" "examples/CMakeFiles/where_is_victor.dir/where_is_victor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/simba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wish/CMakeFiles/simba_wish.dir/DependInfo.cmake"
+  "/root/repo/build/src/sss/CMakeFiles/simba_sss.dir/DependInfo.cmake"
+  "/root/repo/build/src/automation/CMakeFiles/simba_automation.dir/DependInfo.cmake"
+  "/root/repo/build/src/im/CMakeFiles/simba_im.dir/DependInfo.cmake"
+  "/root/repo/build/src/sms/CMakeFiles/simba_sms.dir/DependInfo.cmake"
+  "/root/repo/build/src/email/CMakeFiles/simba_email.dir/DependInfo.cmake"
+  "/root/repo/build/src/gui/CMakeFiles/simba_gui.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/simba_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/simba_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/simba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/simba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

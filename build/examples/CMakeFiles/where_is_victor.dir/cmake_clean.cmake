@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/where_is_victor.dir/where_is_victor.cpp.o"
+  "CMakeFiles/where_is_victor.dir/where_is_victor.cpp.o.d"
+  "where_is_victor"
+  "where_is_victor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/where_is_victor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

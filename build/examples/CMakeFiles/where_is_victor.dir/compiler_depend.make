@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for where_is_victor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for where_is_victor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("xml")
+subdirs("sim")
+subdirs("net")
+subdirs("gui")
+subdirs("im")
+subdirs("email")
+subdirs("sms")
+subdirs("automation")
+subdirs("sss")
+subdirs("aladdin")
+subdirs("wish")
+subdirs("proxy")
+subdirs("assistant")
+subdirs("core")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_aladdin.dir/devices.cc.o"
+  "CMakeFiles/simba_aladdin.dir/devices.cc.o.d"
+  "CMakeFiles/simba_aladdin.dir/home_network.cc.o"
+  "CMakeFiles/simba_aladdin.dir/home_network.cc.o.d"
+  "CMakeFiles/simba_aladdin.dir/monitor.cc.o"
+  "CMakeFiles/simba_aladdin.dir/monitor.cc.o.d"
+  "CMakeFiles/simba_aladdin.dir/remote_automation.cc.o"
+  "CMakeFiles/simba_aladdin.dir/remote_automation.cc.o.d"
+  "libsimba_aladdin.a"
+  "libsimba_aladdin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_aladdin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

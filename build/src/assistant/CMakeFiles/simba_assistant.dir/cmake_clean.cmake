@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_assistant.dir/assistant.cc.o"
+  "CMakeFiles/simba_assistant.dir/assistant.cc.o.d"
+  "libsimba_assistant.a"
+  "libsimba_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

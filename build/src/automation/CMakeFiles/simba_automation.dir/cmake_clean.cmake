@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_automation.dir/email_manager.cc.o"
+  "CMakeFiles/simba_automation.dir/email_manager.cc.o.d"
+  "CMakeFiles/simba_automation.dir/im_manager.cc.o"
+  "CMakeFiles/simba_automation.dir/im_manager.cc.o.d"
+  "CMakeFiles/simba_automation.dir/manager.cc.o"
+  "CMakeFiles/simba_automation.dir/manager.cc.o.d"
+  "libsimba_automation.a"
+  "libsimba_automation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_automation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

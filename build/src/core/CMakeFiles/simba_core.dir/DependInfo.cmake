@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/address_book.cc" "src/core/CMakeFiles/simba_core.dir/address_book.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/address_book.cc.o.d"
+  "/root/repo/src/core/alert.cc" "src/core/CMakeFiles/simba_core.dir/alert.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/alert.cc.o.d"
+  "/root/repo/src/core/alert_log.cc" "src/core/CMakeFiles/simba_core.dir/alert_log.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/alert_log.cc.o.d"
+  "/root/repo/src/core/baseline.cc" "src/core/CMakeFiles/simba_core.dir/baseline.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/baseline.cc.o.d"
+  "/root/repo/src/core/category_map.cc" "src/core/CMakeFiles/simba_core.dir/category_map.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/category_map.cc.o.d"
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/simba_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/config_xml.cc" "src/core/CMakeFiles/simba_core.dir/config_xml.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/config_xml.cc.o.d"
+  "/root/repo/src/core/delivery_engine.cc" "src/core/CMakeFiles/simba_core.dir/delivery_engine.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/delivery_engine.cc.o.d"
+  "/root/repo/src/core/delivery_mode.cc" "src/core/CMakeFiles/simba_core.dir/delivery_mode.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/delivery_mode.cc.o.d"
+  "/root/repo/src/core/digest.cc" "src/core/CMakeFiles/simba_core.dir/digest.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/digest.cc.o.d"
+  "/root/repo/src/core/mab.cc" "src/core/CMakeFiles/simba_core.dir/mab.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/mab.cc.o.d"
+  "/root/repo/src/core/mab_host.cc" "src/core/CMakeFiles/simba_core.dir/mab_host.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/mab_host.cc.o.d"
+  "/root/repo/src/core/mdc.cc" "src/core/CMakeFiles/simba_core.dir/mdc.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/mdc.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/core/CMakeFiles/simba_core.dir/profile.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/profile.cc.o.d"
+  "/root/repo/src/core/source_endpoint.cc" "src/core/CMakeFiles/simba_core.dir/source_endpoint.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/source_endpoint.cc.o.d"
+  "/root/repo/src/core/user_endpoint.cc" "src/core/CMakeFiles/simba_core.dir/user_endpoint.cc.o" "gcc" "src/core/CMakeFiles/simba_core.dir/user_endpoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automation/CMakeFiles/simba_automation.dir/DependInfo.cmake"
+  "/root/repo/build/src/email/CMakeFiles/simba_email.dir/DependInfo.cmake"
+  "/root/repo/build/src/im/CMakeFiles/simba_im.dir/DependInfo.cmake"
+  "/root/repo/build/src/sms/CMakeFiles/simba_sms.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/simba_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/simba_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/simba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/simba_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gui/CMakeFiles/simba_gui.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

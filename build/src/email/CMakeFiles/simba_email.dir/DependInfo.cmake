@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/email/email_client.cc" "src/email/CMakeFiles/simba_email.dir/email_client.cc.o" "gcc" "src/email/CMakeFiles/simba_email.dir/email_client.cc.o.d"
+  "/root/repo/src/email/email_server.cc" "src/email/CMakeFiles/simba_email.dir/email_server.cc.o" "gcc" "src/email/CMakeFiles/simba_email.dir/email_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gui/CMakeFiles/simba_gui.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/simba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/simba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

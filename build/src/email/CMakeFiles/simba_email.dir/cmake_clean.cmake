@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_email.dir/email_client.cc.o"
+  "CMakeFiles/simba_email.dir/email_client.cc.o.d"
+  "CMakeFiles/simba_email.dir/email_server.cc.o"
+  "CMakeFiles/simba_email.dir/email_server.cc.o.d"
+  "libsimba_email.a"
+  "libsimba_email.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_email.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gui/client_app.cc" "src/gui/CMakeFiles/simba_gui.dir/client_app.cc.o" "gcc" "src/gui/CMakeFiles/simba_gui.dir/client_app.cc.o.d"
+  "/root/repo/src/gui/desktop.cc" "src/gui/CMakeFiles/simba_gui.dir/desktop.cc.o" "gcc" "src/gui/CMakeFiles/simba_gui.dir/desktop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/simba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/simba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

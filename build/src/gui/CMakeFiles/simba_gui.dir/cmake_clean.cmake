@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_gui.dir/client_app.cc.o"
+  "CMakeFiles/simba_gui.dir/client_app.cc.o.d"
+  "CMakeFiles/simba_gui.dir/desktop.cc.o"
+  "CMakeFiles/simba_gui.dir/desktop.cc.o.d"
+  "libsimba_gui.a"
+  "libsimba_gui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_gui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_im.dir/im_client.cc.o"
+  "CMakeFiles/simba_im.dir/im_client.cc.o.d"
+  "CMakeFiles/simba_im.dir/im_server.cc.o"
+  "CMakeFiles/simba_im.dir/im_server.cc.o.d"
+  "libsimba_im.a"
+  "libsimba_im.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_im.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

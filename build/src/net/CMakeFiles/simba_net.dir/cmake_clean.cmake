@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_net.dir/bus.cc.o"
+  "CMakeFiles/simba_net.dir/bus.cc.o.d"
+  "libsimba_net.a"
+  "libsimba_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_proxy.dir/proxy.cc.o"
+  "CMakeFiles/simba_proxy.dir/proxy.cc.o.d"
+  "libsimba_proxy.a"
+  "libsimba_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_sim.dir/fault.cc.o"
+  "CMakeFiles/simba_sim.dir/fault.cc.o.d"
+  "CMakeFiles/simba_sim.dir/simulator.cc.o"
+  "CMakeFiles/simba_sim.dir/simulator.cc.o.d"
+  "libsimba_sim.a"
+  "libsimba_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

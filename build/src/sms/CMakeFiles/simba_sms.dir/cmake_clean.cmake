@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_sms.dir/sms.cc.o"
+  "CMakeFiles/simba_sms.dir/sms.cc.o.d"
+  "libsimba_sms.a"
+  "libsimba_sms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_sms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

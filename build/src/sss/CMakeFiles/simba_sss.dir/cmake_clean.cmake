@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_sss.dir/sss.cc.o"
+  "CMakeFiles/simba_sss.dir/sss.cc.o.d"
+  "libsimba_sss.a"
+  "libsimba_sss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_sss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

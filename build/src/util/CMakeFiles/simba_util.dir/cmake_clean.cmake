@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_util.dir/calendar.cc.o"
+  "CMakeFiles/simba_util.dir/calendar.cc.o.d"
+  "CMakeFiles/simba_util.dir/log.cc.o"
+  "CMakeFiles/simba_util.dir/log.cc.o.d"
+  "CMakeFiles/simba_util.dir/rng.cc.o"
+  "CMakeFiles/simba_util.dir/rng.cc.o.d"
+  "CMakeFiles/simba_util.dir/stats.cc.o"
+  "CMakeFiles/simba_util.dir/stats.cc.o.d"
+  "CMakeFiles/simba_util.dir/strings.cc.o"
+  "CMakeFiles/simba_util.dir/strings.cc.o.d"
+  "CMakeFiles/simba_util.dir/time.cc.o"
+  "CMakeFiles/simba_util.dir/time.cc.o.d"
+  "libsimba_util.a"
+  "libsimba_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_wish.dir/wish.cc.o"
+  "CMakeFiles/simba_wish.dir/wish.cc.o.d"
+  "libsimba_wish.a"
+  "libsimba_wish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_wish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_xml.dir/xml.cc.o"
+  "CMakeFiles/simba_xml.dir/xml.cc.o.d"
+  "libsimba_xml.a"
+  "libsimba_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

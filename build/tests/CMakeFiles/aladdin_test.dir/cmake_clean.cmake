@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aladdin_test.dir/aladdin_test.cc.o"
+  "CMakeFiles/aladdin_test.dir/aladdin_test.cc.o.d"
+  "aladdin_test"
+  "aladdin_test.pdb"
+  "aladdin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aladdin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

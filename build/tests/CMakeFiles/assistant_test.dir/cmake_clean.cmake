@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assistant_test.dir/assistant_test.cc.o"
+  "CMakeFiles/assistant_test.dir/assistant_test.cc.o.d"
+  "assistant_test"
+  "assistant_test.pdb"
+  "assistant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assistant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_xml_test.dir/config_xml_test.cc.o"
+  "CMakeFiles/config_xml_test.dir/config_xml_test.cc.o.d"
+  "config_xml_test"
+  "config_xml_test.pdb"
+  "config_xml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/email_test.cc" "tests/CMakeFiles/email_test.dir/email_test.cc.o" "gcc" "tests/CMakeFiles/email_test.dir/email_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/email/CMakeFiles/simba_email.dir/DependInfo.cmake"
+  "/root/repo/build/src/sms/CMakeFiles/simba_sms.dir/DependInfo.cmake"
+  "/root/repo/build/src/gui/CMakeFiles/simba_gui.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/simba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/simba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/email_test.dir/email_test.cc.o"
+  "CMakeFiles/email_test.dir/email_test.cc.o.d"
+  "email_test"
+  "email_test.pdb"
+  "email_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/email_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

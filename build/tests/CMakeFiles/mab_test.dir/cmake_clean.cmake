@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mab_test.dir/mab_test.cc.o"
+  "CMakeFiles/mab_test.dir/mab_test.cc.o.d"
+  "mab_test"
+  "mab_test.pdb"
+  "mab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_automation_test.dir/remote_automation_test.cc.o"
+  "CMakeFiles/remote_automation_test.dir/remote_automation_test.cc.o.d"
+  "remote_automation_test"
+  "remote_automation_test.pdb"
+  "remote_automation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_automation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sss_test.dir/sss_test.cc.o"
+  "CMakeFiles/sss_test.dir/sss_test.cc.o.d"
+  "sss_test"
+  "sss_test.pdb"
+  "sss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wish_test.dir/wish_test.cc.o"
+  "CMakeFiles/wish_test.dir/wish_test.cc.o.d"
+  "wish_test"
+  "wish_test.pdb"
+  "wish_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wish_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/gui_test[1]_include.cmake")
+include("/root/repo/build/tests/im_test[1]_include.cmake")
+include("/root/repo/build/tests/email_test[1]_include.cmake")
+include("/root/repo/build/tests/automation_test[1]_include.cmake")
+include("/root/repo/build/tests/sss_test[1]_include.cmake")
+include("/root/repo/build/tests/aladdin_test[1]_include.cmake")
+include("/root/repo/build/tests/wish_test[1]_include.cmake")
+include("/root/repo/build/tests/proxy_test[1]_include.cmake")
+include("/root/repo/build/tests/assistant_test[1]_include.cmake")
+include("/root/repo/build/tests/core_model_test[1]_include.cmake")
+include("/root/repo/build/tests/config_xml_test[1]_include.cmake")
+include("/root/repo/build/tests/remote_automation_test[1]_include.cmake")
+include("/root/repo/build/tests/delivery_test[1]_include.cmake")
+include("/root/repo/build/tests/mab_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/component_test[1]_include.cmake")
+include("/root/repo/build/tests/conservation_test[1]_include.cmake")
