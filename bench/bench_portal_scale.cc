@@ -1,106 +1,82 @@
-// Experiment E9 — portal-scale workload (Section 1).
+// Experiment E9 — portal-scale workload (Section 1), fleet edition.
 //
 // Paper: "We analyzed a recent one-week usage log from a commercial
 // portal site, and it showed that on average around 225 thousands of
 // people received around 778 thousands of alerts every day from that
 // site" — i.e. ~3.46 alerts per user per day.
 //
-// The architecture question: does per-user MyAlertBuddy routing keep
-// up? We replay a scaled-down portal day (same per-user rate) through
-// real buddy instances and report simulator throughput plus routing
-// correctness; a second phase pushes a single buddy to saturation.
-#include <chrono>
+// Per-user MyAlertBuddy routing is independent across users, so the
+// replay shards one world per user across the fleet runner's thread
+// pool (--users N --threads T). Shard seeds derive only from the base
+// seed and shard id, and merging is shard-ordered, so the merged
+// correctness counters are identical for every thread count — compare
+// `--threads 1` against `--threads $(nproc)` to see the speedup with
+// the same delivered/lost/duplicate numbers.
+#include <algorithm>
 
 #include "common.h"
+#include "fleet/portal_workload.h"
 
 using namespace simba;
 using namespace simba::bench;
 
 int main(int argc, char** argv) {
   const Options options = Options::parse(argc, argv);
-  const int users = options.n > 0 ? options.n : 64;  // scale factor
+  const int users =
+      options.users > 0 ? options.users : (options.n > 0 ? options.n : 64);
+  const int threads = std::max(1, options.threads);
   const double alerts_per_user_day = 778000.0 / 225000.0;
 
-  const auto wall_start = std::chrono::steady_clock::now();
+  fleet::PortalWorkloadOptions workload;
+  workload.traffic = fleet::Traffic::kPortalEmail;
+  workload.alerts_per_user_day = alerts_per_user_day;
+  workload.world.fidelity = fleet::ModelFidelity::kCalibrated;
+  workload.world.email_check_interval = minutes(60);
 
-  ExperimentWorld world(options.seed);
-  // Portal-style sources deliver by email (the legacy path the intro
-  // describes), straight to each buddy.
-  std::vector<std::unique_ptr<Cast>> casts;
-  casts.reserve(static_cast<std::size_t>(users));
-  for (int i = 0; i < users; ++i) {
-    core::UserEndpointOptions user_options;
-    user_options.name = "user" + std::to_string(i);
-    user_options.phone_number = strformat("42555%05d", i);
-    user_options.email_check_interval = minutes(60);
-    casts.push_back(std::make_unique<Cast>(world, core::MabHostOptions{},
-                                           user_options));
-  }
+  fleet::FleetOptions fleet_options;
+  fleet_options.shards = static_cast<std::size_t>(users);
+  fleet_options.threads = threads;
+  fleet_options.base_seed = options.seed;
 
-  // One day of portal alerts: per-user Poisson at the measured rate.
-  Rng rng = world.sim.make_rng("portal");
-  std::int64_t sent = 0;
-  for (int u = 0; u < users; ++u) {
-    TimePoint t = kTimeZero;
-    while (true) {
-      t += rng.exponential_duration(
-          Duration{static_cast<std::int64_t>(86400.0 / alerts_per_user_day *
-                                             1e6)});
-      if (t >= kTimeZero + days(1)) break;
-      const int user_index = u;
-      const std::int64_t alert_number = sent++;
-      world.sim.at(t, [&world, &casts, user_index, alert_number] {
-        email::Email mail;
-        mail.from = "Yahoo! Alerts - Stocks <alerts@yahoo.example>";
-        mail.to = casts[static_cast<std::size_t>(user_index)]
-                      ->host->email_address();
-        mail.subject = "portal alert " + std::to_string(alert_number);
-        world.email_server.submit(std::move(mail));
+  const fleet::FleetReport report = fleet::run_fleet(
+      fleet_options, [&workload](const fleet::ShardTask& task) {
+        return fleet::run_portal_shard(task, workload);
       });
-    }
-  }
 
-  world.sim.run_until(kTimeZero + days(1) + hours(6));
+  const std::int64_t sent = report.counters.get("alerts.sent");
+  const std::int64_t delivered = report.counters.get("alerts.delivered");
 
-  std::int64_t routed = 0;
-  for (auto& cast : casts) {
-    routed += cast->host->mab() != nullptr
-                  ? cast->host->mab()->stats().get("routing.dispatched")
-                  : 0;
-    routed += 0;
-  }
-  std::int64_t seen = 0;
-  for (auto& cast : casts) {
-    seen += static_cast<std::int64_t>(cast->user->alerts_seen());
-  }
-
-  const double wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
-
-  print_header("E9: portal-scale replay (scaled)",
+  print_header("E9: portal-scale replay (sharded fleet)",
                "~225k users x ~3.46 alerts/user/day = ~778k alerts/day");
   print_row("users simulated", "225,000 (paper's portal)",
-            std::to_string(users), "scale factor");
+            std::to_string(users), "one fleet shard per user");
+  print_row("fleet worker threads", "-", std::to_string(threads));
   print_row("portal alerts in the virtual day",
             strformat("%.2f per user", alerts_per_user_day),
             std::to_string(sent));
   print_row("alerts seen by users", "-",
-            strformat("%lld (%.1f%%)", static_cast<long long>(seen),
-                      sent == 0 ? 0.0 : 100.0 * seen / sent),
+            strformat("%lld (%.1f%%)", static_cast<long long>(delivered),
+                      sent == 0 ? 0.0 : 100.0 * delivered / sent),
             "email losses and unread tails account for the rest");
+  print_row("alerts lost / duplicated", "-",
+            strformat("%lld / %lld",
+                      static_cast<long long>(report.counters.get("alerts.lost")),
+                      static_cast<long long>(
+                          report.counters.get("alerts.duplicates"))));
   print_row("simulator events processed", "-",
-            std::to_string(world.sim.events_processed()));
+            std::to_string(report.events_processed));
   print_row("wall-clock for the virtual day", "-",
-            strformat("%.2f s", wall_seconds));
+            strformat("%.2f s", report.wall_seconds));
   print_row("virtual-day speedup", "-",
-            strformat("%.0fx", 86400.0 / std::max(wall_seconds, 1e-9)));
+            strformat("%.0fx", 86400.0 / std::max(report.wall_seconds, 1e-9)));
   const double full_scale_estimate =
-      wall_seconds * (225000.0 / std::max(users, 1));
+      report.wall_seconds * (225000.0 / std::max(users, 1));
   print_row("est. wall-clock at full 225k users", "-",
             strformat("%.0f s (%.1f h)", full_scale_estimate,
                       full_scale_estimate / 3600.0),
-            "linear extrapolation");
+            "linear extrapolation at this thread count");
+
+  print_section("merged fleet report");
+  std::printf("%s", report.render().c_str());
   return 0;
 }

@@ -6,12 +6,27 @@ namespace simba::bench {
 
 Options Options::parse(int argc, char** argv) {
   Options options;
+  // Accepts "--flag=value" and "--flag value"; returns nullptr when
+  // `arg` is not `flag`, advancing `i` when the value is a separate
+  // argv entry.
+  auto value_of = [&](const char* arg, const char* flag,
+                      int& i) -> const char* {
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(arg, flag, len) != 0) return nullptr;
+    if (arg[len] == '=') return arg + len + 1;
+    if (arg[len] == '\0' && i + 1 < argc) return argv[++i];
+    return nullptr;
+  };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--seed=", 7) == 0) {
-      options.seed = std::strtoull(arg + 7, nullptr, 10);
-    } else if (std::strncmp(arg, "--n=", 4) == 0) {
-      options.n = static_cast<int>(std::strtol(arg + 4, nullptr, 10));
+    if (const char* v = value_of(arg, "--seed", i)) {
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of(arg, "--n", i)) {
+      options.n = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value_of(arg, "--users", i)) {
+      options.users = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value_of(arg, "--threads", i)) {
+      options.threads = static_cast<int>(std::strtol(v, nullptr, 10));
     }
   }
   return options;

@@ -28,11 +28,14 @@
 
 namespace simba::bench {
 
-/// Command-line: --seed=N and --n=N (workload size), tolerated in any
-/// order; unknown flags are ignored so harness wrappers can pass extras.
+/// Command-line: --seed, --n (workload size), --users, and --threads,
+/// each accepted as "--flag=N" or "--flag N", in any order; unknown
+/// flags are ignored so harness wrappers can pass extras.
 struct Options {
   std::uint64_t seed = 42;
-  int n = 0;  // 0 = bench-specific default
+  int n = 0;        // 0 = bench-specific default
+  int users = 0;    // 0 = bench-specific default (fleet shard count)
+  int threads = 1;  // fleet worker threads; 1 = serial
   static Options parse(int argc, char** argv);
 };
 

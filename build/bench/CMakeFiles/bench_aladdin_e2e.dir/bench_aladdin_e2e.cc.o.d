@@ -215,6 +215,7 @@ bench/CMakeFiles/bench_aladdin_e2e.dir/bench_aladdin_e2e.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/log.h /root/repo/src/util/time.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
@@ -228,8 +229,7 @@ bench/CMakeFiles/bench_aladdin_e2e.dir/bench_aladdin_e2e.cc.o: \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/core/alert.h \
  /root/repo/src/sss/sss.h /root/repo/src/util/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/bench/common.h \
+ /usr/include/c++/12/optional /root/repo/bench/common.h \
  /root/repo/src/core/mab_host.h /root/repo/src/automation/email_manager.h \
  /root/repo/src/automation/manager.h /root/repo/src/gui/client_app.h \
  /root/repo/src/gui/desktop.h /root/repo/src/email/email_client.h \

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/bench/CMakeFiles/simba_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/simba_fleet.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/simba_core.dir/DependInfo.cmake"
   "/root/repo/build/src/automation/CMakeFiles/simba_automation.dir/DependInfo.cmake"
   "/root/repo/build/src/im/CMakeFiles/simba_im.dir/DependInfo.cmake"

@@ -19,3 +19,4 @@ subdirs("wish")
 subdirs("proxy")
 subdirs("assistant")
 subdirs("core")
+subdirs("fleet")

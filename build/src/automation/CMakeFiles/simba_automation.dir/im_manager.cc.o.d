@@ -215,6 +215,7 @@ src/automation/CMakeFiles/simba_automation.dir/im_manager.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/log.h /root/repo/src/util/time.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
@@ -224,7 +225,6 @@ src/automation/CMakeFiles/simba_automation.dir/im_manager.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/rng.h \
  /root/repo/src/util/result.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/optional \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/stats.h /usr/include/c++/12/cstddef \
  /root/repo/src/im/im_client.h /root/repo/src/im/im_server.h \
  /root/repo/src/net/bus.h /root/repo/src/sim/fault.h \

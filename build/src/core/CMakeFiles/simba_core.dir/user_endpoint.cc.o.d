@@ -221,9 +221,9 @@ src/core/CMakeFiles/simba_core.dir/user_endpoint.cc.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/simulator.h \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/log.h /root/repo/src/util/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/stats.h /usr/include/c++/12/cstddef \
  /root/repo/src/gui/client_app.h /root/repo/src/gui/desktop.h \
  /root/repo/src/im/im_client.h /root/repo/src/im/im_server.h \

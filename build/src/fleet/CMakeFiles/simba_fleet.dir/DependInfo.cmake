@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fleet/fleet.cc" "src/fleet/CMakeFiles/simba_fleet.dir/fleet.cc.o" "gcc" "src/fleet/CMakeFiles/simba_fleet.dir/fleet.cc.o.d"
+  "/root/repo/src/fleet/portal_workload.cc" "src/fleet/CMakeFiles/simba_fleet.dir/portal_workload.cc.o" "gcc" "src/fleet/CMakeFiles/simba_fleet.dir/portal_workload.cc.o.d"
+  "/root/repo/src/fleet/user_world.cc" "src/fleet/CMakeFiles/simba_fleet.dir/user_world.cc.o" "gcc" "src/fleet/CMakeFiles/simba_fleet.dir/user_world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/simba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/automation/CMakeFiles/simba_automation.dir/DependInfo.cmake"
+  "/root/repo/build/src/im/CMakeFiles/simba_im.dir/DependInfo.cmake"
+  "/root/repo/build/src/sms/CMakeFiles/simba_sms.dir/DependInfo.cmake"
+  "/root/repo/build/src/email/CMakeFiles/simba_email.dir/DependInfo.cmake"
+  "/root/repo/build/src/gui/CMakeFiles/simba_gui.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/simba_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/simba_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/simba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/simba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

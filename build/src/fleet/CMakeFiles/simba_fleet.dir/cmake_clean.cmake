@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simba_fleet.dir/fleet.cc.o"
+  "CMakeFiles/simba_fleet.dir/fleet.cc.o.d"
+  "CMakeFiles/simba_fleet.dir/portal_workload.cc.o"
+  "CMakeFiles/simba_fleet.dir/portal_workload.cc.o.d"
+  "CMakeFiles/simba_fleet.dir/user_world.cc.o"
+  "CMakeFiles/simba_fleet.dir/user_world.cc.o.d"
+  "libsimba_fleet.a"
+  "libsimba_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simba_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

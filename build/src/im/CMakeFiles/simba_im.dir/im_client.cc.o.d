@@ -216,7 +216,8 @@ src/im/CMakeFiles/simba_im.dir/im_client.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/log.h \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/log.h \
  /root/repo/src/util/time.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
@@ -225,7 +226,6 @@ src/im/CMakeFiles/simba_im.dir/im_client.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/rng.h \
  /root/repo/src/util/result.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/optional \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/stats.h /usr/include/c++/12/cstddef \
  /root/repo/src/im/im_server.h /root/repo/src/net/bus.h \
  /root/repo/src/sim/fault.h

@@ -219,6 +219,7 @@ src/proxy/CMakeFiles/simba_proxy.dir/proxy.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/log.h /root/repo/src/util/rng.h \
  /root/repo/src/util/stats.h /usr/include/c++/12/cstddef \
  /root/repo/src/util/strings.h

@@ -4,6 +4,7 @@ file(REMOVE_RECURSE
   "conservation_test"
   "conservation_test.pdb"
   "conservation_test[1]_tests.cmake"
+  "conservation_test[2]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

@@ -314,4 +314,5 @@ tests/CMakeFiles/conservation_test.dir/conservation_test.cc.o: \
  /root/repo/src/core/delivery_mode.h /root/repo/src/core/profile.h \
  /root/repo/src/core/mdc.h /root/repo/src/core/source_endpoint.h \
  /root/repo/src/core/user_endpoint.h /root/repo/src/sms/sms.h \
- /root/repo/tests/test_world.h
+ /root/repo/src/fleet/fleet.h /root/repo/src/fleet/portal_workload.h \
+ /root/repo/src/fleet/user_world.h /root/repo/tests/test_world.h

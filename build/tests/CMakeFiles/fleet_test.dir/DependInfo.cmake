@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fleet_test.cc" "tests/CMakeFiles/fleet_test.dir/fleet_test.cc.o" "gcc" "tests/CMakeFiles/fleet_test.dir/fleet_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fleet/CMakeFiles/simba_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/simba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/automation/CMakeFiles/simba_automation.dir/DependInfo.cmake"
+  "/root/repo/build/src/im/CMakeFiles/simba_im.dir/DependInfo.cmake"
+  "/root/repo/build/src/sms/CMakeFiles/simba_sms.dir/DependInfo.cmake"
+  "/root/repo/build/src/email/CMakeFiles/simba_email.dir/DependInfo.cmake"
+  "/root/repo/build/src/gui/CMakeFiles/simba_gui.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/simba_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/simba_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/simba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/simba_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

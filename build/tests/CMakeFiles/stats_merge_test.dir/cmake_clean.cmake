@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_merge_test.dir/stats_merge_test.cc.o"
+  "CMakeFiles/stats_merge_test.dir/stats_merge_test.cc.o.d"
+  "stats_merge_test"
+  "stats_merge_test.pdb"
+  "stats_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -26,3 +26,6 @@ include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/component_test[1]_include.cmake")
 include("/root/repo/build/tests/conservation_test[1]_include.cmake")
+include("/root/repo/build/tests/conservation_test[2]_include.cmake")
+include("/root/repo/build/tests/stats_merge_test[1]_include.cmake")
+include("/root/repo/build/tests/fleet_test[1]_include.cmake")

@@ -1,0 +1,100 @@
+// Sharded parallel fleet runner.
+//
+// The paper's portal workload (Section 1: ~225k users, ~778k alerts a
+// day) is embarrassingly parallel: every user's MyAlertBuddy world is
+// independent by construction. The fleet runner exploits that — it
+// partitions N per-user worlds across a thread pool, one Simulator per
+// shard per thread, each seeded deterministically from
+// shard_seed(base_seed, shard_id), and merges the per-shard statistics
+// in shard order. Because shard seeds do not depend on scheduling and
+// merging is order-fixed, the merged report is bit-identical for any
+// thread count (the determinism regression in tests/fleet_test.cc).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace simba::fleet {
+
+/// Deterministic per-shard seed: base_seed and shard_id mixed through
+/// splitmix64 so neighbouring shards get uncorrelated streams while
+/// the mapping stays stable across runs, platforms, and thread counts.
+std::uint64_t shard_seed(std::uint64_t base_seed, std::size_t shard_id);
+
+/// Bucket boundaries every fleet delivery-latency histogram uses, so
+/// per-shard histograms are always merge-compatible. Spans the IM
+/// fast path (~1 s) through the email tail (hours).
+std::vector<double> delivery_latency_boundaries();
+
+/// Work order handed to a shard body: which shard, and its seed.
+struct ShardTask {
+  std::size_t shard_id = 0;
+  std::uint64_t seed = 0;
+};
+
+/// One shard's outcome. Everything except wall_seconds is a pure
+/// function of the shard seed and options, and participates in the
+/// deterministic merged report; wall_seconds is timing-only.
+struct ShardResult {
+  std::size_t shard_id = 0;
+  std::uint64_t seed = 0;
+  Counters counters;
+  Summary delivery_latency;  // seconds, submit -> user's first sighting
+  Summary ack_latency;       // seconds, send -> source-side ack
+  Histogram delivery_histogram{delivery_latency_boundaries()};
+  std::uint64_t events_processed = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Merged view of a whole fleet run, plus the per-shard results (in
+/// shard order) for tests that assert per-shard invariants.
+struct FleetReport {
+  std::size_t shards = 0;
+  int threads = 1;
+  std::uint64_t base_seed = 0;
+  Counters counters;
+  Summary delivery_latency;
+  Summary ack_latency;
+  Histogram delivery_histogram{delivery_latency_boundaries()};
+  std::uint64_t events_processed = 0;
+  Summary shard_wall_seconds;  // timing-only, excluded from correctness
+  double wall_seconds = 0.0;   // whole-fleet wall clock
+  std::vector<ShardResult> per_shard;
+
+  /// Folds one shard in. Callers must fold in shard order to keep the
+  /// merged floating-point statistics scheduling-independent.
+  void merge_shard(const ShardResult& shard);
+
+  /// Deterministic snapshot of every correctness-relevant number —
+  /// counters, latency statistics, histogram buckets, per-shard seeds
+  /// and counters — with all timing omitted. Two runs of the same
+  /// fleet at different thread counts must render identical strings.
+  std::string correctness_json() const;
+
+  /// Human-readable rendering including timing, for bench output.
+  std::string render() const;
+};
+
+struct FleetOptions {
+  std::size_t shards = 1;
+  /// <= 1 runs every shard serially on the calling thread; higher
+  /// values use a pool of std::threads pulling shards off a queue.
+  int threads = 1;
+  std::uint64_t base_seed = 42;
+};
+
+/// Runs one independent per-user world to its horizon and reports.
+using ShardBody = std::function<ShardResult(const ShardTask&)>;
+
+/// Executes `body` once per shard across the pool and merges results
+/// in shard order. The body runs with no shared mutable state between
+/// shards (each builds its own Simulator/World); the runner only hands
+/// it a ShardTask and collects the ShardResult.
+FleetReport run_fleet(const FleetOptions& options, const ShardBody& body);
+
+}  // namespace simba::fleet

@@ -1,0 +1,124 @@
+#include "fleet/portal_workload.h"
+
+#include <map>
+#include <string>
+
+namespace simba::fleet {
+
+ShardResult run_portal_shard(const ShardTask& task,
+                             const PortalWorkloadOptions& options) {
+  ShardResult result;
+
+  UserWorldOptions world_options = options.world;
+  world_options.user = "user" + std::to_string(task.shard_id);
+  world_options.with_source = options.traffic == Traffic::kSourceIm;
+  world_options.fault_horizon = options.horizon;
+  UserWorld world(task.seed, world_options);
+
+  // Submit time per alert id. For the email path the MAB's observer
+  // supplies it (created_at == mail.submitted_at); for the source path
+  // it is recorded at send time.
+  std::map<std::string, TimePoint> sent_at;
+  std::map<std::string, core::DeliveryOutcome> acked;
+
+  world.host->set_alert_observer(
+      [&sent_at, email_mode = options.traffic == Traffic::kPortalEmail](
+          const core::Alert& alert, TimePoint) {
+        if (email_mode) sent_at.emplace(alert.id, alert.created_at);
+      });
+
+  // Availability probe. The lambda captures the shard world by
+  // reference, so the task must die with this scope — ScopedTask
+  // guarantees the cancel even on early exit.
+  sim::ScopedTask health_probe(world.sim.every(
+      minutes(10),
+      [&result, &world] {
+        result.counters.bump("health.samples");
+        if (world.host->healthy()) result.counters.bump("health.healthy");
+      },
+      "fleet.health"));
+
+  // One user's portal day: Poisson arrivals at the measured rate,
+  // pre-scheduled exactly like the serial bench always did.
+  Rng rng = world.sim.make_rng("portal");
+  const TimePoint end = kTimeZero + options.horizon;
+  const Duration mean_gap{static_cast<std::int64_t>(
+      86400.0 / options.alerts_per_user_day * 1e6)};
+  std::int64_t sent = 0;
+  TimePoint t = world.sim.now();
+  while (true) {
+    t += rng.exponential_duration(mean_gap);
+    if (t >= end) break;
+    const std::int64_t alert_number = sent++;
+    if (options.traffic == Traffic::kPortalEmail) {
+      world.sim.at(t, [&world, alert_number] {
+        email::Email mail;
+        mail.from = "Yahoo! Alerts - Stocks <alerts@yahoo.example>";
+        mail.to = world.host->email_address();
+        mail.subject = "portal alert " + std::to_string(alert_number);
+        world.email_server.submit(std::move(mail));
+      });
+    } else {
+      const std::string id =
+          "s" + std::to_string(task.shard_id) + "-" +
+          std::to_string(alert_number);
+      sent_at.emplace(id, t);
+      world.sim.at(t, [&world, &acked, id, alert_number] {
+        core::Alert alert;
+        alert.source = "src";
+        alert.native_category = "K";
+        alert.subject = "alert " + std::to_string(alert_number);
+        alert.id = id;
+        alert.created_at = world.sim.now();
+        world.source->send_alert(
+            alert, [&acked, id](const core::DeliveryOutcome& outcome) {
+              if (outcome.delivered) acked.emplace(id, outcome);
+            });
+      });
+    }
+  }
+
+  world.sim.run_until(end + options.drain);
+
+  // Score the day from inside the shard, while the world is alive.
+  // std::map iteration keeps every Summary's add order deterministic.
+  result.counters.bump("alerts.sent", sent);
+  std::int64_t delivered = 0;
+  std::int64_t duplicates = 0;
+  for (const auto& [id, submitted] : sent_at) {
+    const auto seen = world.user->first_seen(id);
+    if (!seen) continue;
+    ++delivered;
+    const double latency = to_seconds(*seen - submitted);
+    result.delivery_latency.add(latency);
+    result.delivery_histogram.add(latency);
+    duplicates += world.user->sightings(id) - 1;
+  }
+  result.counters.bump("alerts.delivered", delivered);
+  result.counters.bump("alerts.lost", sent - delivered);
+  result.counters.bump("alerts.duplicates", duplicates);
+
+  // Conservation: every sighting must trace back to a send this shard
+  // made — the user cannot have seen an invented alert.
+  result.counters.bump(
+      "conservation.invented",
+      static_cast<std::int64_t>(world.user->alerts_seen()) - delivered);
+
+  if (options.traffic == Traffic::kSourceIm) {
+    // Log-before-ack: an IM-leg acknowledgement (block 0) means the
+    // pessimistic log persisted the alert before the ack went out.
+    for (const auto& [id, outcome] : acked) {
+      result.ack_latency.add(to_seconds(outcome.completed_at - sent_at[id]));
+      if (outcome.block_used == 0 && !world.host->alert_log().contains(id)) {
+        result.counters.bump("conservation.ack_unlogged");
+      }
+    }
+    result.counters.bump("alerts.acked",
+                         static_cast<std::int64_t>(acked.size()));
+  }
+
+  result.events_processed = world.sim.events_processed();
+  return result;
+}
+
+}  // namespace simba::fleet

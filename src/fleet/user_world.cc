@@ -1,0 +1,174 @@
+#include "fleet/user_world.h"
+
+#include "sim/fault.h"
+
+namespace simba::fleet {
+
+namespace {
+
+// Mirrors tests/test_world.h: fast, loss-free channels for unit tests.
+void apply_fast_models(UserWorld& world) {
+  net::LinkModel im_link;
+  im_link.base_latency = millis(150);
+  im_link.jitter = millis(200);
+  im_link.loss_probability = 0.0;
+  world.bus.set_default_link(im_link);
+
+  email::EmailDelayModel mail;
+  mail.fast_probability = 1.0;
+  mail.fast_median = seconds(6);
+  mail.fast_sigma = 0.3;
+  mail.loss_probability = 0.0;
+  world.email_server.set_delay_model(mail);
+
+  sms::SmsDelayModel sms_model;
+  sms_model.fast_probability = 1.0;
+  sms_model.fast_median = seconds(12);
+  sms_model.fast_sigma = 0.3;
+  sms_model.loss_probability = 0.0;
+  world.sms_gateway.set_delay_model(sms_model);
+}
+
+// Mirrors bench/common.cc: the Section-5-calibrated channel models.
+void apply_calibrated_models(UserWorld& world) {
+  net::LinkModel im_link;
+  im_link.base_latency = millis(150);
+  im_link.jitter = millis(300);
+  im_link.loss_probability = 0.001;
+  world.bus.set_default_link(im_link);
+
+  email::EmailDelayModel mail;
+  mail.fast_probability = 0.95;
+  mail.fast_median = seconds(20);
+  mail.fast_sigma = 1.0;
+  mail.slow_median = hours(2);
+  mail.slow_sigma = 1.4;
+  mail.loss_probability = 0.003;
+  world.email_server.set_delay_model(mail);
+
+  sms::SmsDelayModel sms_model;
+  sms_model.fast_probability = 0.90;
+  sms_model.fast_median = seconds(18);
+  sms_model.fast_sigma = 0.9;
+  sms_model.slow_median = minutes(45);
+  sms_model.slow_sigma = 1.3;
+  sms_model.loss_probability = 0.01;
+  world.sms_gateway.set_delay_model(sms_model);
+}
+
+core::MabConfig fleet_config(const std::string& owner,
+                             const std::string& sms_address,
+                             const std::string& email_address) {
+  using namespace core;
+  MabConfig config;
+  config.profile = UserProfile(owner);
+  auto& book = config.profile.addresses();
+  book.put(Address{"MSN IM", CommType::kIm, owner, true});
+  book.put(Address{"Cell SMS", CommType::kSms, sms_address, true});
+  book.put(Address{"Home email", CommType::kEmail, email_address, true});
+
+  DeliveryMode urgent("Urgent");
+  urgent.add_block(seconds(30)).actions.push_back(
+      DeliveryAction{"MSN IM", true});
+  urgent.add_block(minutes(2)).actions.push_back(
+      DeliveryAction{"Cell SMS", false});
+  urgent.add_block(minutes(2)).actions.push_back(
+      DeliveryAction{"Home email", false});
+  config.profile.define_mode(urgent);
+  DeliveryMode casual("Casual");
+  casual.add_block(minutes(2)).actions.push_back(
+      DeliveryAction{"Home email", false});
+  config.profile.define_mode(casual);
+
+  // The SIMBA-library source (IM-with-ack path) and the legacy portal
+  // mail path (category keyword in the sender display name).
+  config.classifier.add_rule(
+      SourceRule{"src", KeywordLocation::kNativeCategory, {}, ""});
+  config.classifier.add_rule(SourceRule{"alerts@yahoo.example",
+                                        KeywordLocation::kSenderName,
+                                        {"Stocks", "Weather", "Sports"},
+                                        "http://alerts.yahoo.example"});
+
+  config.categories.map_keyword("K", "Cat");
+  config.categories.map_keyword("Stocks", "Investment");
+  config.categories.map_keyword("Weather", "News");
+  config.categories.map_keyword("Sports", "News");
+
+  auto& subs = config.subscriptions;
+  subs.subscribe("Cat", owner, "Urgent");
+  subs.subscribe("Investment", owner, "Casual");
+  subs.subscribe("News", owner, "Casual");
+  return config;
+}
+
+}  // namespace
+
+UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
+    : sim(seed),
+      bus(sim),
+      im_server(sim, bus),
+      email_server(sim),
+      sms_gateway(sim, "sms.example.net") {
+  if (options.fidelity == ModelFidelity::kFast) {
+    apply_fast_models(*this);
+  } else {
+    apply_calibrated_models(*this);
+  }
+  sms_gateway.attach_to(email_server);
+
+  if (options.faults) {
+    Rng outage_rng = sim.make_rng("fleet.outages");
+    im_server.set_outage_plan(sim::OutagePlan::generate(
+        outage_rng, options.fault_horizon, days(1.5), minutes(10), 1.0));
+    im_server.set_session_reset_mtbf(days(1));
+  }
+
+  core::UserEndpointOptions user_options;
+  user_options.name = options.user;
+  user_options.email_check_interval = options.email_check_interval;
+  user_options.ack_reaction_mean = seconds(5);
+  if (options.faults) {
+    Rng away_rng(seed ^ 0x77);
+    user_options.away_plan = sim::OutagePlan::generate(
+        away_rng, options.fault_horizon, hours(5), hours(1), 0.8);
+  }
+  user = std::make_unique<core::UserEndpoint>(sim, bus, im_server,
+                                              email_server, sms_gateway,
+                                              user_options);
+  user->start();
+
+  core::MabHostOptions host_options;
+  host_options.owner = options.user;
+  host_options.config = fleet_config(options.user, user->sms_address(),
+                                     user->email_account());
+  if (options.fidelity == ModelFidelity::kCalibrated) {
+    host_options.mab_options.processing_delay = millis(900);
+    host_options.mab_options.leak_mb_per_hour = 2.0;
+    host_options.mab_options.leak_mb_per_alert = 0.05;
+  }
+  if (options.faults) {
+    gui::FaultProfile flaky;
+    flaky.mean_time_to_hang = days(1);
+    flaky.op_exception_probability = 1e-3;
+    flaky.exception_op = "fetch_unread";
+    host_options.im_client_profile = flaky;
+  }
+  host = std::make_unique<core::MabHost>(sim, bus, im_server, email_server,
+                                         std::move(host_options));
+  host->start();
+  sim.run_for(seconds(30));  // sign-in warm-up, as bench/common's Cast does
+
+  if (options.with_source) {
+    core::SourceEndpointOptions source_options;
+    source_options.name = "src";
+    source_options.im_block_timeout = seconds(30);
+    source = std::make_unique<core::SourceEndpoint>(sim, bus, im_server,
+                                                    email_server,
+                                                    source_options);
+    source->start();
+    sim.run_for(seconds(10));
+    source->set_target(host->im_address(), host->email_address());
+  }
+}
+
+}  // namespace simba::fleet

@@ -1,0 +1,58 @@
+// One fleet shard = one user's complete MyAlertBuddy deployment:
+// its own Simulator, message infrastructure, buddy host, the human
+// endpoint, and (optionally) one SIMBA-library source. Nothing in a
+// UserWorld is shared with any other shard, which is what makes the
+// fleet embarrassingly parallel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/mab_host.h"
+#include "core/source_endpoint.h"
+#include "core/user_endpoint.h"
+#include "email/email_server.h"
+#include "im/im_server.h"
+#include "net/bus.h"
+#include "sim/simulator.h"
+#include "sms/sms.h"
+
+namespace simba::fleet {
+
+/// Delay-model fidelity. Tests want the fast loss-free models of
+/// tests/test_world.h; benches want the Section-5-calibrated models of
+/// bench/common.cc. Both are reproduced here so src/fleet depends on
+/// neither tree.
+enum class ModelFidelity { kFast, kCalibrated };
+
+struct UserWorldOptions {
+  std::string user = "user";
+  ModelFidelity fidelity = ModelFidelity::kCalibrated;
+  Duration email_check_interval = minutes(60);
+  /// Wire a SourceEndpoint targeting the buddy (the IM-with-ack
+  /// followed-by-email path). Without one the shard only receives
+  /// legacy portal email.
+  bool with_source = false;
+  /// Fault plans: IM service outages and session resets, user-away
+  /// windows, and a flaky buddy IM client — the conservation-matrix
+  /// environment. All derived from the shard seed.
+  bool faults = false;
+  /// Horizon the fault plans should cover.
+  Duration fault_horizon = days(1);
+};
+
+struct UserWorld {
+  UserWorld(std::uint64_t seed, const UserWorldOptions& options);
+
+  sim::Simulator sim;
+  net::MessageBus bus;
+  im::ImServer im_server;
+  email::EmailServer email_server;
+  sms::SmsGateway sms_gateway;
+  std::unique_ptr<core::UserEndpoint> user;
+  std::unique_ptr<core::MabHost> host;
+  std::unique_ptr<core::SourceEndpoint> source;  // null unless with_source
+};
+
+}  // namespace simba::fleet

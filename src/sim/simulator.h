@@ -14,6 +14,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/log.h"
@@ -30,7 +31,8 @@ using EventId = std::uint64_t;
 /// Handle to a periodic task. Copyable; copies share the task. The
 /// task runs until cancel() is called — destruction alone does NOT
 /// cancel (so handles can be passed around freely); owners that must
-/// not outlive their callbacks cancel in their destructors.
+/// not outlive their callbacks cancel in their destructors, or wrap
+/// the handle in a ScopedTask which does it for them.
 class TaskHandle {
  public:
   TaskHandle() = default;
@@ -43,6 +45,34 @@ class TaskHandle {
 
  private:
   std::shared_ptr<bool> cancelled_;
+};
+
+/// RAII owner of a periodic task: cancels in its destructor. Move-only,
+/// so exactly one owner exists. Use whenever the callback captures
+/// state whose lifetime ends with the owner — e.g. fleet shard worlds,
+/// whose samplers must not fire after the shard is torn down.
+class ScopedTask {
+ public:
+  ScopedTask() = default;
+  explicit ScopedTask(TaskHandle handle) : handle_(std::move(handle)) {}
+  ScopedTask(ScopedTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, TaskHandle{})) {}
+  ScopedTask& operator=(ScopedTask&& other) noexcept {
+    if (this != &other) {
+      handle_.cancel();
+      handle_ = std::exchange(other.handle_, TaskHandle{});
+    }
+    return *this;
+  }
+  ScopedTask(const ScopedTask&) = delete;
+  ScopedTask& operator=(const ScopedTask&) = delete;
+  ~ScopedTask() { handle_.cancel(); }
+
+  void cancel() { handle_.cancel(); }
+  bool active() const { return handle_.active(); }
+
+ private:
+  TaskHandle handle_;
 };
 
 class Simulator {

@@ -1,13 +1,17 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace simba {
 
 namespace {
-LogLevel g_threshold = LogLevel::kWarn;
-std::function<TimePoint()> g_time_source;
-std::function<void(const std::string&)> g_sink;
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+// Thread-local: every fleet shard thread runs its own Simulator, which
+// installs itself here for virtual-time stamping. stderr writes stay
+// safe because fprintf locks the stream.
+thread_local std::function<TimePoint()> g_time_source;
+thread_local std::function<void(const std::string&)> g_sink;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,8 +26,10 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel Log::threshold() { return g_threshold; }
-void Log::set_threshold(LogLevel level) { g_threshold = level; }
+LogLevel Log::threshold() { return g_threshold.load(std::memory_order_relaxed); }
+void Log::set_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
 
 void Log::set_time_source(std::function<TimePoint()> source) {
   g_time_source = std::move(source);
@@ -37,7 +43,7 @@ void Log::clear_sink() { g_sink = nullptr; }
 
 void Log::write(LogLevel level, const std::string& component,
                 const std::string& message) {
-  if (level < g_threshold) return;
+  if (level < g_threshold.load(std::memory_order_relaxed)) return;
   std::string line;
   if (g_time_source) {
     line += "[" + format_time(g_time_source()) + "] ";

@@ -11,8 +11,10 @@ namespace simba {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global log configuration. Not thread-safe by design: the whole
-/// reproduction is single-threaded discrete-event simulation.
+/// Global log configuration. The threshold is process-wide (atomic);
+/// the time source and sink are thread-local, so each fleet shard
+/// thread's own Simulator stamps its lines with that shard's virtual
+/// time without racing the other shards' simulators.
 class Log {
  public:
   static LogLevel threshold();

@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdio>
 
@@ -44,6 +45,19 @@ double Summary::percentile(double p) const {
   return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
 }
 
+void Summary::merge(const Summary& other) {
+  if (other.samples_.empty()) return;
+  // Re-adding sample by sample (rather than the closed-form Chan
+  // variance merge) keeps the result bit-identical to a sequential run
+  // that saw the same samples in the same order.
+  if (&other == this) {
+    const std::vector<double> copy = other.samples_;
+    for (const double x : copy) add(x);
+    return;
+  }
+  for (const double x : other.samples_) add(x);
+}
+
 std::string Summary::report(const char* value_format) const {
   char val[64];
   std::string out = "n=" + std::to_string(count());
@@ -74,6 +88,14 @@ std::int64_t Counters::get(const std::string& name) const {
   return it == counts_.end() ? 0 : it->second;
 }
 
+void Counters::merge(const Counters& other) {
+  if (&other == this) {
+    for (auto& [name, value] : counts_) value *= 2;
+    return;
+  }
+  for (const auto& [name, value] : other.counts_) counts_[name] += value;
+}
+
 std::string Counters::report() const {
   std::string out;
   for (const auto& [name, value] : counts_) {
@@ -92,6 +114,13 @@ void Histogram::add(double x) {
       std::upper_bound(boundaries_.begin(), boundaries_.end(), x);
   counts_[static_cast<std::size_t>(it - boundaries_.begin())]++;
   ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  assert(compatible_with(other));
+  if (!compatible_with(other)) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
 }
 
 std::string Histogram::render(const char* unit) const {

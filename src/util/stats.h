@@ -33,6 +33,13 @@ class Summary {
 
   const std::vector<double>& samples() const { return samples_; }
 
+  /// Folds another summary into this one, exactly as if the other's
+  /// samples had been add()ed here one by one. Merging the same
+  /// sequence of summaries in the same order always yields bit-identical
+  /// statistics, which is what lets the fleet runner produce the same
+  /// merged report for any thread count.
+  void merge(const Summary& other);
+
   /// "n=100 mean=0.93 p50=0.91 p99=1.40 min=0.52 max=1.61" with the
   /// given printf format for values (default "%.3f").
   std::string report(const char* value_format = "%.3f") const;
@@ -54,6 +61,9 @@ class Counters {
   void bump(const std::string& name, std::int64_t by = 1);
   std::int64_t get(const std::string& name) const;
   const std::map<std::string, std::int64_t>& all() const { return counts_; }
+  /// Adds every counter from `other` into this bag (sums on key
+  /// collision, inserts otherwise). Associative and commutative.
+  void merge(const Counters& other);
   std::string report() const;
 
  private:
@@ -70,6 +80,15 @@ class Histogram {
   void add(Duration d) { add(to_seconds(d)); }
   std::size_t count() const { return total_; }
   const std::vector<std::size_t>& buckets() const { return counts_; }
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  /// True when both histograms share identical bucket boundaries.
+  bool compatible_with(const Histogram& other) const {
+    return boundaries_ == other.boundaries_;
+  }
+  /// Adds `other`'s bucket counts into this histogram. Requires
+  /// compatible boundaries (asserted); an incompatible merge is a
+  /// no-op in release builds.
+  void merge(const Histogram& other);
   /// Multi-line ASCII rendering with bars, for bench output.
   std::string render(const char* unit = "s") const;
 

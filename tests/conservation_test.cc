@@ -10,6 +10,8 @@
 #include "core/mab_host.h"
 #include "core/source_endpoint.h"
 #include "core/user_endpoint.h"
+#include "fleet/fleet.h"
+#include "fleet/portal_workload.h"
 #include "test_world.h"
 
 namespace simba::core {
@@ -139,6 +141,68 @@ TEST_P(ConservationTest, FaultyWeekPreservesTheLoggingContract) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConservationTest,
                          ::testing::Values(21u, 137u, 4242u));
+
+// --- Fleet seed-sweep matrix (ctest label: slow) ---------------------------
+//
+// The same conservation contract, swept across the sharded fleet
+// runner: 8 base seeds x 4 shards, fault plans enabled in every shard
+// (IM outages, session resets, user-away windows, a flaky buddy
+// client). The per-world checks run inside each shard and surface
+// through ShardResult counters, so the assertions here hold per shard
+// AND for the merged report.
+class FleetConservationMatrix
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FleetConservationMatrix, FaultyFleetDayPreservesInvariants) {
+  fleet::PortalWorkloadOptions workload;
+  workload.traffic = fleet::Traffic::kSourceIm;
+  workload.world.fidelity = fleet::ModelFidelity::kFast;
+  workload.world.faults = true;
+  workload.world.email_check_interval = minutes(30);
+  workload.alerts_per_user_day = 48.0;  // one alert every ~30 minutes
+  workload.horizon = days(1);
+  workload.drain = hours(6);
+
+  fleet::FleetOptions options;
+  options.shards = 4;
+  options.threads = 4;  // the matrix also exercises the thread pool
+  options.base_seed = GetParam();
+  const fleet::FleetReport report = fleet::run_fleet(
+      options, [&workload](const fleet::ShardTask& task) {
+        return fleet::run_portal_shard(task, workload);
+      });
+
+  ASSERT_EQ(report.per_shard.size(), 4u);
+  std::int64_t merged_sent = 0;
+  for (const fleet::ShardResult& shard : report.per_shard) {
+    // The shard did real work through real faults.
+    EXPECT_GT(shard.counters.get("alerts.sent"), 0) << "shard "
+                                                    << shard.shard_id;
+    EXPECT_GT(shard.counters.get("alerts.delivered"), 0)
+        << "shard " << shard.shard_id;
+    // Invariant 1: no alert is invented — every sighting traces back
+    // to a send made in this shard's world.
+    EXPECT_EQ(shard.counters.get("conservation.invented"), 0)
+        << "shard " << shard.shard_id;
+    // Invariant 2: log-before-ack — every IM-leg acknowledgement had
+    // already been persisted to the shard's alert log.
+    EXPECT_EQ(shard.counters.get("conservation.ack_unlogged"), 0)
+        << "shard " << shard.shard_id;
+    merged_sent += shard.counters.get("alerts.sent");
+  }
+  // The merged counters are exactly the per-shard sums.
+  EXPECT_EQ(report.counters.get("alerts.sent"), merged_sent);
+  EXPECT_EQ(report.counters.get("conservation.invented"), 0);
+  EXPECT_EQ(report.counters.get("conservation.ack_unlogged"), 0);
+  // Accounting closes: delivered + lost == sent.
+  EXPECT_EQ(report.counters.get("alerts.delivered") +
+                report.counters.get("alerts.lost"),
+            report.counters.get("alerts.sent"));
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, FleetConservationMatrix,
+                         ::testing::Values(11u, 23u, 59u, 101u, 211u, 499u,
+                                           1009u, 4242u));
 
 }  // namespace
 }  // namespace simba::core

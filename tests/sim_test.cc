@@ -252,5 +252,52 @@ TEST(SimulatorTest, RecurringTaskSurvivesHandleDestruction) {
   EXPECT_EQ(ticks, 5);  // destruction does not cancel (documented)
 }
 
+TEST(ScopedTaskTest, DestructionCancelsTheTask) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    ScopedTask task(sim.every(seconds(1), [&] { ++ticks; }));
+    EXPECT_TRUE(task.active());
+    sim.run_until(kTimeZero + seconds(3));
+    // scope ends: the callback must never fire again
+  }
+  sim.run_until(kTimeZero + seconds(10));
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(ScopedTaskTest, MoveTransfersOwnership) {
+  Simulator sim;
+  int ticks = 0;
+  ScopedTask outer;
+  {
+    ScopedTask inner(sim.every(seconds(1), [&] { ++ticks; }));
+    outer = std::move(inner);
+    EXPECT_FALSE(inner.active());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(outer.active());
+    // inner dies here; the task it no longer owns must keep running
+  }
+  sim.run_until(kTimeZero + seconds(4));
+  EXPECT_EQ(ticks, 4);
+  outer.cancel();
+  sim.run_until(kTimeZero + seconds(8));
+  EXPECT_EQ(ticks, 4);
+}
+
+TEST(ScopedTaskTest, MoveAssignmentCancelsThePreviousTask) {
+  Simulator sim;
+  int first = 0, second = 0;
+  ScopedTask task(sim.every(seconds(1), [&] { ++first; }));
+  task = ScopedTask(sim.every(seconds(1), [&] { ++second; }));
+  sim.run_until(kTimeZero + seconds(3));
+  EXPECT_EQ(first, 0);   // replaced before it ever fired
+  EXPECT_EQ(second, 3);  // the replacement runs
+}
+
+TEST(ScopedTaskTest, DefaultConstructedIsInert) {
+  ScopedTask task;
+  EXPECT_FALSE(task.active());
+  task.cancel();  // no-op, no crash
+}
+
 }  // namespace
 }  // namespace simba::sim
