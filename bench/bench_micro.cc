@@ -1,4 +1,4 @@
-// Experiment E10 — microbenchmarks (google-benchmark) for the SIMBA
+// Experiment E11 — microbenchmarks (google-benchmark) for the SIMBA
 // library's hot paths: XML parsing of the subscription-layer documents,
 // classification/aggregation, the pessimistic log, delivery-mode
 // parsing, SSS operations, and the simulation kernel itself.

@@ -27,6 +27,35 @@ void AlertLog::mark_processed(const std::string& alert_id, TimePoint now) {
   stats_.bump("processed");
 }
 
+std::vector<std::string> AlertLog::power_loss(TimePoint now, Rng& rng,
+                                              double torn_probability) {
+  std::vector<std::string> torn;
+  if (torn_probability <= 0.0 || records_.empty()) return torn;
+  // Unsynced appends are the ones whose write window is still open.
+  // They necessarily form a suffix of the arrival-ordered records, but
+  // each is torn independently, so rebuild rather than truncate.
+  std::vector<Record> kept;
+  kept.reserve(records_.size());
+  for (Record& record : records_) {
+    const bool unsynced =
+        !record.processed && record.received_at + write_latency_ > now;
+    if (unsynced && rng.chance(torn_probability)) {
+      torn.push_back(record.alert.id);
+      continue;
+    }
+    kept.push_back(std::move(record));
+  }
+  if (!torn.empty()) {
+    records_ = std::move(kept);
+    index_.clear();
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      index_[records_[i].alert.id] = i;
+    }
+    stats_.bump("torn_appends", static_cast<std::int64_t>(torn.size()));
+  }
+  return torn;
+}
+
 bool AlertLog::contains(const std::string& alert_id) const {
   return index_.count(alert_id) > 0;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/alert.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/time.h"
 
@@ -38,6 +39,17 @@ class AlertLog {
   bool append(const Alert& alert, TimePoint now);
 
   void mark_processed(const std::string& alert_id, TimePoint now);
+
+  /// Crash-window model (sim/chaos.h): power dies at `now`. Appends
+  /// still inside their synchronous-write window (received less than
+  /// write_latency ago, not yet processed) may be torn from the disk
+  /// with probability `torn_probability` each. Exactly the window
+  /// pessimistic logging protects: a torn record can never have been
+  /// acked, because the ack only goes out after the write completes —
+  /// so the source still holds the alert and will fail over. Returns
+  /// the ids torn (counted under "torn_appends").
+  std::vector<std::string> power_loss(TimePoint now, Rng& rng,
+                                      double torn_probability);
 
   bool contains(const std::string& alert_id) const;
   bool processed(const std::string& alert_id) const;

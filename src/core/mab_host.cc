@@ -11,7 +11,8 @@ MabHost::MabHost(sim::Simulator& sim, net::MessageBus& bus,
       im_server_(im_server),
       email_server_(email_server),
       options_(std::move(options)),
-      desktop_(sim) {
+      desktop_(sim),
+      chaos_rng_(sim.make_rng("host.chaos." + options_.owner)) {
   if (options_.im_account.empty()) {
     options_.im_account = options_.owner + ".mab";
   }
@@ -146,11 +147,46 @@ void MabHost::nightly_rejuvenation() {
   schedule_nightly();
 }
 
+void MabHost::inject_mab_crash() {
+  if (!machine_up_ || !mab_) return;
+  stats_.bump("chaos.mab_crashes");
+  log_warn("host." + options_.owner, "chaos: MAB process killed");
+  // SIGKILL semantics: the process vanishes without firing its
+  // termination callback. Nothing notifies the MDC — its heartbeat
+  // probe finds no working daemon and drives the restart.
+  kill_mab();
+}
+
+void MabHost::inject_mab_hang() {
+  if (!machine_up_ || !mab_) return;
+  stats_.bump("chaos.mab_hangs");
+  log_warn("host." + options_.owner, "chaos: MAB hung");
+  mab_->force_hang();
+}
+
+void MabHost::inject_reboot() {
+  if (!machine_up_) return;
+  stats_.bump("chaos.reboots");
+  log_warn("host." + options_.owner, "chaos: forced reboot");
+  reboot_machine();
+}
+
 void MabHost::power_down() {
   if (!machine_up_) return;
   machine_up_ = false;
   stats_.bump("power_losses");
   log_warn("host." + options_.owner, "power lost");
+  // Torn appends: log writes still inside their sync window may not
+  // have hit the platter. Decided before anything else dies so the
+  // window is judged at the instant power is lost.
+  if (options_.torn_append_probability > 0.0) {
+    const auto torn = alert_log_.power_loss(sim_.now(), chaos_rng_,
+                                            options_.torn_append_probability);
+    if (!torn.empty()) {
+      stats_.bump("chaos.torn_appends",
+                  static_cast<std::int64_t>(torn.size()));
+    }
+  }
   mdc_->stop();
   // Processes die instantly; no graceful anything. The alert log is a
   // disk file and survives; client mailboxes are server-side.

@@ -58,6 +58,11 @@ struct MabHostOptions {
   bool has_ups = false;
   Duration boot_time = minutes(2);
 
+  /// Chaos crash-window model (sim/chaos.h): probability that an
+  /// alert-log append still inside its synchronous-write window is
+  /// torn when power dies. Zero disables the model.
+  double torn_append_probability = 0.0;
+
   // Ablation switches (experiment E8): disabling the watchdog means a
   // dead or hung MAB stays that way; disabling the monkey thread means
   // even known dialogs pile up.
@@ -100,6 +105,18 @@ class MabHost {
   const Counters& stats() const { return stats_; }
   Counters& stats() { return stats_; }
 
+  // Chaos-injection triggers (sim/chaos.h). Each is a no-op while the
+  // machine is down; the ChaosPlan schedules them blindly and the host
+  // applies only what is physically possible at that instant.
+  /// Abrupt process death — no orderly shutdown, no termination
+  /// notification. The MDC watchdog discovers the corpse on its next
+  /// heartbeat, exactly the paper's detection path.
+  void inject_mab_crash();
+  /// The current incarnation stops responding to AreYouWorking().
+  void inject_mab_hang();
+  /// Forced machine reboot (kernel panic, forced update).
+  void inject_reboot();
+
   /// Experiment hook, persistent across MAB incarnations.
   void set_alert_observer(
       std::function<void(const Alert&, TimePoint)> observer) {
@@ -131,6 +148,7 @@ class MabHost {
   std::unique_ptr<MyAlertBuddy> mab_;
   AlertLog alert_log_;
   DigestStore digest_;
+  Rng chaos_rng_;  // torn-append dice; dedicated stream per host
   bool machine_up_ = false;
   std::function<void(const Alert&, TimePoint)> alert_observer_;
   sim::EventId nightly_event_ = 0;

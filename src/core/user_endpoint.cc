@@ -143,6 +143,7 @@ void UserEndpoint::record(const std::string& alert_id,
     // duplicates."
     stats_.bump("duplicates_discarded");
   }
+  if (sighting_observer_) sighting_observer_(alert_id, channel, at);
 }
 
 std::optional<TimePoint> UserEndpoint::first_seen(

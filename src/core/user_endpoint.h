@@ -8,6 +8,7 @@
 // experiment E7 scores strategies against.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -81,6 +82,15 @@ class UserEndpoint {
   sms::Phone& phone() { return *phone_; }
   const Counters& stats() const { return stats_; }
 
+  /// Fires on every sighting, duplicates included — the live feed the
+  /// invariant checker (sim/invariants.h) consumes to prove no phantom
+  /// or silently-lost deliveries.
+  using SightingObserver = std::function<void(
+      const std::string& alert_id, const std::string& channel, TimePoint at)>;
+  void set_sighting_observer(SightingObserver observer) {
+    sighting_observer_ = std::move(observer);
+  }
+
  private:
   struct Sighting {
     TimePoint first{};
@@ -106,6 +116,7 @@ class UserEndpoint {
   std::unique_ptr<sms::Phone> phone_;
   std::size_t email_cursor_ = 0;
   std::map<std::string, Sighting> seen_;
+  SightingObserver sighting_observer_;
   sim::TaskHandle email_task_;
   sim::TaskHandle presence_task_;
   Counters stats_;

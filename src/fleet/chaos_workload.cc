@@ -1,0 +1,136 @@
+#include "fleet/chaos_workload.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace simba::fleet {
+
+namespace {
+
+/// Chaos-relevant counter keys copied from a component bag into the
+/// shard result, so scenario sanity checks and the merged report can
+/// see how much adversity was actually injected.
+void copy_counters_with_prefix(const Counters& from, const std::string& prefix,
+                               Counters& into) {
+  for (const auto& [name, value] : from.all()) {
+    if (name.rfind(prefix, 0) == 0) into.bump(name, value);
+  }
+}
+
+}  // namespace
+
+ShardResult run_chaos_shard(const ShardTask& task,
+                            const ChaosWorkloadOptions& options) {
+  ShardResult result;
+
+  UserWorldOptions world_options = options.world;
+  world_options.user = "user" + std::to_string(task.shard_id);
+  world_options.with_source = true;
+  world_options.fault_horizon = options.horizon;
+  world_options.chaos = options.scenario;
+  world_options.track_invariants = true;
+  UserWorld world(task.seed, world_options);
+  sim::InvariantChecker& checker = *world.invariants;
+
+  // One alert day against the chaos schedule: Poisson arrivals,
+  // pre-scheduled, every submission and outcome fed to the checker.
+  std::map<std::string, TimePoint> sent_at;
+  Rng rng = world.sim.make_rng("chaos.load");
+  const TimePoint end = kTimeZero + options.horizon;
+  const Duration mean_gap{static_cast<std::int64_t>(
+      86400.0 / options.alerts_per_user_day * 1e6)};
+  std::int64_t sent = 0;
+  TimePoint t = world.sim.now();
+  while (true) {
+    t += rng.exponential_duration(mean_gap);
+    if (t >= end) break;
+    const std::int64_t alert_number = sent++;
+    const std::string id = "s" + std::to_string(task.shard_id) + "-" +
+                           std::to_string(alert_number);
+    sent_at.emplace(id, t);
+    world.sim.at(t, [&world, &checker, id, alert_number] {
+      core::Alert alert;
+      alert.source = "src";
+      alert.native_category = "K";
+      alert.subject = "chaos alert " + std::to_string(alert_number);
+      alert.id = id;
+      alert.created_at = world.sim.now();
+      checker.on_submitted(id, world.sim.now());
+      world.source->send_alert(
+          alert, [&world, &checker, id](const core::DeliveryOutcome& outcome) {
+            if (outcome.delivered) {
+              // Probe the pessimistic log at the instant the source
+              // learns of success: log-before-ack demands the record
+              // is already on disk for a primary-leg (block 0) ack.
+              checker.on_acked(id, outcome.block_used,
+                               world.host->alert_log().contains(id),
+                               outcome.completed_at);
+            } else {
+              checker.on_failed(id, outcome.completed_at);
+            }
+          });
+    });
+  }
+
+  world.sim.run_until(end + options.drain);
+
+  // --- Horizon-time sweep ---------------------------------------------------
+  // An alert with no terminal state must still be *recoverable*: in
+  // the persistent log (the restart scan will process it) or sitting
+  // unread in the buddy's mailbox (the next email pump will). Anything
+  // else has been silently lost — the violation the paper's whole
+  // architecture exists to prevent.
+  std::set<std::string> mailbox_ids;
+  for (const email::Email& mail :
+       world.email_server.mailbox(world.host->email_address())) {
+    const auto it = mail.headers.find("alert_id");
+    if (it != mail.headers.end()) mailbox_ids.insert(it->second);
+  }
+  for (const std::string& id : checker.unresolved()) {
+    if (world.host->alert_log().contains(id) || mailbox_ids.count(id) > 0) {
+      checker.on_recoverable(id);
+    }
+  }
+  // Acked-as-logged records must still be present now (a torn append
+  // can only ever hit an unacked record).
+  std::map<std::string, bool> logged_now;
+  for (const auto& [id, submitted] : sent_at) {
+    (void)submitted;
+    logged_now[id] = world.host->alert_log().contains(id);
+  }
+  const sim::InvariantChecker::Report report = checker.check(&logged_now);
+  report.export_to(result.counters);
+
+  // Portal-style delivery scoring, same deterministic map order.
+  result.counters.bump("alerts.sent", sent);
+  std::int64_t delivered = 0;
+  std::int64_t duplicates = 0;
+  for (const auto& [id, submitted] : sent_at) {
+    const auto seen = world.user->first_seen(id);
+    if (!seen) continue;
+    ++delivered;
+    const double latency = to_seconds(*seen - submitted);
+    result.delivery_latency.add(latency);
+    result.delivery_histogram.add(latency);
+    duplicates += world.user->sightings(id) - 1;
+  }
+  result.counters.bump("alerts.delivered", delivered);
+  result.counters.bump("alerts.lost", sent - delivered);
+  result.counters.bump("alerts.duplicates", duplicates);
+
+  // How much chaos actually bit, for scenario sanity checks.
+  copy_counters_with_prefix(world.bus.stats(), "chaos.", result.counters);
+  copy_counters_with_prefix(world.bus.stats(), "dropped.chaos",
+                            result.counters);
+  copy_counters_with_prefix(world.host->stats(), "chaos.", result.counters);
+  copy_counters_with_prefix(world.host->stats(), "power_losses",
+                            result.counters);
+  copy_counters_with_prefix(world.host->alert_log().stats(), "torn_appends",
+                            result.counters);
+
+  result.events_processed = world.sim.events_processed();
+  return result;
+}
+
+}  // namespace simba::fleet

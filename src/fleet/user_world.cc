@@ -123,6 +123,19 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
     im_server.set_session_reset_mtbf(days(1));
   }
 
+  // Chaos: the whole schedule is a pure function of (seed, scenario,
+  // horizon), derived before any component consumes randomness.
+  if (!options.chaos.empty()) {
+    chaos_plan = std::make_unique<sim::ChaosPlan>(seed, options.chaos,
+                                                  options.fault_horizon);
+    if (chaos_plan->net().any()) {
+      bus.set_chaos(chaos_plan->net(), sim.make_rng("chaos.net"));
+    }
+  }
+  if (options.track_invariants) {
+    invariants = std::make_unique<sim::InvariantChecker>();
+  }
+
   core::UserEndpointOptions user_options;
   user_options.name = options.user;
   user_options.email_check_interval = options.email_check_interval;
@@ -135,6 +148,14 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
   user = std::make_unique<core::UserEndpoint>(sim, bus, im_server,
                                               email_server, sms_gateway,
                                               user_options);
+  if (invariants) {
+    user->set_sighting_observer(
+        [checker = invariants.get()](const std::string& id,
+                                     const std::string& channel,
+                                     TimePoint at) {
+          checker->on_delivered(id, channel, at);
+        });
+  }
   user->start();
 
   core::MabHostOptions host_options;
@@ -153,9 +174,31 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
     flaky.exception_op = "fetch_unread";
     host_options.im_client_profile = flaky;
   }
+  if (chaos_plan) {
+    // Power outages and torn appends must be armed before the host is
+    // built (the host schedules its power events in its constructor).
+    for (const sim::Outage& outage : chaos_plan->host().power_plan.outages()) {
+      host_options.power_plan.add(outage.start, outage.length());
+    }
+    host_options.torn_append_probability =
+        chaos_plan->log().torn_append_probability;
+  }
   host = std::make_unique<core::MabHost>(sim, bus, im_server, email_server,
                                          std::move(host_options));
   host->start();
+  if (chaos_plan) {
+    // Process/machine triggers fire blindly at their scheduled times;
+    // the host ignores any that land while the machine is down.
+    for (TimePoint t : chaos_plan->host().mab_kills) {
+      sim.at(t, [this] { host->inject_mab_crash(); }, "chaos.mab_kill");
+    }
+    for (TimePoint t : chaos_plan->host().mab_hangs) {
+      sim.at(t, [this] { host->inject_mab_hang(); }, "chaos.mab_hang");
+    }
+    for (TimePoint t : chaos_plan->host().reboots) {
+      sim.at(t, [this] { host->inject_reboot(); }, "chaos.reboot");
+    }
+  }
   sim.run_for(seconds(30));  // sign-in warm-up, as bench/common's Cast does
 
   if (options.with_source) {

@@ -15,6 +15,8 @@
 #include "email/email_server.h"
 #include "im/im_server.h"
 #include "net/bus.h"
+#include "sim/chaos.h"
+#include "sim/invariants.h"
 #include "sim/simulator.h"
 #include "sms/sms.h"
 
@@ -40,6 +42,13 @@ struct UserWorldOptions {
   bool faults = false;
   /// Horizon the fault plans should cover.
   Duration fault_horizon = days(1);
+  /// Chaos scenario realized deterministically from the shard seed
+  /// over fault_horizon (sim/chaos.h). An empty scenario (no clauses)
+  /// injects nothing.
+  sim::ChaosScenario chaos;
+  /// Builds the per-world InvariantChecker and wires the user's
+  /// sighting feed into it. The chaos workload turns this on.
+  bool track_invariants = false;
 };
 
 struct UserWorld {
@@ -50,6 +59,10 @@ struct UserWorld {
   im::ImServer im_server;
   email::EmailServer email_server;
   sms::SmsGateway sms_gateway;
+  /// Realized chaos schedule; null when options.chaos is empty.
+  std::unique_ptr<sim::ChaosPlan> chaos_plan;
+  /// Conservation tracker; null unless options.track_invariants.
+  std::unique_ptr<sim::InvariantChecker> invariants;
   std::unique_ptr<core::UserEndpoint> user;
   std::unique_ptr<core::MabHost> host;
   std::unique_ptr<core::SourceEndpoint> source;  // null unless with_source

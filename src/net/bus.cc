@@ -18,10 +18,11 @@ MessageBus::MessageBus(sim::Simulator& sim)
 
 void MessageBus::attach(const std::string& address, Handler handler) {
   endpoints_[address] = std::move(handler);
+  detached_.erase(address);
 }
 
 void MessageBus::detach(const std::string& address) {
-  endpoints_.erase(address);
+  if (endpoints_.erase(address) > 0) detached_.insert(address);
 }
 
 bool MessageBus::attached(const std::string& address) const {
@@ -40,8 +41,18 @@ void MessageBus::partition(const std::string& a, const std::string& b) {
 void MessageBus::heal(const std::string& a, const std::string& b) {
   const auto key = ordered(a, b);
   const auto it = partitions_.find(key);
-  if (it == partitions_.end()) return;
+  if (it == partitions_.end()) {
+    // Never partitioned (or already fully healed): a no-op, so the
+    // nesting count cannot underflow into a permanently-severed link.
+    stats_.bump("heal.unmatched");
+    return;
+  }
   if (--it->second <= 0) partitions_.erase(it);
+}
+
+void MessageBus::set_chaos(const sim::NetChaosConfig& config, Rng rng) {
+  chaos_ = config;
+  chaos_rng_.emplace(std::move(rng));
 }
 
 bool MessageBus::partitioned(const std::string& a,
@@ -71,28 +82,76 @@ std::uint64_t MessageBus::send(Message message) {
     log_debug("net", "loss drop " + message.from + " -> " + message.to);
     return message.id;
   }
-  const Duration latency = link.sample_latency(rng_);
+  Duration latency = link.sample_latency(rng_);
   const std::uint64_t id = message.id;
+
+  // Chaos message faults (sim/chaos.h). All dice roll on the dedicated
+  // chaos stream, in a fixed order, so a chaos world's benign stream
+  // stays aligned with its control's.
+  bool late_loss = false;
+  if (chaos_rng_ && chaos_.any()) {
+    const TimePoint now = sim_.now();
+    if (chaos_.delay_spike.active_at(now) &&
+        chaos_rng_->chance(chaos_.delay_spike.probability)) {
+      latency += chaos_rng_->lognormal_duration(chaos_.delay_spike.magnitude,
+                                                chaos_.delay_spike.sigma);
+      stats_.bump("chaos.delay_spike");
+    }
+    if (chaos_.reorder.active_at(now) &&
+        chaos_rng_->chance(chaos_.reorder.probability)) {
+      // Reordering via delay: holding this message back lets later
+      // sends on the link overtake it.
+      latency += chaos_rng_->uniform_duration(Duration::zero(),
+                                              chaos_.reorder.magnitude);
+      stats_.bump("chaos.reorder");
+    }
+    if (chaos_.late_loss.active_at(now) &&
+        chaos_rng_->chance(chaos_.late_loss.probability)) {
+      late_loss = true;  // dies at arrival time, not now
+    }
+    if (chaos_.duplicate.active_at(now) &&
+        chaos_rng_->chance(chaos_.duplicate.probability)) {
+      // At-least-once transport: a second arrival of the same message
+      // (same id) with its own independently-sampled latency.
+      stats_.bump("chaos.duplicate");
+      schedule_delivery(message, link.sample_latency(*chaos_rng_),
+                        /*chaos_late_loss=*/false);
+    }
+  }
+  schedule_delivery(std::move(message), latency, late_loss);
+  return id;
+}
+
+void MessageBus::schedule_delivery(Message message, Duration latency,
+                                   bool chaos_late_loss) {
+  const std::string label = "net.deliver:" + message.type;
   sim_.after(
       latency,
-      [this, message = std::move(message)] {
+      [this, message = std::move(message), chaos_late_loss] {
         // Partition state and endpoint liveness are re-checked at arrival
         // time: a link that failed mid-flight loses the message.
         if (partitioned(message.from, message.to)) {
           stats_.bump("dropped.partition");
           return;
         }
+        if (chaos_late_loss) {
+          stats_.bump("dropped.chaos_late_loss");
+          log_debug("net", "chaos late loss " + message.from + " -> " +
+                               message.to);
+          return;
+        }
         const auto it = endpoints_.find(message.to);
         if (it == endpoints_.end()) {
-          stats_.bump("dropped.unreachable");
+          stats_.bump(detached_.count(message.to) > 0
+                          ? "dropped.undeliverable"
+                          : "dropped.unreachable");
           log_debug("net", "no endpoint " + message.to);
           return;
         }
         stats_.bump("delivered");
         it->second(message);
       },
-      "net.deliver:" + message.type);
-  return id;
+      label);
 }
 
 }  // namespace simba::net

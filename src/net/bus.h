@@ -1,18 +1,24 @@
 // Simulated message transport shared by the IM, email, and SMS
 // substrates. One bus per simulation; endpoints are string addresses.
 //
-// The bus models only what the paper's dependability story needs:
+// The bus models what the paper's dependability story needs:
 // per-link latency distributions (IM "< 1 second", email "seconds to
 // days"), message loss, and link partitions (corporate proxy failures,
-// network disconnection).
+// network disconnection) — plus, for the chaos harness (sim/chaos.h),
+// adversarial message faults: duplication, reordering, delay spikes,
+// and late loss (the message dies at arrival time, after the sender
+// committed to it).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "sim/chaos.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -64,8 +70,17 @@ class MessageBus {
 
   /// Severs both directions between two addresses until healed.
   void partition(const std::string& a, const std::string& b);
+  /// Undoes one matching partition(). Healing a pair that was never
+  /// partitioned is a counted no-op ("heal.unmatched") — the partition
+  /// count can never underflow.
   void heal(const std::string& a, const std::string& b);
   bool partitioned(const std::string& a, const std::string& b) const;
+
+  /// Arms chaos-driven message faults (duplicate / reorder / delay
+  /// spike / late loss). The decisions roll on `rng`, a dedicated
+  /// stream, so arming chaos never perturbs the benign loss/latency
+  /// stream — a chaos world and its control stay comparable.
+  void set_chaos(const sim::NetChaosConfig& config, Rng rng);
 
   /// Sends a message. Delivery (or loss) is decided now; arrival is a
   /// scheduled simulator event. Returns the assigned message id.
@@ -76,6 +91,10 @@ class MessageBus {
  private:
   const LinkModel& link_for(const std::string& from,
                             const std::string& to) const;
+  /// Schedules one arrival. `chaos_late_loss` kills the message at
+  /// arrival time (counted "dropped.chaos_late_loss").
+  void schedule_delivery(Message message, Duration latency,
+                         bool chaos_late_loss);
 
   sim::Simulator& sim_;
   Rng rng_;
@@ -83,6 +102,12 @@ class MessageBus {
   std::map<std::pair<std::string, std::string>, LinkModel> links_;
   std::map<std::pair<std::string, std::string>, int> partitions_;
   LinkModel default_link_;
+  /// Addresses that were attached once and detached since; in-flight
+  /// messages to them count under "dropped.undeliverable" rather than
+  /// "dropped.unreachable" (never-attached).
+  std::set<std::string> detached_;
+  sim::NetChaosConfig chaos_;
+  std::optional<Rng> chaos_rng_;
   std::uint64_t next_id_ = 1;
   Counters stats_;
 };

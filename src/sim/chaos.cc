@@ -1,0 +1,214 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace simba::sim {
+
+const char* to_string(ChaosKind kind) {
+  switch (kind) {
+    case ChaosKind::kNetDuplicate: return "net.duplicate";
+    case ChaosKind::kNetReorder: return "net.reorder";
+    case ChaosKind::kNetDelaySpike: return "net.delay_spike";
+    case ChaosKind::kNetLateLoss: return "net.late_loss";
+    case ChaosKind::kLogTornAppend: return "log.torn_append";
+    case ChaosKind::kMabKill: return "mab.kill";
+    case ChaosKind::kMabHang: return "mab.hang";
+    case ChaosKind::kMachineReboot: return "machine.reboot";
+    case ChaosKind::kPowerOutage: return "machine.power_outage";
+  }
+  return "unknown";
+}
+
+ChaosScenario& ChaosScenario::add(ChaosClause clause) {
+  clauses.push_back(clause);
+  return *this;
+}
+
+ChaosScenario ChaosScenario::baseline() {
+  ChaosScenario s;
+  s.name = "baseline";
+  return s;
+}
+
+ChaosScenario ChaosScenario::flaky_network() {
+  ChaosScenario s;
+  s.name = "flaky_network";
+  s.add({ChaosKind::kNetDuplicate, 0.02});
+  s.add({ChaosKind::kNetReorder, 0.10, seconds(2)});
+  s.add({ChaosKind::kNetDelaySpike, 0.01, seconds(30)});
+  s.add({ChaosKind::kNetLateLoss, 0.01});
+  return s;
+}
+
+ChaosScenario ChaosScenario::crashy_daemon() {
+  ChaosScenario s;
+  s.name = "crashy_daemon";
+  s.add({ChaosKind::kMabKill, 6.0});
+  s.add({ChaosKind::kMabHang, 4.0});
+  s.add({ChaosKind::kMachineReboot, 1.0});
+  return s;
+}
+
+ChaosScenario ChaosScenario::power_storms() {
+  ChaosScenario s;
+  s.name = "power_storms";
+  s.add({ChaosKind::kPowerOutage, 4.0, minutes(5)});
+  s.add({ChaosKind::kLogTornAppend, 0.5});
+  return s;
+}
+
+ChaosScenario ChaosScenario::everything() {
+  ChaosScenario s;
+  s.name = "everything";
+  s.add({ChaosKind::kNetDuplicate, 0.01});
+  s.add({ChaosKind::kNetReorder, 0.05, seconds(2)});
+  s.add({ChaosKind::kNetDelaySpike, 0.005, seconds(20)});
+  s.add({ChaosKind::kNetLateLoss, 0.005});
+  s.add({ChaosKind::kMabKill, 3.0});
+  s.add({ChaosKind::kMabHang, 2.0});
+  s.add({ChaosKind::kMachineReboot, 0.5});
+  s.add({ChaosKind::kPowerOutage, 2.0, minutes(4)});
+  s.add({ChaosKind::kLogTornAppend, 0.5});
+  return s;
+}
+
+std::vector<ChaosScenario> ChaosScenario::presets() {
+  return {baseline(), flaky_network(), crashy_daemon(), power_storms(),
+          everything()};
+}
+
+ChaosScenario ChaosScenario::preset(const std::string& name) {
+  for (ChaosScenario& s : presets()) {
+    if (s.name == name) return s;
+  }
+  return baseline();
+}
+
+std::string ChaosScenario::describe() const {
+  std::string out = "scenario " + name + ":\n";
+  for (const ChaosClause& c : clauses) {
+    out += strformat("  %-20s rate=%g", to_string(c.kind), c.rate);
+    if (c.magnitude > Duration::zero()) {
+      out += " magnitude=" + format_duration(c.magnitude);
+    }
+    if (c.window_end > kTimeZero) {
+      out += strformat(" window=[%s, %s)", format_time(c.window_start).c_str(),
+                       format_time(c.window_end).c_str());
+    }
+    out += "\n";
+  }
+  if (clauses.empty()) out += "  (no faults — control)\n";
+  return out;
+}
+
+namespace {
+
+// Poisson event times at `per_day` events/day over [start, end),
+// clipped to the clause window. One child stream per clause keeps the
+// schedules independent of each other and of clause order... almost:
+// two clauses of the same kind share a stream name, so we salt with
+// the clause index.
+std::vector<TimePoint> poisson_times(Rng& rng, double per_day,
+                                     TimePoint start, TimePoint end) {
+  std::vector<TimePoint> times;
+  if (per_day <= 0.0 || end <= start) return times;
+  const Duration mean_gap{
+      static_cast<std::int64_t>(86400.0 / per_day * 1e6)};
+  TimePoint t = start;
+  while (true) {
+    t += rng.exponential_duration(mean_gap);
+    if (t >= end) break;
+    times.push_back(t);
+  }
+  return times;
+}
+
+NetChaosAxis make_axis(const ChaosClause& clause, TimePoint window_end,
+                       Duration default_magnitude, double sigma) {
+  NetChaosAxis axis;
+  axis.probability = std::clamp(clause.rate, 0.0, 1.0);
+  axis.magnitude = clause.magnitude > Duration::zero() ? clause.magnitude
+                                                       : default_magnitude;
+  axis.sigma = sigma;
+  axis.window_start = clause.window_start;
+  axis.window_end = window_end;
+  return axis;
+}
+
+}  // namespace
+
+ChaosPlan::ChaosPlan(std::uint64_t seed, const ChaosScenario& scenario,
+                     Duration horizon)
+    : scenario_(scenario), horizon_(horizon) {
+  const TimePoint horizon_end = kTimeZero + horizon;
+  const Rng root = Rng(seed).child("chaos." + scenario.name);
+  for (std::size_t i = 0; i < scenario_.clauses.size(); ++i) {
+    const ChaosClause& clause = scenario_.clauses[i];
+    const TimePoint end =
+        clause.window_end > kTimeZero ? std::min(clause.window_end, horizon_end)
+                                      : horizon_end;
+    Rng rng = root.child(std::string(to_string(clause.kind)) + "#" +
+                         std::to_string(i));
+    switch (clause.kind) {
+      case ChaosKind::kNetDuplicate:
+        net_.duplicate = make_axis(clause, end, Duration::zero(), 1.0);
+        break;
+      case ChaosKind::kNetReorder:
+        net_.reorder = make_axis(clause, end, seconds(2), 1.0);
+        break;
+      case ChaosKind::kNetDelaySpike:
+        net_.delay_spike = make_axis(clause, end, seconds(30), 1.0);
+        break;
+      case ChaosKind::kNetLateLoss:
+        net_.late_loss = make_axis(clause, end, Duration::zero(), 1.0);
+        break;
+      case ChaosKind::kLogTornAppend:
+        log_.torn_append_probability = std::clamp(clause.rate, 0.0, 1.0);
+        break;
+      case ChaosKind::kMabKill:
+        for (TimePoint t :
+             poisson_times(rng, clause.rate, clause.window_start, end)) {
+          host_.mab_kills.push_back(t);
+        }
+        break;
+      case ChaosKind::kMabHang:
+        for (TimePoint t :
+             poisson_times(rng, clause.rate, clause.window_start, end)) {
+          host_.mab_hangs.push_back(t);
+        }
+        break;
+      case ChaosKind::kMachineReboot:
+        for (TimePoint t :
+             poisson_times(rng, clause.rate, clause.window_start, end)) {
+          host_.reboots.push_back(t);
+        }
+        break;
+      case ChaosKind::kPowerOutage: {
+        const Duration median =
+            clause.magnitude > Duration::zero() ? clause.magnitude : minutes(5);
+        for (TimePoint t :
+             poisson_times(rng, clause.rate, clause.window_start, end)) {
+          host_.power_plan.add(t, rng.lognormal_duration(median, 0.8));
+        }
+        break;
+      }
+    }
+  }
+  std::sort(host_.mab_kills.begin(), host_.mab_kills.end());
+  std::sort(host_.mab_hangs.begin(), host_.mab_hangs.end());
+  std::sort(host_.reboots.begin(), host_.reboots.end());
+}
+
+std::string ChaosPlan::describe() const {
+  std::string out = scenario_.describe();
+  out += strformat(
+      "plan over %s: %zu kills, %zu hangs, %zu reboots, %zu power outages\n",
+      format_duration(horizon_).c_str(), host_.mab_kills.size(),
+      host_.mab_hangs.size(), host_.reboots.size(),
+      host_.power_plan.outages().size());
+  return out;
+}
+
+}  // namespace simba::sim

@@ -1,0 +1,160 @@
+// Deterministic chaos injection (experiment E10).
+//
+// The paper's dependability claim is an end-to-end conservation
+// property: pessimistic logging, the MDC watchdog, and delivery-mode
+// fallback together mean no subscribed alert is ever silently lost,
+// even while clients hang, links drop, and machines reboot. A
+// ChaosScenario states an adversarial fault mix declaratively (fault
+// kinds x rates x time windows); a ChaosPlan turns one scenario plus
+// one seed into concrete per-component fault schedules, so a chaos run
+// is exactly as reproducible as a fault-free one — same seed, same
+// faults, same trace — and the fleet runner can sweep scenario x seed
+// matrices whose merged reports are bit-identical per thread count.
+//
+// The plan feeds three layers:
+//   * net::MessageBus    — duplicate / reorder / delay-spike / late-loss
+//                          message faults (NetChaosConfig);
+//   * core::AlertLog     — torn appends on power loss, the window
+//                          between append and ack that pessimistic
+//                          logging exists to protect (LogChaosConfig);
+//   * core::MabHost      — scripted process kills, hangs, machine
+//                          reboots, and power outages (HostChaosConfig).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fault.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace simba::sim {
+
+/// One fault axis a scenario can turn on.
+enum class ChaosKind {
+  kNetDuplicate,   // rate: per-message duplication probability
+  kNetReorder,     // rate: probability; magnitude: extra delay spread
+  kNetDelaySpike,  // rate: probability; magnitude: log-normal median
+  kNetLateLoss,    // rate: probability the message dies at arrival time
+  kLogTornAppend,  // rate: probability an unsynced append is torn on
+                   // power loss (only bites when power faults exist)
+  kMabKill,        // rate: abrupt process deaths per day
+  kMabHang,        // rate: process hangs per day
+  kMachineReboot,  // rate: forced machine reboots per day
+  kPowerOutage,    // rate: outages per day; magnitude: outage median
+};
+
+const char* to_string(ChaosKind kind);
+
+/// One clause of a scenario: a kind, an intensity, and the window it is
+/// active in. window_end == kTimeZero means "until the horizon".
+struct ChaosClause {
+  ChaosKind kind;
+  double rate = 0.0;
+  Duration magnitude{};  // kind-specific size; zero picks a default
+  TimePoint window_start = kTimeZero;
+  TimePoint window_end = kTimeZero;
+};
+
+/// A named, declarative fault mix. Scenarios carry no randomness —
+/// the same scenario under different seeds yields different concrete
+/// schedules of the same statistical shape.
+struct ChaosScenario {
+  std::string name = "baseline";
+  std::vector<ChaosClause> clauses;
+
+  bool empty() const { return clauses.empty(); }
+  ChaosScenario& add(ChaosClause clause);
+
+  /// Preset library used by the chaos matrix (tests/chaos_test.cc) and
+  /// bench_chaos_sweep. baseline() is the fault-free control.
+  static ChaosScenario baseline();
+  static ChaosScenario flaky_network();
+  static ChaosScenario crashy_daemon();
+  static ChaosScenario power_storms();
+  static ChaosScenario everything();
+  static std::vector<ChaosScenario> presets();
+  /// Preset by name, or baseline() for an unknown name.
+  static ChaosScenario preset(const std::string& name);
+
+  std::string describe() const;
+};
+
+/// One windowed per-message fault probability.
+struct NetChaosAxis {
+  double probability = 0.0;
+  Duration magnitude{};
+  double sigma = 1.0;  // tail shape for the delay-spike log-normal
+  TimePoint window_start = kTimeZero;
+  TimePoint window_end = kTimeZero;
+
+  bool active_at(TimePoint t) const {
+    return probability > 0.0 && t >= window_start && t < window_end;
+  }
+};
+
+/// Message-level faults for net::MessageBus (which owns the Rng that
+/// actually rolls the dice, so decisions stay inside the world's own
+/// deterministic stream).
+struct NetChaosConfig {
+  NetChaosAxis duplicate;
+  NetChaosAxis reorder;
+  NetChaosAxis delay_spike;
+  NetChaosAxis late_loss;
+
+  bool any() const {
+    return duplicate.probability > 0.0 || reorder.probability > 0.0 ||
+           delay_spike.probability > 0.0 || late_loss.probability > 0.0;
+  }
+};
+
+/// Crash-window model for core::AlertLog.
+struct LogChaosConfig {
+  /// Probability, per append still inside its synchronous-write window
+  /// at the instant power dies, that the append is torn from the log.
+  double torn_append_probability = 0.0;
+};
+
+/// Scripted process/machine fault schedule for core::MabHost. All
+/// times are precomputed from the plan seed, so they are independent
+/// of event interleaving.
+struct HostChaosConfig {
+  std::vector<TimePoint> mab_kills;
+  std::vector<TimePoint> mab_hangs;
+  std::vector<TimePoint> reboots;
+  OutagePlan power_plan;
+
+  bool any() const {
+    return !mab_kills.empty() || !mab_hangs.empty() || !reboots.empty() ||
+           !power_plan.outages().empty();
+  }
+};
+
+/// The concrete, seed-derived realization of a scenario over one
+/// world's horizon. Construction consumes no randomness from anything
+/// but its own child streams of `seed`, so two worlds with the same
+/// (seed, scenario, horizon) get identical fault schedules regardless
+/// of what else they simulate.
+class ChaosPlan {
+ public:
+  ChaosPlan(std::uint64_t seed, const ChaosScenario& scenario,
+            Duration horizon);
+
+  const ChaosScenario& scenario() const { return scenario_; }
+  Duration horizon() const { return horizon_; }
+  const NetChaosConfig& net() const { return net_; }
+  const LogChaosConfig& log() const { return log_; }
+  const HostChaosConfig& host() const { return host_; }
+
+  std::string describe() const;
+
+ private:
+  ChaosScenario scenario_;
+  Duration horizon_;
+  NetChaosConfig net_;
+  LogChaosConfig log_;
+  HostChaosConfig host_;
+};
+
+}  // namespace simba::sim

@@ -1,0 +1,138 @@
+#include "sim/invariants.h"
+
+#include "util/strings.h"
+
+namespace simba::sim {
+
+void InvariantChecker::on_submitted(const std::string& id, TimePoint at) {
+  Track& t = track(id);
+  t.submitted = true;
+  t.submitted_at = at;
+}
+
+void InvariantChecker::on_logged(const std::string& id, TimePoint) {
+  track(id).logged = true;
+}
+
+void InvariantChecker::on_acked(const std::string& id, int block, bool logged,
+                                TimePoint) {
+  Track& t = track(id);
+  if (!t.acked) {
+    t.acked = true;
+    t.ack_block = block;
+    t.acked_logged = logged;
+  }
+  if (logged) t.logged = true;
+}
+
+void InvariantChecker::on_delivered(const std::string& id, const std::string&,
+                                    TimePoint at) {
+  Track& t = track(id);
+  if (t.sightings == 0) t.first_seen = at;
+  ++t.sightings;
+}
+
+void InvariantChecker::on_failed(const std::string& id, TimePoint) {
+  track(id).failed = true;
+}
+
+void InvariantChecker::on_recoverable(const std::string& id) {
+  track(id).recoverable = true;
+}
+
+std::vector<std::string> InvariantChecker::unresolved() const {
+  std::vector<std::string> out;
+  for (const auto& [id, t] : tracks_) {
+    if (t.submitted && t.sightings == 0 && !t.failed) out.push_back(id);
+  }
+  return out;
+}
+
+InvariantChecker::Report InvariantChecker::check(
+    const std::map<std::string, bool>* logged_now) const {
+  Report report;
+  for (const auto& [id, t] : tracks_) {
+    if (!t.submitted) {
+      // Someone saw, acked, or failed an alert nobody submitted.
+      ++report.phantom_deliveries;
+      continue;
+    }
+    ++report.submitted;
+    if (t.logged) ++report.logged;
+    if (t.acked) {
+      ++report.acked;
+      // Log-before-ack: a primary-leg (block 0) acknowledgement without
+      // a persisted record breaks the pessimistic-logging contract.
+      if (t.ack_block == 0 && !t.acked_logged) ++report.ack_unlogged;
+      // And the record must still be there now: pessimistic-log records
+      // of acked alerts never vanish (a torn append can only hit an
+      // unsynced — hence unacked — record).
+      if (t.ack_block == 0 && t.acked_logged && logged_now) {
+        const auto it = logged_now->find(id);
+        if (it != logged_now->end() && !it->second) ++report.log_vanished;
+      }
+    }
+    if (t.sightings > 1) {
+      report.duplicate_sightings += t.sightings - 1;
+      if (!options_.duplicates_allowed) {
+        report.illegal_duplicates += t.sightings - 1;
+      }
+    }
+    // Disjoint terminal buckets, delivered > failed > in-flight.
+    if (t.sightings > 0) {
+      ++report.delivered;
+    } else if (t.failed) {
+      ++report.failed;
+    } else if (t.recoverable) {
+      ++report.in_flight;
+    } else {
+      ++report.vanished;  // silently lost — the one unforgivable outcome
+    }
+  }
+  report.conservation_gap = report.submitted - report.delivered -
+                            report.failed - report.in_flight -
+                            report.vanished;
+  return report;
+}
+
+void InvariantChecker::Report::export_to(Counters& counters,
+                                         const std::string& prefix) const {
+  counters.bump(prefix + "submitted", submitted);
+  counters.bump(prefix + "delivered", delivered);
+  counters.bump(prefix + "failed", failed);
+  counters.bump(prefix + "in_flight", in_flight);
+  counters.bump(prefix + "duplicate_sightings", duplicate_sightings);
+  counters.bump(prefix + "acked", acked);
+  counters.bump(prefix + "logged", logged);
+  counters.bump(prefix + "violations.phantom", phantom_deliveries);
+  counters.bump(prefix + "violations.ack_unlogged", ack_unlogged);
+  counters.bump(prefix + "violations.log_vanished", log_vanished);
+  counters.bump(prefix + "violations.vanished", vanished);
+  counters.bump(prefix + "violations.illegal_duplicates", illegal_duplicates);
+  counters.bump(prefix + "violations.total", violations());
+}
+
+std::string InvariantChecker::Report::describe() const {
+  std::string out = strformat(
+      "conservation: %lld submitted = %lld delivered + %lld failed + %lld "
+      "in-flight (+%lld vanished), %lld duplicate sightings\n",
+      static_cast<long long>(submitted), static_cast<long long>(delivered),
+      static_cast<long long>(failed), static_cast<long long>(in_flight),
+      static_cast<long long>(vanished),
+      static_cast<long long>(duplicate_sightings));
+  if (ok()) {
+    out += "invariants: OK\n";
+  } else {
+    out += strformat(
+        "invariants: VIOLATED — phantom=%lld ack_unlogged=%lld "
+        "log_vanished=%lld vanished=%lld illegal_duplicates=%lld gap=%lld\n",
+        static_cast<long long>(phantom_deliveries),
+        static_cast<long long>(ack_unlogged),
+        static_cast<long long>(log_vanished), static_cast<long long>(vanished),
+        static_cast<long long>(illegal_duplicates),
+        static_cast<long long>(conservation_gap));
+  }
+  return out;
+}
+
+}  // namespace simba::sim

@@ -1,0 +1,180 @@
+// The chaos matrix (experiment E10): every preset scenario, across a
+// seed sweep, must leave the alert-conservation invariants intact in
+// every world — and the merged chaos fleet report must stay a pure
+// function of the base seed, bit-identical for any thread count.
+//
+// Runs under `ctest -L chaos`.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fleet/chaos_workload.h"
+#include "fleet/fleet.h"
+
+namespace simba::fleet {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {101, 202, 303, 404};
+
+ChaosWorkloadOptions workload_for(const sim::ChaosScenario& scenario) {
+  ChaosWorkloadOptions options;
+  options.world.fidelity = ModelFidelity::kFast;
+  options.world.email_check_interval = minutes(15);
+  options.scenario = scenario;
+  return options;
+}
+
+FleetReport run(std::uint64_t seed, int threads,
+                const ChaosWorkloadOptions& workload) {
+  FleetOptions options;
+  options.shards = 4;
+  options.threads = threads;
+  options.base_seed = seed;
+  return run_fleet(options, [&workload](const ShardTask& task) {
+    return run_chaos_shard(task, workload);
+  });
+}
+
+/// Asserts the conservation contract on one fleet report: a non-empty
+/// population, disjoint terminal buckets that sum back to the
+/// submissions, and zero of every violation class — per shard and
+/// merged.
+void expect_conserved(const FleetReport& report, const std::string& context) {
+  const Counters& merged = report.counters;
+  EXPECT_GT(merged.get("invariant.submitted"), 0) << context;
+  EXPECT_EQ(merged.get("invariant.submitted"),
+            merged.get("invariant.delivered") +
+                merged.get("invariant.failed") +
+                merged.get("invariant.in_flight"))
+      << context;
+  for (const char* violation :
+       {"invariant.violations.phantom", "invariant.violations.ack_unlogged",
+        "invariant.violations.log_vanished", "invariant.violations.vanished",
+        "invariant.violations.illegal_duplicates",
+        "invariant.violations.total"}) {
+    EXPECT_EQ(merged.get(violation), 0) << context << ": " << violation;
+  }
+  for (std::size_t i = 0; i < report.per_shard.size(); ++i) {
+    EXPECT_EQ(report.per_shard[i].counters.get("invariant.violations.total"),
+              0)
+        << context << ": shard " << i;
+  }
+}
+
+class ChaosMatrixTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ChaosMatrixTest, EveryWorldConservesAlertsAcrossSeeds) {
+  const sim::ChaosScenario scenario = sim::ChaosScenario::preset(GetParam());
+  const ChaosWorkloadOptions workload = workload_for(scenario);
+
+  // Injection counts summed across the seed sweep: one seed may draw an
+  // empty fault schedule, sixteen worlds' worth cannot plausibly.
+  Counters injected;
+  for (const std::uint64_t seed : kSeeds) {
+    const FleetReport report = run(seed, 4, workload);
+    ASSERT_EQ(report.per_shard.size(), 4u);
+    expect_conserved(report, scenario.name + "/seed " + std::to_string(seed));
+    for (const auto& [name, value] : report.counters.all()) {
+      injected.bump(name, value);
+    }
+  }
+
+  // The scenario's fault axes actually fired — a chaos run that injects
+  // nothing would pass conservation vacuously.
+  const auto any_of = [&injected](std::initializer_list<const char*> keys) {
+    std::int64_t total = 0;
+    for (const char* key : keys) total += injected.get(key);
+    return total;
+  };
+  if (scenario.name == "baseline") {
+    EXPECT_EQ(injected.get("alerts.lost"), 0) << "lossless control lost alerts";
+    EXPECT_EQ(any_of({"chaos.duplicate", "chaos.reorder", "chaos.delay_spike",
+                      "dropped.chaos_late_loss", "chaos.mab_crashes",
+                      "chaos.mab_hangs", "chaos.reboots", "power_losses"}),
+              0);
+  } else if (scenario.name == "flaky_network") {
+    EXPECT_GT(any_of({"chaos.duplicate", "chaos.reorder", "chaos.delay_spike",
+                      "dropped.chaos_late_loss"}),
+              0);
+  } else if (scenario.name == "crashy_daemon") {
+    EXPECT_GT(any_of({"chaos.mab_crashes", "chaos.mab_hangs",
+                      "chaos.reboots"}),
+              0);
+  } else if (scenario.name == "power_storms") {
+    EXPECT_GT(injected.get("power_losses"), 0);
+  } else if (scenario.name == "everything") {
+    EXPECT_GT(any_of({"chaos.duplicate", "dropped.chaos_late_loss",
+                      "chaos.mab_crashes", "power_losses"}),
+              0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ChaosMatrixTest,
+    ::testing::Values("baseline", "flaky_network", "crashy_daemon",
+                      "power_storms", "everything"),
+    [](const auto& info) { return info.param; });
+
+class ChaosDeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ChaosDeterminismTest, SerialAndParallelReportsAreIdentical) {
+  const ChaosWorkloadOptions workload =
+      workload_for(sim::ChaosScenario::preset(GetParam()));
+  const FleetReport serial = run(kSeeds[0], 1, workload);
+  const FleetReport parallel = run(kSeeds[0], 4, workload);
+
+  ASSERT_EQ(serial.per_shard.size(), parallel.per_shard.size());
+  for (std::size_t i = 0; i < serial.per_shard.size(); ++i) {
+    const ShardResult& s = serial.per_shard[i];
+    const ShardResult& p = parallel.per_shard[i];
+    EXPECT_EQ(s.counters.all(), p.counters.all()) << "shard " << i;
+    EXPECT_EQ(s.events_processed, p.events_processed) << "shard " << i;
+    EXPECT_EQ(s.delivery_latency.samples(), p.delivery_latency.samples())
+        << "shard " << i;
+    EXPECT_EQ(s.delivery_histogram.buckets(), p.delivery_histogram.buckets())
+        << "shard " << i;
+  }
+  EXPECT_EQ(serial.correctness_json(), parallel.correctness_json());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, ChaosDeterminismTest,
+                         ::testing::Values("flaky_network", "everything"),
+                         [](const auto& info) { return info.param; });
+
+TEST(ChaosPlanTest, SameInputsSamePlan) {
+  const sim::ChaosScenario scenario = sim::ChaosScenario::everything();
+  const sim::ChaosPlan a(99, scenario, days(2));
+  const sim::ChaosPlan b(99, scenario, days(2));
+  EXPECT_EQ(a.host().mab_kills, b.host().mab_kills);
+  EXPECT_EQ(a.host().mab_hangs, b.host().mab_hangs);
+  EXPECT_EQ(a.host().reboots, b.host().reboots);
+  EXPECT_EQ(a.describe(), b.describe());
+
+  const sim::ChaosPlan c(100, scenario, days(2));
+  EXPECT_NE(a.host().mab_kills, c.host().mab_kills)
+      << "seed ignored by the plan";
+}
+
+TEST(ChaosPlanTest, SchedulesRespectHorizonAndAreSorted) {
+  const sim::ChaosPlan plan(7, sim::ChaosScenario::everything(), hours(8));
+  const TimePoint horizon = kTimeZero + hours(8);
+  for (const auto* schedule :
+       {&plan.host().mab_kills, &plan.host().mab_hangs,
+        &plan.host().reboots}) {
+    for (std::size_t i = 0; i < schedule->size(); ++i) {
+      EXPECT_GE((*schedule)[i], kTimeZero);
+      EXPECT_LT((*schedule)[i], horizon);
+      if (i > 0) {
+        EXPECT_GE((*schedule)[i], (*schedule)[i - 1]);
+      }
+    }
+  }
+  for (const sim::Outage& outage : plan.host().power_plan.outages()) {
+    EXPECT_GE(outage.start, kTimeZero);
+    EXPECT_LT(outage.start, horizon);
+  }
+}
+
+}  // namespace
+}  // namespace simba::fleet

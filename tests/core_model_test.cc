@@ -382,6 +382,114 @@ TEST(AlertLogTest, WriteLatencyConfigurable) {
   EXPECT_EQ(log.write_latency(), millis(300));
 }
 
+TEST(AlertLogTest, RestartScanOrderUnderInterleavedAppendAndMark) {
+  // The restart recovery scan must replay survivors in arrival order
+  // no matter how appends and marks interleaved before the crash.
+  AlertLog log;
+  log.append(make_alert("a"), kTimeZero);
+  log.append(make_alert("b"), kTimeZero + seconds(1));
+  log.mark_processed("a", kTimeZero + seconds(2));
+  log.append(make_alert("c"), kTimeZero + seconds(3));
+  log.mark_processed("c", kTimeZero + seconds(4));
+  log.append(make_alert("d"), kTimeZero + seconds(5));
+  log.append(make_alert("e"), kTimeZero + seconds(6));
+  log.mark_processed("d", kTimeZero + seconds(7));
+
+  const auto pending = log.unprocessed();
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].id, "b");
+  EXPECT_EQ(pending[1].id, "e");
+}
+
+TEST(AlertLogTest, ResendStormIsSuppressedToOneRecord) {
+  // At-least-once transport can hammer the MAB with the same alert;
+  // the log is the dedup point and must keep exactly one record.
+  AlertLog log;
+  EXPECT_TRUE(log.append(make_alert("storm"), kTimeZero));
+  for (int i = 1; i <= 50; ++i) {
+    EXPECT_FALSE(log.append(make_alert("storm"), kTimeZero + seconds(i)));
+  }
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.stats().get("duplicate_appends"), 50);
+  ASSERT_EQ(log.unprocessed().size(), 1u);
+
+  // Resends arriving after processing must not resurrect the record.
+  log.mark_processed("storm", kTimeZero + minutes(1));
+  EXPECT_FALSE(log.append(make_alert("storm"), kTimeZero + minutes(2)));
+  EXPECT_TRUE(log.processed("storm"));
+  EXPECT_TRUE(log.unprocessed().empty());
+}
+
+TEST(AlertLogTest, MarkUnknownIdLeavesLogIntact) {
+  AlertLog log;
+  log.mark_processed("ghost", kTimeZero);  // before any append
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.stats().get("processed"), 0);
+
+  // The id later arriving for real starts unprocessed: the stray mark
+  // left no tombstone behind.
+  EXPECT_TRUE(log.append(make_alert("ghost"), kTimeZero + seconds(1)));
+  EXPECT_FALSE(log.processed("ghost"));
+  ASSERT_EQ(log.unprocessed().size(), 1u);
+}
+
+TEST(AlertLogTest, PowerLossTearsOnlyUnsyncedAppends) {
+  // Only appends still inside their synchronous-write window can be
+  // torn — exactly the records whose ack has not gone out yet.
+  AlertLog log;  // 250 ms write latency
+  Rng rng(7);
+  log.append(make_alert("old"), kTimeZero);
+  log.append(make_alert("synced"), kTimeZero + seconds(5));
+  log.append(make_alert("fresh"), kTimeZero + seconds(10));
+  const auto torn =
+      log.power_loss(kTimeZero + seconds(10) + millis(100), rng, 1.0);
+  ASSERT_EQ(torn.size(), 1u);
+  EXPECT_EQ(torn[0], "fresh");
+  EXPECT_FALSE(log.contains("fresh"));
+  EXPECT_TRUE(log.contains("old"));
+  EXPECT_TRUE(log.contains("synced"));
+  EXPECT_EQ(log.stats().get("torn_appends"), 1);
+}
+
+TEST(AlertLogTest, PowerLossSparesProcessedRecords) {
+  // A processed record inside the window has long completed its write;
+  // power loss cannot take it back.
+  AlertLog log;
+  Rng rng(7);
+  log.append(make_alert("done"), kTimeZero + seconds(10));
+  log.mark_processed("done", kTimeZero + seconds(10) + millis(50));
+  const auto torn =
+      log.power_loss(kTimeZero + seconds(10) + millis(100), rng, 1.0);
+  EXPECT_TRUE(torn.empty());
+  EXPECT_TRUE(log.contains("done"));
+
+  // And zero probability tears nothing even in the window.
+  log.append(make_alert("lucky"), kTimeZero + seconds(20));
+  EXPECT_TRUE(log.power_loss(kTimeZero + seconds(20), rng, 0.0).empty());
+  EXPECT_TRUE(log.contains("lucky"));
+}
+
+TEST(AlertLogTest, PowerLossRebuildsIndexConsistently) {
+  // Tearing a middle record must leave the survivors addressable and
+  // the torn id free for a clean re-append by the failover resend.
+  AlertLog log;
+  Rng rng(7);
+  log.append(make_alert("a"), kTimeZero);
+  log.append(make_alert("mid"), kTimeZero + seconds(10));
+  log.append(make_alert("z"), kTimeZero + seconds(10) + millis(50));
+  // Tear both in-window records ("mid", "z").
+  const auto torn =
+      log.power_loss(kTimeZero + seconds(10) + millis(100), rng, 1.0);
+  ASSERT_EQ(torn.size(), 2u);
+  EXPECT_EQ(log.size(), 1u);
+
+  log.mark_processed("a", kTimeZero + seconds(20));
+  EXPECT_TRUE(log.processed("a"));
+  EXPECT_TRUE(log.append(make_alert("mid"), kTimeZero + seconds(30)));
+  ASSERT_EQ(log.unprocessed().size(), 1u);
+  EXPECT_EQ(log.unprocessed()[0].id, "mid");
+}
+
 // ---------------------------------------------------------------------------
 // Profiles and subscriptions
 // ---------------------------------------------------------------------------

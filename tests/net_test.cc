@@ -2,7 +2,11 @@
 // lifecycle.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "net/bus.h"
+#include "sim/chaos.h"
 #include "sim/simulator.h"
 
 namespace simba::net {
@@ -82,6 +86,22 @@ TEST_F(BusTest, DetachMidFlightLosesMessage) {
   bus_.detach("b");  // before delivery event fires
   sim_.run();
   EXPECT_EQ(received, 0);
+  // A once-attached endpoint is "undeliverable", distinct from the
+  // never-attached "unreachable" — so a crashed-client drop can't be
+  // mistaken for a misaddressed message.
+  EXPECT_EQ(bus_.stats().get("dropped.undeliverable"), 1);
+  EXPECT_EQ(bus_.stats().get("dropped.unreachable"), 0);
+}
+
+TEST_F(BusTest, ReattachClearsUndeliverableState) {
+  int received = 0;
+  bus_.attach("b", [&](const Message&) { ++received; });
+  bus_.detach("b");
+  bus_.attach("b", [&](const Message&) { ++received; });
+  bus_.send(make("a", "b"));
+  sim_.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(bus_.stats().get("dropped.undeliverable"), 0);
 }
 
 TEST_F(BusTest, PartitionBlocksBothDirections) {
@@ -125,6 +145,26 @@ TEST_F(BusTest, NestedPartitionsNeedMatchingHeals) {
 TEST_F(BusTest, HealWithoutPartitionIsSafe) {
   bus_.heal("a", "b");
   EXPECT_FALSE(bus_.partitioned("a", "b"));
+  EXPECT_EQ(bus_.stats().get("heal.unmatched"), 1);
+}
+
+TEST_F(BusTest, UnmatchedHealDoesNotUnderflowNestingCount) {
+  // Spurious heals must not leave a negative count behind that a later
+  // partition would cancel against, severing the link permanently.
+  bus_.heal("a", "b");
+  bus_.heal("a", "b");
+  EXPECT_EQ(bus_.stats().get("heal.unmatched"), 2);
+
+  bus_.partition("a", "b");
+  EXPECT_TRUE(bus_.partitioned("a", "b"));
+  bus_.heal("a", "b");
+  EXPECT_FALSE(bus_.partitioned("a", "b"));
+  int received = 0;
+  bus_.attach("b", [&](const Message&) { ++received; });
+  bus_.send(make("a", "b"));
+  sim_.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(bus_.stats().get("heal.unmatched"), 2);  // matched heal is silent
 }
 
 TEST_F(BusTest, MessageIdsIncrease) {
@@ -152,6 +192,67 @@ TEST_F(BusTest, HeadersSurviveTransit) {
   bus_.send(std::move(m));
   sim_.run();
   EXPECT_EQ(got, "x-1");
+}
+
+// --- Chaos injection (sim/chaos.h) -----------------------------------------
+
+sim::NetChaosAxis always(TimePoint until) {
+  sim::NetChaosAxis axis;
+  axis.probability = 1.0;
+  axis.window_end = until;
+  return axis;
+}
+
+TEST_F(BusTest, ChaosDuplicateDeliversSameMessageTwice) {
+  sim::NetChaosConfig chaos;
+  chaos.duplicate = always(kTimeZero + hours(1));
+  bus_.set_chaos(chaos, sim_.make_rng("chaos.net"));
+  std::vector<std::uint64_t> arrivals;
+  bus_.attach("b", [&](const Message& m) { arrivals.push_back(m.id); });
+  const std::uint64_t id = bus_.send(make("a", "b"));
+  sim_.run();
+  ASSERT_EQ(arrivals.size(), 2u) << "at-least-once duplicate missing";
+  EXPECT_EQ(arrivals[0], id);
+  EXPECT_EQ(arrivals[1], id);
+  EXPECT_EQ(bus_.stats().get("chaos.duplicate"), 1);
+}
+
+TEST_F(BusTest, ChaosLateLossDropsAtArrivalTime) {
+  sim::NetChaosConfig chaos;
+  chaos.late_loss = always(kTimeZero + hours(1));
+  bus_.set_chaos(chaos, sim_.make_rng("chaos.net"));
+  int received = 0;
+  bus_.attach("b", [&](const Message&) { ++received; });
+  bus_.send(make("a", "b"));
+  sim_.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(bus_.stats().get("dropped.chaos_late_loss"), 1);
+}
+
+TEST_F(BusTest, ChaosDelaySpikeStretchesLatency) {
+  bus_.set_default_link(LinkModel{millis(10), Duration::zero(), 0.0});
+  sim::NetChaosConfig chaos;
+  chaos.delay_spike = always(kTimeZero + hours(1));
+  chaos.delay_spike.magnitude = seconds(30);
+  bus_.set_chaos(chaos, sim_.make_rng("chaos.net"));
+  TimePoint arrival{};
+  bus_.attach("b", [&](const Message&) { arrival = sim_.now(); });
+  bus_.send(make("a", "b"));
+  sim_.run();
+  EXPECT_GT(arrival, kTimeZero + millis(10));
+  EXPECT_EQ(bus_.stats().get("chaos.delay_spike"), 1);
+}
+
+TEST_F(BusTest, ChaosInactiveOutsideItsWindow) {
+  sim::NetChaosConfig chaos;
+  chaos.duplicate = always(kTimeZero + seconds(1));
+  bus_.set_chaos(chaos, sim_.make_rng("chaos.net"));
+  int received = 0;
+  bus_.attach("b", [&](const Message&) { ++received; });
+  sim_.at(kTimeZero + seconds(5), [&] { bus_.send(make("a", "b")); });
+  sim_.run();
+  EXPECT_EQ(received, 1);  // no duplicate: the window closed at 1 s
+  EXPECT_EQ(bus_.stats().get("chaos.duplicate"), 0);
 }
 
 // Parameterized loss-rate sweep: observed loss should track the model.

@@ -228,6 +228,82 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0.5, 2.0, 10.0),
                        ::testing::Values(2.0, 15.0, 120.0)));
 
+// Normalization: random overlapping, touching, out-of-order windows
+// must collapse to the canonical sorted non-overlapping set — same
+// total downtime as the brute-force interval union, same canonical
+// form regardless of insertion order.
+class OutageNormalizeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OutageNormalizeFuzz, MergesToCanonicalUnion) {
+  Rng rng(GetParam());
+  std::vector<sim::Outage> raw;
+  sim::OutagePlan plan;
+  for (int i = 0; i < 40; ++i) {
+    const TimePoint start =
+        kTimeZero + rng.uniform_duration(Duration::zero(), hours(2));
+    const Duration length =
+        rng.uniform_duration(millis(1), minutes(30));
+    raw.push_back(sim::Outage{start, start + length});
+    plan.add(start, length);
+  }
+
+  // Canonical form: sorted, strictly separated windows (touching ones
+  // merged), each non-empty.
+  const std::vector<sim::Outage>& merged = plan.outages();
+  ASSERT_FALSE(merged.empty());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_GT(merged[i].length(), Duration::zero());
+    if (i > 0) {
+      EXPECT_GT(merged[i].start, merged[i - 1].end) << "window " << i;
+    }
+  }
+
+  // Brute-force union of the raw windows by sweep.
+  std::vector<sim::Outage> sorted = raw;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const sim::Outage& a, const sim::Outage& b) {
+              return a.start < b.start;
+            });
+  Duration union_length{};
+  TimePoint covered_to = sorted.front().start;
+  for (const sim::Outage& o : sorted) {
+    const TimePoint from = std::max(o.start, covered_to);
+    if (o.end > from) {
+      union_length += o.end - from;
+      covered_to = o.end;
+    }
+  }
+  const TimePoint horizon = kTimeZero + days(1);
+  EXPECT_EQ(plan.total_downtime(horizon), union_length);
+
+  // Point queries agree with raw membership at every boundary.
+  for (const sim::Outage& o : raw) {
+    EXPECT_TRUE(plan.down_at(o.start));
+    EXPECT_TRUE(plan.down_at(o.end - Duration{1}));
+    const auto in_raw = [&raw](TimePoint t) {
+      for (const sim::Outage& r : raw) {
+        if (t >= r.start && t < r.end) return true;
+      }
+      return false;
+    };
+    EXPECT_EQ(plan.down_at(o.end), in_raw(o.end)) << "end of window";
+  }
+
+  // Insertion order is irrelevant: reversed adds, same canonical form.
+  sim::OutagePlan reversed;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    reversed.add(it->start, it->length());
+  }
+  ASSERT_EQ(reversed.outages().size(), merged.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(reversed.outages()[i].start, merged[i].start);
+    EXPECT_EQ(reversed.outages()[i].end, merged[i].end);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OutageNormalizeFuzz,
+                         ::testing::Values(1u, 7u, 23u, 99u, 1234u));
+
 // ---------------------------------------------------------------------------
 // AlertLog: random interleavings keep the unprocessed-set invariant.
 // ---------------------------------------------------------------------------
