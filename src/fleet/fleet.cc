@@ -1,12 +1,11 @@
 #include "fleet/fleet.h"
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
 #include <thread>
 
 #include "util/rng.h"
 #include "util/strings.h"
+#include "util/wall_clock.h"
 
 namespace simba::fleet {
 
@@ -125,21 +124,34 @@ std::string FleetReport::render() const {
   return out;
 }
 
+std::size_t ShardScheduler::claim() {
+  util::MutexLock lock(mu_);
+  if (first_failure_) return shards_;
+  return next_ < shards_ ? next_++ : shards_;
+}
+
+void ShardScheduler::record_failure(std::exception_ptr error) {
+  util::MutexLock lock(mu_);
+  if (!first_failure_) first_failure_ = std::move(error);
+}
+
+void ShardScheduler::rethrow_if_failed() {
+  util::MutexLock lock(mu_);
+  if (first_failure_) std::rethrow_exception(first_failure_);
+}
+
 FleetReport run_fleet(const FleetOptions& options, const ShardBody& body) {
-  const auto wall_start = std::chrono::steady_clock::now();
+  const util::WallTimer fleet_timer;
   const std::size_t n = options.shards;
   std::vector<ShardResult> results(n);
 
   auto run_shard = [&](std::size_t shard_id) {
     const ShardTask task{shard_id, shard_seed(options.base_seed, shard_id)};
-    const auto shard_start = std::chrono::steady_clock::now();
+    const util::WallTimer shard_timer;
     ShardResult result = body(task);
     result.shard_id = task.shard_id;
     result.seed = task.seed;
-    result.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      shard_start)
-            .count();
+    result.wall_seconds = shard_timer.seconds();
     results[shard_id] = std::move(result);
   };
 
@@ -149,22 +161,32 @@ FleetReport run_fleet(const FleetOptions& options, const ShardBody& body) {
   if (threads <= 1) {
     for (std::size_t i = 0; i < n; ++i) run_shard(i);
   } else {
-    // Work queue: an atomic cursor hands shards out in order; each
+    // Work queue: the scheduler hands shards out in claim order; each
     // worker writes only its own results slot, so the merge below sees
     // fully-built results after join() with no further synchronisation.
-    std::atomic<std::size_t> next{0};
+    // A shard body that throws stops the fleet: the scheduler drains
+    // the queue, workers wind down, and the first exception is
+    // rethrown here after join instead of std::terminate()ing the
+    // worker thread.
+    ShardScheduler scheduler(n);
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) {
       pool.emplace_back([&] {
         while (true) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          const std::size_t i = scheduler.claim();
           if (i >= n) return;
-          run_shard(i);
+          try {
+            run_shard(i);
+          } catch (...) {
+            scheduler.record_failure(std::current_exception());
+            return;
+          }
         }
       });
     }
     for (auto& worker : pool) worker.join();
+    scheduler.rethrow_if_failed();
   }
 
   FleetReport report;
@@ -173,10 +195,7 @@ FleetReport run_fleet(const FleetOptions& options, const ShardBody& body) {
   report.base_seed = options.base_seed;
   for (const ShardResult& result : results) report.merge_shard(result);
   report.per_shard = std::move(results);
-  report.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_start)
-          .count();
+  report.wall_seconds = fleet_timer.seconds();
   return report;
 }
 

@@ -13,10 +13,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/stats.h"
 
 namespace simba::fleet {
@@ -90,6 +92,37 @@ struct FleetOptions {
 
 /// Runs one independent per-user world to its horizon and reports.
 using ShardBody = std::function<ShardResult(const ShardTask&)>;
+
+/// Hands shards out to pool workers in claim order and records the
+/// first shard failure. This is the fleet runner's only cross-thread
+/// mutable state (each worker writes results into its own slot), so it
+/// is the lock that Clang's -Wthread-safety checks: both fields are
+/// GUARDED_BY the util::Mutex and only touched under util::MutexLock.
+/// Shard *seeds* never depend on which worker claims which shard, so
+/// the merged report stays bit-identical across thread counts.
+class ShardScheduler {
+ public:
+  explicit ShardScheduler(std::size_t shards) : shards_(shards) {}
+
+  /// Next unclaimed shard id, or `shards` when drained. Fails fast: a
+  /// recorded failure drains the queue so workers stop claiming new
+  /// shards once one shard has thrown.
+  std::size_t claim() SIMBA_EXCLUDES(mu_);
+
+  /// Records the first failure thrown by a shard body (later ones are
+  /// dropped; the first is what run_fleet rethrows after join).
+  void record_failure(std::exception_ptr error) SIMBA_EXCLUDES(mu_);
+
+  /// Rethrows the recorded failure, if any. Call after all workers
+  /// have joined.
+  void rethrow_if_failed() SIMBA_EXCLUDES(mu_);
+
+ private:
+  util::Mutex mu_;
+  std::size_t next_ SIMBA_GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_failure_ SIMBA_GUARDED_BY(mu_);
+  const std::size_t shards_;
+};
 
 /// Executes `body` once per shard across the pool and merges results
 /// in shard order. The body runs with no shared mutable state between

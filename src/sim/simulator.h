@@ -144,6 +144,7 @@ class Simulator {
   std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>,
                       Later>
       queue_;
+  // simba-lint: ordered — lookup/erase by id only, never iterated.
   std::unordered_map<EventId, std::weak_ptr<Event>> index_;
   std::uint64_t next_sequence_ = 1;
   std::uint64_t next_id_ = 1;

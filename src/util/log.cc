@@ -3,10 +3,19 @@
 #include <atomic>
 #include <cstdio>
 
+#include "util/mutex.h"
+
 namespace simba {
 
 namespace {
 std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+// Serialises the default stderr sink so concurrent fleet shards can't
+// interleave partial lines. Annotated so Clang's -Wthread-safety
+// checks every touch; function-local so initialisation is race-free.
+util::Mutex& stderr_mutex() {
+  static util::Mutex mu;
+  return mu;
+}
 // Thread-local: every fleet shard thread runs its own Simulator, which
 // installs itself here for virtual-time stamping. stderr writes stay
 // safe because fprintf locks the stream.
@@ -53,6 +62,7 @@ void Log::write(LogLevel level, const std::string& component,
   if (g_sink) {
     g_sink(line);
   } else {
+    util::MutexLock lock(stderr_mutex());
     std::fprintf(stderr, "%s\n", line.c_str());
   }
 }

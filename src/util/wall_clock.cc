@@ -1,0 +1,15 @@
+#include "util/wall_clock.h"
+
+#include <chrono>
+
+namespace simba::util {
+
+// This file is on simba-lint's determinism allowlist: the only place
+// in src/ allowed to read a real clock.
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace simba::util

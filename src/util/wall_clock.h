@@ -1,0 +1,30 @@
+// The one sanctioned doorway to the real clock.
+//
+// Everything under src/ runs on the simulator's virtual clock so runs
+// are bit-identical across seeds and thread counts; simba-lint bans
+// std::chrono::{system,steady}_clock, time(), etc. tree-wide. Code
+// that legitimately needs wall time — and only for timing that is
+// excluded from correctness output, like the fleet runner's
+// wall_seconds — goes through this shim. The implementation file
+// (wall_clock.cc) is the determinism linter's allowlisted real-clock
+// reader; nothing here may leak into merged reports or any other
+// correctness-relevant state.
+#pragma once
+
+namespace simba::util {
+
+/// Monotonic wall-clock seconds since an arbitrary process-local
+/// epoch. Timing-only: never fold this into deterministic output.
+double wall_seconds();
+
+/// Stopwatch over wall_seconds(), started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(wall_seconds()) {}
+  double seconds() const { return wall_seconds() - start_; }
+
+ private:
+  double start_;
+};
+
+}  // namespace simba::util

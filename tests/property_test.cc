@@ -432,7 +432,9 @@ TEST_P(SimulatorFuzz, TimeMonotoneAndCancelsHonored) {
   EXPECT_TRUE(monotone);
   EXPECT_GT(fired, 0);
   for (std::size_t i = 0; i < cancelled_fired.size(); ++i) {
-    if (i % 2 == 0) EXPECT_FALSE(cancelled_fired[i]) << i;
+    if (i % 2 == 0) {
+      EXPECT_FALSE(cancelled_fired[i]) << i;
+    }
   }
   (void)cancelled_count;
 }

@@ -1,0 +1,411 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+namespace simba::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Layering DAG. Rank strictly increases up the stack; a file may
+// include its own directory or any strictly lower rank. Same-rank
+// sibling directories are independent by construction (no sideways
+// includes), which is what keeps this a DAG rather than a partial
+// order with cycles. bench/tests/examples sit above everything.
+// ---------------------------------------------------------------------------
+constexpr std::array<std::pair<std::string_view, int>, 19> kLayerRanks{{
+    {"util", 0},
+    {"xml", 1},
+    {"sim", 1},
+    {"net", 2},
+    {"gui", 2},
+    {"im", 3},
+    {"email", 3},
+    {"sms", 4},
+    {"automation", 4},
+    {"sss", 4},
+    {"core", 5},
+    {"aladdin", 6},
+    {"wish", 6},
+    {"assistant", 6},
+    {"proxy", 6},
+    {"fleet", 7},
+    {"bench", 8},
+    {"tests", 8},
+    {"examples", 8},
+}};
+
+int layer_rank(std::string_view module) {
+  for (const auto& [name, rank] : kLayerRanks) {
+    if (name == module) return rank;
+  }
+  return -1;
+}
+
+// Files allowed to read real clocks: the one shim everything else
+// must route timing through.
+constexpr std::array<std::string_view, 1> kDeterminismAllowlist{
+    "src/util/wall_clock.cc",
+};
+
+// Nondeterministic calls: identifier immediately followed by '(' and
+// not reached through member access ('.x(' / '->x(').
+constexpr std::array<std::string_view, 8> kBannedCalls{
+    "time",   "rand",          "srand",        "getenv",
+    "clock",  "gettimeofday",  "clock_gettime", "timespec_get",
+};
+
+// Nondeterministic types/clocks, matched as whole identifiers.
+constexpr std::array<std::string_view, 4> kBannedTokens{
+    "system_clock",
+    "steady_clock",
+    "high_resolution_clock",
+    "random_device",
+};
+
+// Raw synchronisation primitives banned outside util/ (util/mutex.h
+// wraps them with Clang thread-safety annotations).
+constexpr std::array<std::string_view, 12> kBannedSync{
+    "std::mutex",
+    "std::timed_mutex",
+    "std::recursive_mutex",
+    "std::recursive_timed_mutex",
+    "std::shared_mutex",
+    "std::shared_timed_mutex",
+    "std::lock_guard",
+    "std::unique_lock",
+    "std::scoped_lock",
+    "std::shared_lock",
+    "std::condition_variable",
+    "std::condition_variable_any",
+};
+
+constexpr std::string_view kOrderedWaiver = "simba-lint: ordered";
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Strips comments (and optionally string/char literals) from one line,
+// preserving column positions by blanking with spaces. `in_block`
+// carries /* ... */ state across lines.
+std::string strip(const std::string& line, bool strip_strings,
+                  bool& in_block) {
+  std::string out(line.size(), ' ');
+  enum class State { kCode, kString, kChar, kBlock } state =
+      in_block ? State::kBlock : State::kCode;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          in_block = false;
+          return out;  // rest of the line is comment
+        }
+        if (c == '/' && next == '*') {
+          state = State::kBlock;
+          ++i;
+          break;
+        }
+        if (c == '"') {
+          state = State::kString;
+          if (!strip_strings) out[i] = c;
+          break;
+        }
+        if (c == '\'') {
+          state = State::kChar;
+          if (!strip_strings) out[i] = c;
+          break;
+        }
+        out[i] = c;
+        break;
+      case State::kString:
+        if (!strip_strings) out[i] = c;
+        if (c == '\\') {
+          if (!strip_strings && i + 1 < line.size()) out[i + 1] = next;
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (!strip_strings) out[i] = c;
+        if (c == '\\') {
+          if (!strip_strings && i + 1 < line.size()) out[i + 1] = next;
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+    }
+  }
+  in_block = state == State::kBlock;
+  return out;
+}
+
+// Extracts `dir` from an `#include "dir/..."` directive, or "" if the
+// line is not a quoted include with a path separator.
+std::string include_module(const std::string& line) {
+  std::size_t i = line.find_first_not_of(" \t");
+  if (i == std::string::npos || line[i] != '#') return "";
+  i = line.find_first_not_of(" \t", i + 1);
+  if (i == std::string::npos || line.compare(i, 7, "include") != 0) return "";
+  i = line.find('"', i + 7);
+  if (i == std::string::npos) return "";
+  const std::size_t end = line.find('"', i + 1);
+  const std::size_t slash = line.find('/', i + 1);
+  if (end == std::string::npos || slash == std::string::npos || slash > end) {
+    return "";
+  }
+  return line.substr(i + 1, slash - i - 1);
+}
+
+// True when `token` appears in `text` as a whole word (no identifier
+// character on either side).
+bool contains_token(const std::string& text, std::string_view token,
+                    std::size_t* pos_out = nullptr) {
+  std::size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+    const std::size_t after = pos + token.size();
+    const bool right_ok = after >= text.size() || !is_ident_char(text[after]);
+    if (left_ok && right_ok) {
+      if (pos_out) *pos_out = pos;
+      return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
+// True when `name` appears as a free-function call: whole identifier,
+// followed by '(', not reached via '.' or '->'.
+bool contains_call(const std::string& text, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    const std::size_t after = pos + name.size();
+    const bool word = (pos == 0 || !is_ident_char(text[pos - 1])) &&
+                      (after < text.size() && !is_ident_char(text[after]));
+    if (word) {
+      std::size_t paren = text.find_first_not_of(" \t", after);
+      const bool calls = paren != std::string::npos && text[paren] == '(';
+      const bool member =
+          (pos >= 1 && text[pos - 1] == '.') ||
+          (pos >= 2 && text[pos - 2] == '-' && text[pos - 1] == '>');
+      if (calls && !member) return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
+std::string file_module(const std::string& rel_path) {
+  if (rel_path.rfind("src/", 0) == 0) {
+    const std::size_t slash = rel_path.find('/', 4);
+    if (slash != std::string::npos) return rel_path.substr(4, slash - 4);
+    return "";  // loose file directly under src/
+  }
+  const std::size_t slash = rel_path.find('/');
+  return slash == std::string::npos ? "" : rel_path.substr(0, slash);
+}
+
+bool in_allowlist(const std::string& rel_path) {
+  return std::find(kDeterminismAllowlist.begin(), kDeterminismAllowlist.end(),
+                   rel_path) != kDeterminismAllowlist.end();
+}
+
+}  // namespace
+
+std::string format(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.file << ":" << d.line << ": error: [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+std::vector<Diagnostic> lint_file(const std::string& rel_path,
+                                  const std::string& content) {
+  std::vector<Diagnostic> diags;
+  const std::string module = file_module(rel_path);
+  const int rank = layer_rank(module);
+  const bool in_src = rel_path.rfind("src/", 0) == 0;
+  const bool determinism_applies = in_src && !in_allowlist(rel_path);
+  const bool sync_applies = in_src && module != "util";
+
+  auto emit = [&](int line, const char* rule, std::string message) {
+    diags.push_back(Diagnostic{rel_path, line, rule, std::move(message)});
+  };
+
+  if (in_src && rank < 0) {
+    emit(1, "layer",
+         "directory 'src/" + module +
+             "' is not registered in the layering DAG (tools/simba_lint)");
+  }
+
+  std::istringstream in(content);
+  std::string raw;
+  std::string prev_raw;
+  bool in_block = false;
+  for (int line_no = 1; std::getline(in, raw); ++line_no) {
+    bool block_for_code = in_block;
+    const std::string code = strip(raw, /*strip_strings=*/false,
+                                   block_for_code);
+    bool block_for_tokens = in_block;
+    const std::string tokens =
+        strip(raw, /*strip_strings=*/true, block_for_tokens);
+    in_block = block_for_code;
+
+    // [layer] — includes must point down the DAG.
+    const std::string target = include_module(code);
+    if (!target.empty() && target != module) {
+      const int target_rank = layer_rank(target);
+      if (target_rank < 0) {
+        emit(line_no, "layer",
+             "include of unknown module '" + target +
+                 "/' — register it in the layering DAG or fix the path");
+      } else if (rank >= 0 && target_rank >= rank) {
+        emit(line_no, "layer",
+             "layer '" + module + "' (rank " + std::to_string(rank) +
+                 ") may not include '" + target + "/' (rank " +
+                 std::to_string(target_rank) +
+                 "): includes must point strictly down the layering DAG");
+      }
+    }
+
+    // [determinism] — bans in simulation code (src/ outside allowlist).
+    if (determinism_applies) {
+      for (const std::string_view name : kBannedCalls) {
+        if (contains_call(tokens, name)) {
+          emit(line_no, "determinism",
+               "banned nondeterministic call '" + std::string(name) +
+                   "(' in simulation code; use util/rng.h for randomness "
+                   "and util/wall_clock.h for timing-only wall clocks");
+        }
+      }
+      for (const std::string_view token : kBannedTokens) {
+        if (contains_token(tokens, token)) {
+          emit(line_no, "determinism",
+               "banned real-clock/entropy source '" + std::string(token) +
+                   "' in simulation code; virtual time comes from the "
+                   "Simulator, wall timing from util/wall_clock.h");
+        }
+      }
+      const bool unordered_use = contains_token(tokens, "unordered_map") ||
+                                 contains_token(tokens, "unordered_set") ||
+                                 contains_token(tokens, "unordered_multimap") ||
+                                 contains_token(tokens, "unordered_multiset");
+      // Usage, not the <unordered_map> include line itself.
+      const bool is_include_line =
+          code.find("#include") != std::string::npos;
+      if (unordered_use && !is_include_line) {
+        const bool waived =
+            raw.find(kOrderedWaiver) != std::string::npos ||
+            prev_raw.find(kOrderedWaiver) != std::string::npos;
+        if (!waived) {
+          emit(line_no, "determinism",
+               "std::unordered_{map,set} use needs a '// simba-lint: "
+               "ordered' waiver (same or previous line) asserting its "
+               "iteration order is never observed; otherwise use "
+               "std::map/std::set so merged reports stay deterministic");
+        }
+      }
+    }
+
+    // [sync] — raw synchronisation outside util/.
+    if (sync_applies) {
+      for (const std::string_view token : kBannedSync) {
+        if (contains_token(tokens, token)) {
+          emit(line_no, "sync",
+               "raw '" + std::string(token) +
+                   "' is banned outside util/; use util::Mutex / "
+                   "util::MutexLock (util/mutex.h) so Clang thread-safety "
+                   "annotations cover it");
+        }
+      }
+    }
+
+    prev_raw = raw;
+  }
+  return diags;
+}
+
+LintResult lint_tree(const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  LintResult result;
+  std::vector<fs::path> files;
+  for (const char* top : {"src", "bench", "tests", "examples"}) {
+    const fs::path dir = root / top;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+    }
+  }
+  std::vector<std::string> rel_paths;
+  rel_paths.reserve(files.size());
+  for (const fs::path& p : files) {
+    rel_paths.push_back(fs::relative(p, root).generic_string());
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+  for (const std::string& rel : rel_paths) {
+    std::ifstream in(root / rel, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    ++result.files_scanned;
+    std::vector<Diagnostic> diags = lint_file(rel, buf.str());
+    result.diagnostics.insert(result.diagnostics.end(),
+                              std::make_move_iterator(diags.begin()),
+                              std::make_move_iterator(diags.end()));
+  }
+  return result;
+}
+
+int run_cli(int argc, const char* const* argv, std::string& out) {
+  std::filesystem::path root = ".";
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      out += "usage: simba_lint [--root DIR] [--quiet]\n";
+      return 0;
+    } else {
+      out += "simba_lint: unknown argument '" + std::string(arg) + "'\n";
+      return 2;
+    }
+  }
+  const LintResult result = lint_tree(root);
+  if (result.files_scanned == 0) {
+    out += "simba_lint: no .h/.cc files under '" + root.string() +
+           "' (wrong --root?)\n";
+    return 2;
+  }
+  for (const Diagnostic& d : result.diagnostics) {
+    out += format(d);
+    out += '\n';
+  }
+  if (!quiet) {
+    out += "simba-lint: " + std::to_string(result.files_scanned) +
+           " files scanned, " + std::to_string(result.diagnostics.size()) +
+           " violation(s)\n";
+  }
+  return result.diagnostics.empty() ? 0 : 1;
+}
+
+}  // namespace simba::lint

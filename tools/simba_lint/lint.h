@@ -1,0 +1,62 @@
+// simba-lint: the repo's custom static-analysis pass.
+//
+// Three rule families, all motivated by the fleet/chaos determinism
+// invariant (merged reports must be bit-identical across seeds and
+// thread counts) and by the layered architecture DESIGN.md documents:
+//
+//   [layer]       src/ directories form a DAG (util at the bottom,
+//                 fleet at the top, bench/tests/examples above
+//                 everything); an #include that points up or sideways
+//                 across the DAG is an error.
+//   [determinism] real clocks, ambient randomness, and environment
+//                 reads are banned in src/ outside the allowlisted
+//                 util/wall_clock.cc shim; std::unordered_{map,set}
+//                 use must carry a "// simba-lint: ordered" waiver
+//                 asserting its iteration order is never observed.
+//   [sync]        raw std::mutex/lock_guard/condition_variable are
+//                 banned outside util/ — use util::Mutex/MutexLock
+//                 (util/mutex.h), which carry Clang thread-safety
+//                 annotations.
+//
+// The checks are line-based over comment- and string-stripped source,
+// so they are fast, dependency-free, and deterministic; anything that
+// needs real semantic analysis is clang-tidy's job (.clang-tidy).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace simba::lint {
+
+struct Diagnostic {
+  std::string file;  // path relative to the lint root, '/' separators
+  int line = 0;      // 1-based
+  std::string rule;  // "layer", "determinism", or "sync"
+  std::string message;
+};
+
+/// "file:line: error: [rule] message" — the format editors parse.
+std::string format(const Diagnostic& d);
+
+/// Lints one file's contents. `rel_path` is the root-relative path
+/// (e.g. "src/core/alert.h"); it selects which rule families apply.
+std::vector<Diagnostic> lint_file(const std::string& rel_path,
+                                  const std::string& content);
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+  int files_scanned = 0;
+};
+
+/// Walks src/, bench/, tests/, and examples/ under `root` (the .h and
+/// .cc files) and lints each. Diagnostics come back sorted by path
+/// then line, so output is stable across filesystems.
+LintResult lint_tree(const std::filesystem::path& root);
+
+/// CLI driver: `simba_lint [--root DIR] [--quiet]`. Prints one
+/// formatted diagnostic per line plus a summary to `out`; returns the
+/// process exit code (0 clean, 1 violations, 2 usage/IO error).
+int run_cli(int argc, const char* const* argv, std::string& out);
+
+}  // namespace simba::lint

@@ -1,0 +1,11 @@
+#include <cstdio>
+#include <string>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::string out;
+  const int code = simba::lint::run_cli(argc, argv, out);
+  std::fputs(out.c_str(), code == 0 ? stdout : stderr);
+  return code;
+}

@@ -1,0 +1,158 @@
+// Fixture tests for simba-lint: each rule family gets a tiny tree
+// under testdata/ and the test asserts the exact diagnostics (file,
+// line, rule, formatted text) and the CLI exit codes.
+#include "lint.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace simba::lint {
+namespace {
+
+const char* const kTestdata = SIMBA_LINT_TESTDATA;
+
+LintResult lint_fixture(const std::string& tree) {
+  return lint_tree(std::string(kTestdata) + "/" + tree);
+}
+
+int cli(std::vector<const char*> args, std::string& out) {
+  args.insert(args.begin(), "simba_lint");
+  return run_cli(static_cast<int>(args.size()), args.data(), out);
+}
+
+TEST(SimbaLint, CleanTreePasses) {
+  const LintResult result = lint_fixture("clean");
+  EXPECT_EQ(result.files_scanned, 2);
+  ASSERT_TRUE(result.diagnostics.empty())
+      << format(result.diagnostics.front());
+
+  std::string out;
+  EXPECT_EQ(cli({"--root", (std::string(kTestdata) + "/clean").c_str()}, out),
+            0);
+  EXPECT_NE(out.find("2 files scanned, 0 violation(s)"), std::string::npos)
+      << out;
+}
+
+TEST(SimbaLint, LayeringViolations) {
+  const LintResult result = lint_fixture("layering");
+  ASSERT_EQ(result.diagnostics.size(), 2u);
+  // Diagnostics are sorted by path: core file first, then xml.
+  const Diagnostic& up = result.diagnostics[0];
+  EXPECT_EQ(up.file, "src/core/bad_core.cc");
+  EXPECT_EQ(up.line, 3);
+  EXPECT_EQ(up.rule, "layer");
+  EXPECT_EQ(format(up),
+            "src/core/bad_core.cc:3: error: [layer] layer 'core' (rank 5) "
+            "may not include 'fleet/' (rank 7): includes must point "
+            "strictly down the layering DAG");
+
+  const Diagnostic& sideways = result.diagnostics[1];
+  EXPECT_EQ(sideways.file, "src/xml/bad_sibling.h");
+  EXPECT_EQ(sideways.line, 5);
+  EXPECT_EQ(sideways.rule, "layer");
+  EXPECT_NE(sideways.message.find("'xml' (rank 1) may not include 'sim/'"),
+            std::string::npos)
+      << sideways.message;
+
+  std::string out;
+  EXPECT_EQ(
+      cli({"--root", (std::string(kTestdata) + "/layering").c_str()}, out), 1);
+}
+
+TEST(SimbaLint, UnknownModuleInclude) {
+  const std::vector<Diagnostic> diags =
+      lint_file("src/core/x.cc", "#include \"quux/q.h\"\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_EQ(diags[0].rule, "layer");
+  EXPECT_NE(diags[0].message.find("unknown module 'quux/'"),
+            std::string::npos);
+}
+
+TEST(SimbaLint, DeterminismBansAndAllowlist) {
+  const LintResult result = lint_fixture("determinism");
+  // bad_clock.cc: steady_clock (7), rand (10), getenv (11),
+  // random_device (12). wall_clock.cc: allowlisted, zero findings.
+  ASSERT_EQ(result.diagnostics.size(), 4u);
+  for (const Diagnostic& d : result.diagnostics) {
+    EXPECT_EQ(d.file, "src/sim/bad_clock.cc");
+    EXPECT_EQ(d.rule, "determinism");
+  }
+  EXPECT_EQ(result.diagnostics[0].line, 7);
+  EXPECT_NE(result.diagnostics[0].message.find("'steady_clock'"),
+            std::string::npos);
+  EXPECT_EQ(result.diagnostics[1].line, 10);
+  EXPECT_NE(result.diagnostics[1].message.find("'rand('"), std::string::npos);
+  EXPECT_EQ(result.diagnostics[2].line, 11);
+  EXPECT_NE(result.diagnostics[2].message.find("'getenv('"),
+            std::string::npos);
+  EXPECT_EQ(result.diagnostics[3].line, 12);
+  EXPECT_NE(result.diagnostics[3].message.find("'random_device'"),
+            std::string::npos);
+
+  std::string out;
+  EXPECT_EQ(
+      cli({"--root", (std::string(kTestdata) + "/determinism").c_str()}, out),
+      1);
+  EXPECT_NE(out.find("4 violation(s)"), std::string::npos) << out;
+}
+
+TEST(SimbaLint, UnorderedWaivers) {
+  const LintResult result = lint_fixture("unordered");
+  // Only the unwaived declaration on line 7 is flagged: the include
+  // lines are exempt, the same-line waiver and the previous-line
+  // waiver are honored.
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].file, "src/core/maps.cc");
+  EXPECT_EQ(result.diagnostics[0].line, 7);
+  EXPECT_EQ(result.diagnostics[0].rule, "determinism");
+  EXPECT_NE(result.diagnostics[0].message.find("simba-lint: ordered"),
+            std::string::npos);
+}
+
+TEST(SimbaLint, RawSyncOutsideUtil) {
+  const LintResult result = lint_fixture("sync");
+  // bad_mutex.cc: member (7) plus both tokens on the lock line (11);
+  // util/ok_mutex.cc is exempt.
+  ASSERT_EQ(result.diagnostics.size(), 3u);
+  for (const Diagnostic& d : result.diagnostics) {
+    EXPECT_EQ(d.file, "src/net/bad_mutex.cc");
+    EXPECT_EQ(d.rule, "sync");
+    EXPECT_NE(d.message.find("util::Mutex"), std::string::npos);
+  }
+  EXPECT_EQ(result.diagnostics[0].line, 7);
+  EXPECT_NE(result.diagnostics[0].message.find("'std::mutex'"),
+            std::string::npos);
+  EXPECT_EQ(result.diagnostics[1].line, 11);
+  EXPECT_EQ(result.diagnostics[2].line, 11);
+}
+
+TEST(SimbaLint, CommentsAndStringsDoNotTrip) {
+  const std::vector<Diagnostic> diags = lint_file(
+      "src/core/x.cc",
+      "// rand() and std::mutex in a comment\n"
+      "/* steady_clock in a block\n"
+      "   spanning lines: getenv( */\n"
+      "const char* s = \"rand( std::mutex steady_clock\";\n");
+  EXPECT_TRUE(diags.empty()) << format(diags.front());
+}
+
+TEST(SimbaLint, MemberCallsAreNotBannedCalls) {
+  const std::vector<Diagnostic> diags = lint_file(
+      "src/core/x.cc",
+      "void f(Sim& s) { s.time(); s.clock(); sim->time(); my_time(1); }\n");
+  EXPECT_TRUE(diags.empty()) << format(diags.front());
+}
+
+TEST(SimbaLint, CliErrors) {
+  std::string out;
+  EXPECT_EQ(cli({"--bogus"}, out), 2);
+  out.clear();
+  EXPECT_EQ(cli({"--root", "/nonexistent-simba-root"}, out), 2);
+  EXPECT_NE(out.find("wrong --root?"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace simba::lint

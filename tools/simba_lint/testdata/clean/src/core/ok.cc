@@ -1,0 +1,11 @@
+// Clean fixture: core includes strictly down the DAG, and banned
+// tokens inside comments (rand(), steady_clock) or string literals do
+// not trip the linter.
+#include "util/ok.h"
+#include "sim/simulator.h"
+#include "net/bus.h"
+
+namespace simba {
+const char* motto() { return "no rand() calls, no steady_clock here"; }
+int format_time(int t) { return t; }  // suffix 'time(' must not match
+}  // namespace simba

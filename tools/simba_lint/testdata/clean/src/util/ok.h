@@ -1,0 +1,11 @@
+// Clean fixture: util may include util, use std::mutex (util/ is the
+// sanctioned wrapper layer), and mention steady_clock in comments.
+#pragma once
+
+#include "util/other.h"
+
+namespace simba::util {
+struct Ok {
+  int value = 0;
+};
+}  // namespace simba::util

@@ -1,0 +1,13 @@
+// Determinism fixture: every banned real-clock/entropy source in one
+// simulation-code file.
+#include "util/ok.h"
+
+namespace simba {
+double wall() {
+  auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+int noise() { return rand(); }
+const char* env() { return std::getenv("SIMBA_SEED"); }
+unsigned entropy() { return std::random_device{}(); }
+}  // namespace simba

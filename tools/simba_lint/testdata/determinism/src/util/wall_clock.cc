@@ -1,0 +1,11 @@
+// Allowlist fixture: src/util/wall_clock.cc is the one file permitted
+// to read a real clock, so the steady_clock below must NOT be flagged.
+#include <chrono>
+
+namespace simba::util {
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace simba::util

@@ -1,0 +1,7 @@
+// Layering fixture: core reaching up into fleet is the canonical
+// violation the DAG checker exists to catch.
+#include "fleet/fleet.h"
+
+namespace simba {
+int bad() { return 1; }
+}  // namespace simba

@@ -1,0 +1,5 @@
+// Layering fixture: xml and sim share a rank; sideways includes would
+// let cycles into the DAG.
+#pragma once
+
+#include "sim/simulator.h"

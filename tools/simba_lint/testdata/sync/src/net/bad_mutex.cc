@@ -1,0 +1,14 @@
+// Sync fixture: raw std::mutex/std::lock_guard outside util/ must be
+// flagged and pointed at util::Mutex.
+#include <mutex>
+
+namespace simba::net {
+struct Guarded {
+  std::mutex mu;
+  int hits = 0;
+};
+void touch(Guarded& g) {
+  std::lock_guard<std::mutex> lock(g.mu);
+  ++g.hits;
+}
+}  // namespace simba::net

@@ -1,0 +1,9 @@
+// Sync fixture: util/ is exempt — it is where the annotated wrapper
+// lives, so its raw std::mutex must not be flagged.
+#include <mutex>
+
+namespace simba::util {
+struct Wrapper {
+  std::mutex mu;
+};
+}  // namespace simba::util

@@ -1,0 +1,11 @@
+// Waiver fixture: unordered containers need a per-line waiver; the
+// include line itself is exempt.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace simba {
+std::unordered_map<int, int> unwaived;
+std::unordered_set<int> same_line;  // simba-lint: ordered — membership only
+// simba-lint: ordered — next line is lookup-only
+std::unordered_map<int, int> prev_line;
+}  // namespace simba
