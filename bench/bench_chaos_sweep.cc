@@ -14,6 +14,7 @@
 
 #include "common.h"
 #include "fleet/chaos_workload.h"
+#include "util/trace.h"
 
 using namespace simba;
 using namespace simba::bench;
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
     workload.world.email_check_interval = minutes(15);
 
     Counters merged;
+    util::Trace merged_trace;
     double wall = 0.0;
     for (int s = 0; s < seeds; ++s) {
       fleet::FleetOptions fleet_options;
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
       for (const auto& [name, value] : report.counters.all()) {
         merged.bump(name, value);
       }
+      merged_trace.merge(report.trace);
       wall += report.wall_seconds;
     }
 
@@ -90,6 +93,9 @@ int main(int argc, char** argv) {
     print_row("invariant violations", "0", std::to_string(violations),
               violations == 0 ? "conservation holds" : "CONTRACT BROKEN");
     print_row("wall-clock", "-", strformat("%.2f s", wall));
+    print_section("scenario " + scenario.name +
+                  ": per-stage latency (merged lifecycle trace)");
+    std::printf("%s", merged_trace.stage_report().c_str());
   }
 
   print_section("verdict");

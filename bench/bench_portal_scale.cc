@@ -32,6 +32,10 @@ int main(int argc, char** argv) {
   workload.alerts_per_user_day = alerts_per_user_day;
   workload.world.fidelity = fleet::ModelFidelity::kCalibrated;
   workload.world.email_check_interval = minutes(60);
+  // Lifecycle tracing feeds the per-stage latency section below and
+  // the optional --trace-jsonl dump. Traces consume no randomness, so
+  // the correctness numbers are unchanged either way.
+  workload.world.trace = true;
 
   fleet::FleetOptions fleet_options;
   fleet_options.shards = static_cast<std::size_t>(users);
@@ -75,6 +79,24 @@ int main(int argc, char** argv) {
             strformat("%.0f s (%.1f h)", full_scale_estimate,
                       full_scale_estimate / 3600.0),
             "linear extrapolation at this thread count");
+
+  print_section("per-stage latency (merged lifecycle trace)");
+  std::printf("%s", report.trace.stage_report().c_str());
+
+  if (!options.trace_jsonl.empty()) {
+    std::FILE* out = std::fopen(options.trace_jsonl.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   options.trace_jsonl.c_str());
+      return 1;
+    }
+    const std::string jsonl = report.trace.to_jsonl();
+    std::fwrite(jsonl.data(), 1, jsonl.size(), out);
+    std::fclose(out);
+    print_row("trace dumped", "-",
+              strformat("%zu spans -> %s", report.trace.size(),
+                        options.trace_jsonl.c_str()));
+  }
 
   print_section("merged fleet report");
   std::printf("%s", report.render().c_str());

@@ -27,6 +27,8 @@ Options Options::parse(int argc, char** argv) {
       options.users = static_cast<int>(std::strtol(v, nullptr, 10));
     } else if (const char* v = value_of(arg, "--threads", i)) {
       options.threads = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value_of(arg, "--trace-jsonl", i)) {
+      options.trace_jsonl = v;
     }
   }
   return options;

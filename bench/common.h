@@ -28,14 +28,18 @@
 
 namespace simba::bench {
 
-/// Command-line: --seed, --n (workload size), --users, and --threads,
-/// each accepted as "--flag=N" or "--flag N", in any order; unknown
-/// flags are ignored so harness wrappers can pass extras.
+/// Command-line: --seed, --n (workload size), --users, --threads, and
+/// --trace-jsonl, each accepted as "--flag=V" or "--flag V", in any
+/// order; unknown flags are ignored so harness wrappers can pass
+/// extras.
 struct Options {
   std::uint64_t seed = 42;
   int n = 0;        // 0 = bench-specific default
   int users = 0;    // 0 = bench-specific default (fleet shard count)
   int threads = 1;  // fleet worker threads; 1 = serial
+  /// Non-empty: write the merged lifecycle trace as sorted JSONL here
+  /// (benches that trace; see fleet::FleetReport::trace).
+  std::string trace_jsonl;
   static Options parse(int argc, char** argv);
 };
 

@@ -6,6 +6,9 @@ bool AlertLog::append(const Alert& alert, TimePoint now) {
   const auto it = index_.find(alert.id);
   if (it != index_.end()) {
     stats_.bump("duplicate_appends");
+    if (trace_ != nullptr) {
+      trace_->emit(alert.id, "log", "append", now, "duplicate");
+    }
     return false;
   }
   Record record;
@@ -14,6 +17,12 @@ bool AlertLog::append(const Alert& alert, TimePoint now) {
   index_[alert.id] = records_.size();
   records_.push_back(std::move(record));
   stats_.bump("appends");
+  if (trace_ != nullptr) {
+    // The span covers the synchronous-write window: the ack may only
+    // go out at its end.
+    trace_->emit(alert.id, "log", "append", now, now + write_latency_,
+                 "fresh");
+  }
   return true;
 }
 
@@ -25,6 +34,9 @@ void AlertLog::mark_processed(const std::string& alert_id, TimePoint now) {
   record.processed = true;
   record.processed_at = now;
   stats_.bump("processed");
+  if (trace_ != nullptr) {
+    trace_->emit(alert_id, "log", "mark_processed", now);
+  }
 }
 
 std::vector<std::string> AlertLog::power_loss(TimePoint now, Rng& rng,
@@ -52,6 +64,11 @@ std::vector<std::string> AlertLog::power_loss(TimePoint now, Rng& rng,
       index_[records_[i].alert.id] = i;
     }
     stats_.bump("torn_appends", static_cast<std::int64_t>(torn.size()));
+    if (trace_ != nullptr) {
+      for (const std::string& id : torn) {
+        trace_->emit(id, "log", "torn", now, "append lost to power cut");
+      }
+    }
   }
   return torn;
 }

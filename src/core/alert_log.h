@@ -21,6 +21,7 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/time.h"
+#include "util/trace.h"
 
 namespace simba::core {
 
@@ -60,6 +61,11 @@ class AlertLog {
   std::size_t size() const { return records_.size(); }
   const Counters& stats() const { return stats_; }
 
+  /// Arms lifecycle tracing (null disables it). A fresh append emits a
+  /// span covering its synchronous-write window; duplicates, processed
+  /// marks, and torn records emit instant events.
+  void set_trace(util::Trace* trace) { trace_ = trace; }
+
  private:
   struct Record {
     Alert alert;
@@ -72,6 +78,7 @@ class AlertLog {
   std::vector<Record> records_;            // arrival order
   std::map<std::string, std::size_t> index_;  // alert id -> records_ slot
   Counters stats_;
+  util::Trace* trace_ = nullptr;
 };
 
 }  // namespace simba::core

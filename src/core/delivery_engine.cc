@@ -24,9 +24,17 @@ void DeliveryEngine::deliver(const Alert& alert, const AddressBook& addresses,
   d.addresses = addresses;
   d.mode = mode;
   d.done = std::move(done);
+  d.started_at = sim_.now();
+  trace_event(d, "start", "mode " + mode.name());
   deliveries_.emplace(id, std::move(d));
   stats_.bump("deliveries_started");
   run_block(id);
+}
+
+void DeliveryEngine::trace_event(const Delivery& d, const char* stage,
+                                 std::string detail) {
+  if (trace_ == nullptr) return;
+  trace_->emit(d.alert.id, "delivery", stage, sim_.now(), std::move(detail));
 }
 
 void DeliveryEngine::run_block(std::uint64_t delivery_id) {
@@ -46,10 +54,12 @@ void DeliveryEngine::run_block(std::uint64_t delivery_id) {
     const Address* address = d.addresses.find(action.address_name);
     if (address == nullptr) {
       stats_.bump("actions.unknown_address");
+      trace_event(d, "action_skip", action.address_name + ": unknown address");
       continue;
     }
     if (!address->enabled) {
       stats_.bump("actions.disabled_address");
+      trace_event(d, "action_skip", action.address_name + ": disabled");
       continue;
     }
     runnable.push_back(&action);
@@ -58,10 +68,16 @@ void DeliveryEngine::run_block(std::uint64_t delivery_id) {
     // "Any delivery block that contains [only disabled] actions will
     // automatically fail and fall back to the next backup block."
     stats_.bump("blocks.all_disabled");
+    trace_event(d, "block_skip",
+                strformat("block %zu: no runnable action", block_index));
     d.block_index++;
     run_block(delivery_id);
     return;
   }
+  d.block_started_at = sim_.now();
+  trace_event(d, "block_start",
+              strformat("block %zu: %zu action(s)", block_index,
+                        runnable.size()));
 
   d.actions_pending = static_cast<int>(runnable.size());
   d.acks_outstanding = 0;
@@ -86,6 +102,8 @@ void DeliveryEngine::run_block(std::uint64_t delivery_id) {
           return;
         }
         stats_.bump("blocks.timed_out");
+        trace_event(dit->second, "block_timeout",
+                    strformat("block %zu", block_index));
         advance_block(delivery_id);
       },
       "delivery.block_timeout");
@@ -157,6 +175,8 @@ void DeliveryEngine::start_action(std::uint64_t delivery_id,
               // slot converts into the outstanding-ack slot.
               dit->second.actions_pending--;
               stats_.bump("actions.im_waiting_ack");
+              trace_event(dit->second, "action",
+                          "im accepted; awaiting ack from " + to_user);
             } else {
               action_succeeded(delivery_id, block_index, "im accepted");
             }
@@ -192,6 +212,7 @@ void DeliveryEngine::start_action(std::uint64_t delivery_id,
           del.weak_successes++;
           del.actions_pending--;
           stats_.bump("actions.weak_success");
+          trace_event(del, "action", "relay accepted (weak)");
         } else {
           action_succeeded(delivery_id, block_index, "relay accepted");
         }
@@ -212,6 +233,7 @@ void DeliveryEngine::action_failed(std::uint64_t delivery_id,
   Delivery& d = it->second;
   if (d.block_index != block_index) return;
   log_debug("delivery", "action failed: " + reason);
+  trace_event(d, "action_fail", reason);
   d.actions_pending--;
   if (d.actions_pending <= 0 && d.acks_outstanding <= 0) {
     // No strong signal can arrive any more. Complete on any weak
@@ -233,6 +255,7 @@ void DeliveryEngine::action_succeeded(std::uint64_t delivery_id,
   if (it == deliveries_.end()) return;
   Delivery& d = it->second;
   if (d.block_index != block_index) return;
+  trace_event(d, "action", how);
   finish(delivery_id, true, how);
 }
 
@@ -253,6 +276,11 @@ void DeliveryEngine::advance_block(std::uint64_t delivery_id) {
     }
   }
   d.acks_outstanding = 0;
+  if (trace_ != nullptr) {
+    trace_->emit(d.alert.id, "delivery", "block", d.block_started_at,
+                 sim_.now(),
+                 strformat("block %zu failed; fallback", d.block_index));
+  }
   d.block_index++;
   stats_.bump("blocks.fallback");
   run_block(delivery_id);
@@ -279,6 +307,17 @@ void DeliveryEngine::finish(std::uint64_t delivery_id, bool delivered,
   outcome.completed_at = sim_.now();
   outcome.detail = detail;
   stats_.bump(delivered ? "deliveries_succeeded" : "deliveries_failed");
+  if (trace_ != nullptr) {
+    if (delivered) {
+      trace_->emit(d.alert.id, "delivery", "block", d.block_started_at,
+                   sim_.now(),
+                   strformat("block %d succeeded", outcome.block_used));
+    }
+    trace_->emit(d.alert.id, "delivery", "deliver", d.started_at, sim_.now(),
+                 delivered ? strformat("block %d: %s", outcome.block_used,
+                                       detail.c_str())
+                           : "failed: " + detail);
+  }
   if (d.done) d.done(outcome);
 }
 
@@ -293,6 +332,10 @@ bool DeliveryEngine::handle_incoming(const im::ImMessage& message) {
   const auto waiter = ack_waiters_.find(key);
   if (waiter == ack_waiters_.end()) {
     stats_.bump("acks.unmatched");
+    if (trace_ != nullptr) {
+      trace_->emit(ack_for->second, "delivery", "ack", sim_.now(),
+                   "unmatched ack from " + message.from_user);
+    }
     return true;  // it was an ack, just not one we still want
   }
   const std::uint64_t delivery_id = waiter->second;
@@ -301,6 +344,7 @@ bool DeliveryEngine::handle_incoming(const im::ImMessage& message) {
   if (it == deliveries_.end()) return true;
   it->second.acks_outstanding--;
   stats_.bump("acks.received");
+  trace_event(it->second, "ack", "from " + message.from_user);
   action_succeeded(delivery_id, it->second.block_index, "ack received");
   return true;
 }

@@ -37,6 +37,7 @@
 #include "core/delivery_mode.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
+#include "util/trace.h"
 
 namespace simba::core {
 
@@ -83,6 +84,10 @@ class DeliveryEngine {
 
   const Counters& stats() const { return stats_; }
 
+  /// Arms lifecycle tracing (null disables it): per-block and
+  /// per-action attempts, fallbacks, and skip reasons.
+  void set_trace(util::Trace* trace) { trace_ = trace; }
+
  private:
   struct Delivery {
     std::uint64_t id;
@@ -101,6 +106,8 @@ class DeliveryEngine {
     /// Weak (relay-accepted) successes recorded in the current block.
     int weak_successes = 0;
     sim::EventId block_timer = 0;
+    TimePoint started_at{};
+    TimePoint block_started_at{};
   };
 
   void run_block(std::uint64_t delivery_id);
@@ -113,6 +120,8 @@ class DeliveryEngine {
   void advance_block(std::uint64_t delivery_id);
   void finish(std::uint64_t delivery_id, bool delivered,
               const std::string& detail);
+  /// Instant trace event on the delivery's alert (no-op untraced).
+  void trace_event(const Delivery& d, const char* stage, std::string detail);
 
   sim::Simulator& sim_;
   automation::ImManager* im_;
@@ -126,6 +135,7 @@ class DeliveryEngine {
   std::map<std::string, std::uint64_t> ack_waiters_;
   std::uint64_t next_delivery_ = 1;
   Counters stats_;
+  util::Trace* trace_ = nullptr;
 };
 
 }  // namespace simba::core

@@ -26,7 +26,15 @@ MyAlertBuddy::MyAlertBuddy(sim::Simulator& sim, MabConfig& config,
       rng_(std::move(rng)),
       engine_(std::make_unique<DeliveryEngine>(sim, &im, &email)),
       started_at_(sim.now()),
-      last_progress_(sim.now()) {}
+      last_progress_(sim.now()) {
+  engine_->set_trace(options_.trace);
+}
+
+void MyAlertBuddy::trace_event(const std::string& alert_id, const char* stage,
+                               std::string detail) {
+  if (options_.trace == nullptr) return;
+  options_.trace->emit(alert_id, "mab", stage, sim_.now(), std::move(detail));
+}
 
 MyAlertBuddy::~MyAlertBuddy() {
   *alive_ = false;
@@ -50,7 +58,11 @@ void MyAlertBuddy::start() {
       stats_.bump("recovery_replays", static_cast<std::int64_t>(pending.size()));
       log_info("mab", strformat("recovering %zu unprocessed alert(s)",
                                 pending.size()));
-      for (const auto& alert : pending) process_alert(alert);
+      for (const auto& alert : pending) {
+        trace_event(alert.id, "recovery_replay",
+                    "restart scan found unprocessed alert");
+        process_alert(alert);
+      }
     }
   }
 
@@ -225,10 +237,14 @@ void MyAlertBuddy::pump_email() {
       alert.attributes["email_from"] = mail.from;
       stats_.bump("email.legacy_alerts");
     }
+    trace_event(alert.id, "receive",
+                mail.headers.count("alert_id") > 0 ? "email.simba"
+                                                   : "email.legacy");
     if (alert_observer_) alert_observer_(alert, sim_.now());
     if (options_.pessimistic_logging) {
       if (!log_.append(alert, sim_.now())) {
         stats_.bump("duplicates_suppressed");
+        trace_event(alert.id, "duplicate_drop", "already logged (email)");
         continue;
       }
     }
@@ -252,6 +268,7 @@ void MyAlertBuddy::pump_email() {
 void MyAlertBuddy::handle_alert_im(const im::ImMessage& message) {
   const Alert alert = alert_from_headers(message.headers, message.body);
   stats_.bump("im.alerts_received");
+  trace_event(alert.id, "receive", "im from " + message.from_user);
   if (alert_observer_) alert_observer_(alert, sim_.now());
   const bool wants_ack = message.headers.count(wire::kRequiresAck) > 0;
 
@@ -287,6 +304,8 @@ void MyAlertBuddy::handle_alert_im(const im::ImMessage& message) {
             // A resend of something we already acked (the sender never
             // got our ack, or got it late). Ack again, process once.
             stats_.bump("duplicates_suppressed");
+            trace_event(alert.id, "duplicate_drop",
+                        "already logged; re-acked");
           }
         },
         "mab.log_write");
@@ -309,6 +328,7 @@ void MyAlertBuddy::send_ack(const std::string& to_user,
                 if (!status.ok()) stats_.bump("acks.send_failed");
               });
   stats_.bump("acks.sent");
+  trace_event(alert_id, "ack_send", "to " + to_user);
 }
 
 void MyAlertBuddy::process_alert(const Alert& alert) {
@@ -319,21 +339,25 @@ void MyAlertBuddy::process_alert(const Alert& alert) {
   const auto keyword = config_.classifier.classify(alert);
   if (!keyword) {
     stats_.bump("alerts_unclassified");
+    trace_event(alert.id, "classify", "unclassified; dropped");
     if (options_.pessimistic_logging) log_.mark_processed(alert.id, sim_.now());
     return;
   }
+  trace_event(alert.id, "classify", "keyword " + *keyword);
   // Aggregation: keyword -> personal category; unmapped keywords fall
   // back to the default category or to the keyword itself.
   std::string category = config_.categories.category_for(*keyword)
                              .value_or(options_.default_category.empty()
                                            ? *keyword
                                            : options_.default_category);
+  trace_event(alert.id, "aggregate", "category " + category);
   // Filtering: a disabled category retains the alert for the digest
   // ("temporarily blocks unwanted alerts, which ... may be useful in
   // the future"); a closed delivery window defers routing until the
   // window next opens.
   if (!config_.categories.category_enabled(category)) {
     stats_.bump("alerts_filtered");
+    trace_event(alert.id, "filter", "category disabled; retained for digest");
     digest_.add(alert, category, sim_.now());
     if (options_.pessimistic_logging) log_.mark_processed(alert.id, sim_.now());
     return;
@@ -341,6 +365,7 @@ void MyAlertBuddy::process_alert(const Alert& alert) {
   const auto window = config_.categories.window_for(category);
   if (window.has_value() && !window->contains(sim_.now())) {
     stats_.bump("alerts_deferred");
+    trace_event(alert.id, "filter", "delivery window closed; deferred");
     const TimePoint open_at = next_occurrence(sim_.now(), window->start);
     // Deliberately NOT marked processed: if this incarnation dies
     // before the window opens, the recovery scan replays the alert and
@@ -358,6 +383,7 @@ void MyAlertBuddy::process_alert(const Alert& alert) {
         "mab.deferred_route");
     return;
   }
+  trace_event(alert.id, "filter", "pass");
   route(alert, category);
   if (options_.pessimistic_logging) log_.mark_processed(alert.id, sim_.now());
 }
@@ -366,20 +392,26 @@ void MyAlertBuddy::route(const Alert& alert, const std::string& category) {
   const auto subscriptions = config_.subscriptions.for_category(category);
   if (subscriptions.empty()) {
     stats_.bump("alerts_unsubscribed");
+    trace_event(alert.id, "route", "no subscription for " + category);
     return;
   }
   for (const auto& sub : subscriptions) {
     const UserProfile* profile = config_.profile_for(sub.user);
     if (profile == nullptr) {
       stats_.bump("routing.unknown_user");
+      trace_event(alert.id, "route", "unknown user " + sub.user);
       continue;
     }
     const DeliveryMode* mode = profile->mode(sub.mode_name);
     if (mode == nullptr) {
       stats_.bump("routing.unknown_mode");
+      trace_event(alert.id, "route",
+                  "unknown mode " + sub.mode_name + " for " + sub.user);
       continue;
     }
     stats_.bump("routing.dispatched");
+    trace_event(alert.id, "route",
+                "dispatch " + sub.mode_name + " for " + sub.user);
     engine_->deliver(alert, profile->addresses(), *mode,
                      [this, alive = alive_](const DeliveryOutcome& outcome) {
                        if (!*alive) return;

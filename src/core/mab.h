@@ -28,6 +28,7 @@
 #include "util/calendar.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/trace.h"
 
 namespace simba::core {
 
@@ -71,6 +72,11 @@ struct MabOptions {
   double memory_soft_limit_mb = 300.0;  // self-stabilization rejuvenates
   double memory_hard_limit_mb = 600.0;  // process hangs
   Duration mean_time_to_hang{};         // spontaneous hang (0 = never)
+
+  /// Lifecycle tracing (null disables it). Owned by the world; shared
+  /// across MAB incarnations so a restart keeps appending to the same
+  /// alert timelines. Also handed to this incarnation's DeliveryEngine.
+  util::Trace* trace = nullptr;
 };
 
 class MyAlertBuddy {
@@ -141,6 +147,9 @@ class MyAlertBuddy {
   /// terminates and gets restarted by the MDC."
   void fail_with(const std::string& reason);
   void progress() { last_progress_ = sim_.now(); }
+  /// Instant trace event on `alert_id` (no-op untraced).
+  void trace_event(const std::string& alert_id, const char* stage,
+                   std::string detail);
 
   sim::Simulator& sim_;
   MabConfig& config_;

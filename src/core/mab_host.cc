@@ -21,6 +21,8 @@ MabHost::MabHost(sim::Simulator& sim, net::MessageBus& bus,
   }
   im_server_.register_account(options_.im_account);
   email_server_.create_mailbox(options_.email_address);
+  alert_log_.set_trace(options_.trace);
+  options_.mab_options.trace = options_.trace;
 
   im_client_ = std::make_unique<im::ImClientApp>(
       sim_, desktop_, bus, im_server_.address(), options_.im_account,

@@ -68,6 +68,10 @@ struct MabHostOptions {
   // even known dialogs pile up.
   bool watchdog_enabled = true;
   bool monkey_enabled = true;
+
+  /// Lifecycle tracing (null disables it). The host hands it to the
+  /// persistent alert log and to every MAB incarnation it spawns.
+  util::Trace* trace = nullptr;
 };
 
 class MabHost {

@@ -30,6 +30,10 @@ ShardResult run_chaos_shard(const ShardTask& task,
   world_options.fault_horizon = options.horizon;
   world_options.chaos = options.scenario;
   world_options.track_invariants = true;
+  // Always traced: a violated invariant must be able to print the
+  // offending alert's full lifecycle, and traces consume no randomness
+  // and schedule no events, so the counters are unchanged either way.
+  world_options.trace = true;
   UserWorld world(task.seed, world_options);
   sim::InvariantChecker& checker = *world.invariants;
 
@@ -101,6 +105,9 @@ ShardResult run_chaos_shard(const ShardTask& task,
   }
   const sim::InvariantChecker::Report report = checker.check(&logged_now);
   report.export_to(result.counters);
+  if (!report.ok()) {
+    result.violation_details = report.describe(world.trace.get());
+  }
 
   // Portal-style delivery scoring, same deterministic map order.
   result.counters.bump("alerts.sent", sent);
@@ -130,6 +137,7 @@ ShardResult run_chaos_shard(const ShardTask& task,
                             result.counters);
 
   result.events_processed = world.sim.events_processed();
+  if (world.trace) result.trace = std::move(*world.trace);
   return result;
 }
 

@@ -31,6 +31,7 @@ void FleetReport::merge_shard(const ShardResult& shard) {
   delivery_histogram.merge(shard.delivery_histogram);
   events_processed += shard.events_processed;
   shard_wall_seconds.add(shard.wall_seconds);
+  trace.merge(shard.trace);
 }
 
 namespace {

@@ -20,6 +20,7 @@
 
 #include "util/mutex.h"
 #include "util/stats.h"
+#include "util/trace.h"
 
 namespace simba::fleet {
 
@@ -51,6 +52,13 @@ struct ShardResult {
   Histogram delivery_histogram{delivery_latency_boundaries()};
   std::uint64_t events_processed = 0;
   double wall_seconds = 0.0;
+  /// Lifecycle trace (empty when the workload ran untraced). Virtual
+  /// timestamps only, so it participates in determinism checks.
+  util::Trace trace;
+  /// Human-readable invariant-violation report, including each
+  /// violating alert's full trace (empty when the contract held).
+  /// Diagnostic text only — excluded from correctness_json().
+  std::string violation_details;
 };
 
 /// Merged view of a whole fleet run, plus the per-shard results (in
@@ -66,6 +74,9 @@ struct FleetReport {
   std::uint64_t events_processed = 0;
   Summary shard_wall_seconds;  // timing-only, excluded from correctness
   double wall_seconds = 0.0;   // whole-fleet wall clock
+  /// Shard traces folded in shard order — bit-identical for any thread
+  /// count, like every other merged statistic here.
+  util::Trace trace;
   std::vector<ShardResult> per_shard;
 
   /// Folds one shard in. Callers must fold in shard order to keep the

@@ -118,6 +118,7 @@ ShardResult run_portal_shard(const ShardTask& task,
   }
 
   result.events_processed = world.sim.events_processed();
+  if (world.trace) result.trace = std::move(*world.trace);
   return result;
 }
 

@@ -109,6 +109,10 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
       im_server(sim, bus),
       email_server(sim),
       sms_gateway(sim, "sms.example.net") {
+  if (options.trace) {
+    trace = std::make_unique<util::Trace>();
+    bus.set_trace(trace.get());
+  }
   if (options.fidelity == ModelFidelity::kFast) {
     apply_fast_models(*this);
   } else {
@@ -160,6 +164,7 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
 
   core::MabHostOptions host_options;
   host_options.owner = options.user;
+  host_options.trace = trace.get();
   host_options.config = fleet_config(options.user, user->sms_address(),
                                      user->email_account());
   if (options.fidelity == ModelFidelity::kCalibrated) {

@@ -19,6 +19,7 @@
 #include "sim/invariants.h"
 #include "sim/simulator.h"
 #include "sms/sms.h"
+#include "util/trace.h"
 
 namespace simba::fleet {
 
@@ -49,12 +50,19 @@ struct UserWorldOptions {
   /// Builds the per-world InvariantChecker and wires the user's
   /// sighting feed into it. The chaos workload turns this on.
   bool track_invariants = false;
+  /// Builds a util::Trace and arms lifecycle tracing in the bus, the
+  /// alert log, and every MAB incarnation. Off by default: the portal
+  /// scale bench opts in, the chaos workload traces always.
+  bool trace = false;
 };
 
 struct UserWorld {
   UserWorld(std::uint64_t seed, const UserWorldOptions& options);
 
   sim::Simulator sim;
+  /// Lifecycle trace; null unless options.trace. Declared before the
+  /// components that emit into it so it outlives them all.
+  std::unique_ptr<util::Trace> trace;
   net::MessageBus bus;
   im::ImServer im_server;
   email::EmailServer email_server;

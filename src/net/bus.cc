@@ -60,6 +60,27 @@ bool MessageBus::partitioned(const std::string& a,
   return partitions_.count(ordered(a, b)) > 0;
 }
 
+std::string MessageBus::trace_id(const Message& message) const {
+  // Mirrors the core wire headers (core/alert.cc "alert_id",
+  // core/delivery_engine.h wire::kAckFor). The bus sits below core in
+  // the layering DAG, so the keys are repeated here rather than
+  // included; both ends are pinned by the golden-trace tests.
+  auto it = message.headers.find("alert_id");
+  if (it == message.headers.end()) it = message.headers.find("simba_ack_for");
+  return it == message.headers.end() ? std::string() : it->second;
+}
+
+void MessageBus::trace_event(const Message& message, const char* stage,
+                             std::string detail) {
+  if (trace_ == nullptr) return;
+  // Only alert-correlated traffic: logins, pings, and presence would
+  // drown the lifecycle trace (and the golden files) in keepalive
+  // noise.
+  std::string id = trace_id(message);
+  if (id.empty()) return;
+  trace_->emit(std::move(id), "bus", stage, sim_.now(), std::move(detail));
+}
+
 const LinkModel& MessageBus::link_for(const std::string& from,
                                       const std::string& to) const {
   const auto it = links_.find({from, to});
@@ -70,15 +91,19 @@ std::uint64_t MessageBus::send(Message message) {
   message.id = next_id_++;
   message.sent_at = sim_.now();
   stats_.bump("sent");
+  trace_event(message, "send",
+              message.type + " " + message.from + " -> " + message.to);
 
   if (partitioned(message.from, message.to)) {
     stats_.bump("dropped.partition");
+    trace_event(message, "drop", "partition");
     log_debug("net", "partition drop " + message.from + " -> " + message.to);
     return message.id;
   }
   const LinkModel& link = link_for(message.from, message.to);
   if (rng_.chance(link.loss_probability)) {
     stats_.bump("dropped.loss");
+    trace_event(message, "drop", "loss");
     log_debug("net", "loss drop " + message.from + " -> " + message.to);
     return message.id;
   }
@@ -96,6 +121,7 @@ std::uint64_t MessageBus::send(Message message) {
       latency += chaos_rng_->lognormal_duration(chaos_.delay_spike.magnitude,
                                                 chaos_.delay_spike.sigma);
       stats_.bump("chaos.delay_spike");
+      trace_event(message, "delay_spike", message.type);
     }
     if (chaos_.reorder.active_at(now) &&
         chaos_rng_->chance(chaos_.reorder.probability)) {
@@ -104,6 +130,7 @@ std::uint64_t MessageBus::send(Message message) {
       latency += chaos_rng_->uniform_duration(Duration::zero(),
                                               chaos_.reorder.magnitude);
       stats_.bump("chaos.reorder");
+      trace_event(message, "reorder", message.type);
     }
     if (chaos_.late_loss.active_at(now) &&
         chaos_rng_->chance(chaos_.late_loss.probability)) {
@@ -114,6 +141,7 @@ std::uint64_t MessageBus::send(Message message) {
       // At-least-once transport: a second arrival of the same message
       // (same id) with its own independently-sampled latency.
       stats_.bump("chaos.duplicate");
+      trace_event(message, "duplicate", message.type);
       schedule_delivery(message, link.sample_latency(*chaos_rng_),
                         /*chaos_late_loss=*/false);
     }
@@ -132,23 +160,34 @@ void MessageBus::schedule_delivery(Message message, Duration latency,
         // time: a link that failed mid-flight loses the message.
         if (partitioned(message.from, message.to)) {
           stats_.bump("dropped.partition");
+          trace_event(message, "drop", "partition_at_arrival");
           return;
         }
         if (chaos_late_loss) {
           stats_.bump("dropped.chaos_late_loss");
+          trace_event(message, "drop", "chaos_late_loss");
           log_debug("net", "chaos late loss " + message.from + " -> " +
                                message.to);
           return;
         }
         const auto it = endpoints_.find(message.to);
         if (it == endpoints_.end()) {
-          stats_.bump(detached_.count(message.to) > 0
-                          ? "dropped.undeliverable"
-                          : "dropped.unreachable");
+          const bool undeliverable = detached_.count(message.to) > 0;
+          stats_.bump(undeliverable ? "dropped.undeliverable"
+                                    : "dropped.unreachable");
+          trace_event(message, "drop",
+                      undeliverable ? "undeliverable" : "unreachable");
           log_debug("net", "no endpoint " + message.to);
           return;
         }
         stats_.bump("delivered");
+        if (trace_ != nullptr) {
+          std::string id = trace_id(message);
+          if (!id.empty()) {
+            trace_->emit(std::move(id), "bus", "deliver", message.sent_at,
+                         sim_.now(), message.type);
+          }
+        }
         it->second(message);
       },
       label);

@@ -22,6 +22,7 @@
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/trace.h"
 
 namespace simba::net {
 
@@ -88,6 +89,11 @@ class MessageBus {
 
   const Counters& stats() const { return stats_; }
 
+  /// Arms lifecycle tracing (null disables it). Spans are correlated
+  /// to an alert through the message headers, so transit, chaos
+  /// injections, and drops show up on the alert's timeline.
+  void set_trace(util::Trace* trace) { trace_ = trace; }
+
  private:
   const LinkModel& link_for(const std::string& from,
                             const std::string& to) const;
@@ -95,6 +101,10 @@ class MessageBus {
   /// arrival time (counted "dropped.chaos_late_loss").
   void schedule_delivery(Message message, Duration latency,
                          bool chaos_late_loss);
+  /// The alert id a message belongs to ("" for non-alert traffic).
+  std::string trace_id(const Message& message) const;
+  void trace_event(const Message& message, const char* stage,
+                   std::string detail);
 
   sim::Simulator& sim_;
   Rng rng_;
@@ -110,6 +120,7 @@ class MessageBus {
   std::optional<Rng> chaos_rng_;
   std::uint64_t next_id_ = 1;
   Counters stats_;
+  util::Trace* trace_ = nullptr;
 };
 
 }  // namespace simba::net

@@ -42,6 +42,17 @@ ChaosScenario ChaosScenario::flaky_network() {
   return s;
 }
 
+ChaosScenario ChaosScenario::dup_storm() {
+  // Duplication-only: with no loss, hangs, or power faults in play,
+  // every duplicate log-append at the MAB must come from a bus-level
+  // duplicated message — the property the chaos-trace regression test
+  // pins by matching duplicate-detection drops against bus spans.
+  ChaosScenario s;
+  s.name = "dup_storm";
+  s.add({ChaosKind::kNetDuplicate, 0.25});
+  return s;
+}
+
 ChaosScenario ChaosScenario::crashy_daemon() {
   ChaosScenario s;
   s.name = "crashy_daemon";
@@ -75,8 +86,8 @@ ChaosScenario ChaosScenario::everything() {
 }
 
 std::vector<ChaosScenario> ChaosScenario::presets() {
-  return {baseline(), flaky_network(), crashy_daemon(), power_storms(),
-          everything()};
+  return {baseline(), flaky_network(), dup_storm(), crashy_daemon(),
+          power_storms(), everything()};
 }
 
 ChaosScenario ChaosScenario::preset(const std::string& name) {

@@ -71,6 +71,9 @@ struct ChaosScenario {
   /// bench_chaos_sweep. baseline() is the fault-free control.
   static ChaosScenario baseline();
   static ChaosScenario flaky_network();
+  /// Duplication only, at a heavy rate — isolates duplicate-detection
+  /// (every MAB duplicate drop must trace back to a bus duplicate).
+  static ChaosScenario dup_storm();
   static ChaosScenario crashy_daemon();
   static ChaosScenario power_storms();
   static ChaosScenario everything();

@@ -51,10 +51,18 @@ std::vector<std::string> InvariantChecker::unresolved() const {
 InvariantChecker::Report InvariantChecker::check(
     const std::map<std::string, bool>* logged_now) const {
   Report report;
+  // tracks_ is an ordered map, so violating_ids comes out sorted; the
+  // lambda dedupes an id hitting several violation classes.
+  const auto violating = [&report](const std::string& id) {
+    if (report.violating_ids.empty() || report.violating_ids.back() != id) {
+      report.violating_ids.push_back(id);
+    }
+  };
   for (const auto& [id, t] : tracks_) {
     if (!t.submitted) {
       // Someone saw, acked, or failed an alert nobody submitted.
       ++report.phantom_deliveries;
+      violating(id);
       continue;
     }
     ++report.submitted;
@@ -63,19 +71,26 @@ InvariantChecker::Report InvariantChecker::check(
       ++report.acked;
       // Log-before-ack: a primary-leg (block 0) acknowledgement without
       // a persisted record breaks the pessimistic-logging contract.
-      if (t.ack_block == 0 && !t.acked_logged) ++report.ack_unlogged;
+      if (t.ack_block == 0 && !t.acked_logged) {
+        ++report.ack_unlogged;
+        violating(id);
+      }
       // And the record must still be there now: pessimistic-log records
       // of acked alerts never vanish (a torn append can only hit an
       // unsynced — hence unacked — record).
       if (t.ack_block == 0 && t.acked_logged && logged_now) {
         const auto it = logged_now->find(id);
-        if (it != logged_now->end() && !it->second) ++report.log_vanished;
+        if (it != logged_now->end() && !it->second) {
+          ++report.log_vanished;
+          violating(id);
+        }
       }
     }
     if (t.sightings > 1) {
       report.duplicate_sightings += t.sightings - 1;
       if (!options_.duplicates_allowed) {
         report.illegal_duplicates += t.sightings - 1;
+        violating(id);
       }
     }
     // Disjoint terminal buckets, delivered > failed > in-flight.
@@ -87,6 +102,7 @@ InvariantChecker::Report InvariantChecker::check(
       ++report.in_flight;
     } else {
       ++report.vanished;  // silently lost — the one unforgivable outcome
+      violating(id);
     }
   }
   report.conservation_gap = report.submitted - report.delivered -
@@ -131,6 +147,17 @@ std::string InvariantChecker::Report::describe() const {
         static_cast<long long>(log_vanished), static_cast<long long>(vanished),
         static_cast<long long>(illegal_duplicates),
         static_cast<long long>(conservation_gap));
+  }
+  return out;
+}
+
+std::string InvariantChecker::Report::describe(
+    const util::Trace* trace) const {
+  std::string out = describe();
+  if (ok() || trace == nullptr) return out;
+  for (const std::string& id : violating_ids) {
+    out += "--- trace for " + id + " ---\n";
+    out += trace->describe(id);
   }
   return out;
 }

@@ -29,6 +29,7 @@
 
 #include "util/stats.h"
 #include "util/time.h"
+#include "util/trace.h"
 
 namespace simba::sim {
 
@@ -84,6 +85,11 @@ class InvariantChecker {
     std::int64_t illegal_duplicates = 0;
     std::int64_t conservation_gap = 0;  // submitted - (d + f + in-flight)
 
+    /// Ids of the alerts behind the per-alert violation classes above
+    /// (sorted, deduplicated). The trace-aware describe() prints each
+    /// one's full lifecycle.
+    std::vector<std::string> violating_ids;
+
     std::int64_t violations() const {
       return phantom_deliveries + ack_unlogged + log_vanished + vanished +
              illegal_duplicates + (conservation_gap != 0 ? 1 : 0);
@@ -95,6 +101,9 @@ class InvariantChecker {
     void export_to(Counters& counters,
                    const std::string& prefix = "invariant.") const;
     std::string describe() const;
+    /// describe(), then — when the contract is broken and a trace is
+    /// available — each violating alert's full lifecycle from it.
+    std::string describe(const util::Trace* trace) const;
   };
 
   /// Evaluates the contract over everything recorded so far. `logged_now`

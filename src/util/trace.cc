@@ -1,0 +1,139 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace simba::util {
+namespace {
+
+/// Minimal JSON string escaping: quotes, backslashes, and control
+/// characters. Span ids and details are ASCII by construction, but the
+/// exporter must never emit an unparseable line.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strformat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool canonical_less(const Span& a, const Span& b) {
+  if (a.start != b.start) return a.start < b.start;
+  if (int c = a.alert_id.compare(b.alert_id); c != 0) return c < 0;
+  if (int c = std::strcmp(a.component, b.component); c != 0) return c < 0;
+  if (int c = std::strcmp(a.stage, b.stage); c != 0) return c < 0;
+  if (a.end != b.end) return a.end < b.end;
+  return a.detail < b.detail;
+}
+
+}  // namespace
+
+void Trace::emit(std::string alert_id, const char* component,
+                 const char* stage, TimePoint at, std::string detail) {
+  emit(std::move(alert_id), component, stage, at, at, std::move(detail));
+}
+
+void Trace::emit(std::string alert_id, const char* component,
+                 const char* stage, TimePoint start, TimePoint end,
+                 std::string detail) {
+  spans_.push_back(Span{std::move(alert_id), component, stage, start, end,
+                        std::move(detail)});
+}
+
+void Trace::merge(const Trace& other) {
+  spans_.insert(spans_.end(), other.spans_.begin(), other.spans_.end());
+}
+
+std::vector<Span> Trace::sorted_spans() const {
+  std::vector<Span> sorted = spans_;
+  std::stable_sort(sorted.begin(), sorted.end(), canonical_less);
+  return sorted;
+}
+
+std::string Trace::to_jsonl() const {
+  std::string out;
+  for (const Span& s : sorted_spans()) {
+    out += strformat(
+        "{\"t\":%lld,\"dur\":%lld,\"alert\":\"%s\",\"comp\":\"%s\","
+        "\"stage\":\"%s\",\"detail\":\"%s\"}\n",
+        static_cast<long long>(s.start.time_since_epoch().count()),
+        static_cast<long long>(s.duration().count()),
+        json_escape(s.alert_id).c_str(), json_escape(s.component).c_str(),
+        json_escape(s.stage).c_str(), json_escape(s.detail).c_str());
+  }
+  return out;
+}
+
+std::map<std::string, Summary> Trace::stage_latency() const {
+  std::map<std::string, Summary> stages;
+  for (const Span& s : spans_) {
+    stages[std::string(s.component) + "." + s.stage].add(s.duration());
+  }
+  return stages;
+}
+
+std::map<std::string, Histogram> Trace::stage_histograms(
+    const std::vector<double>& boundaries) const {
+  std::map<std::string, Histogram> stages;
+  for (const Span& s : spans_) {
+    const std::string key = std::string(s.component) + "." + s.stage;
+    auto [it, inserted] = stages.try_emplace(key, boundaries);
+    it->second.add(s.duration());
+  }
+  return stages;
+}
+
+std::string Trace::stage_report() const {
+  std::string out;
+  for (const auto& [stage, latency] : stage_latency()) {
+    out += strformat("%-28s %s\n", stage.c_str(), latency.report().c_str());
+  }
+  return out;
+}
+
+std::vector<Span> Trace::spans_for(const std::string& alert_id) const {
+  std::vector<Span> mine;
+  for (const Span& s : spans_) {
+    if (s.alert_id == alert_id) mine.push_back(s);
+  }
+  std::stable_sort(mine.begin(), mine.end(), canonical_less);
+  return mine;
+}
+
+std::string Trace::describe(const std::string& alert_id) const {
+  std::string out;
+  for (const Span& s : spans_for(alert_id)) {
+    out += strformat("  [%s +%s] %s.%s", format_time(s.start).c_str(),
+                     format_duration(s.duration()).c_str(), s.component,
+                     s.stage);
+    if (!s.detail.empty()) out += " " + s.detail;
+    out += "\n";
+  }
+  if (out.empty()) out = "  (no spans recorded)\n";
+  return out;
+}
+
+}  // namespace simba::util

@@ -1,0 +1,101 @@
+// Deterministic alert-lifecycle tracing.
+//
+// A Trace is an append-only list of Spans, each stamped with virtual
+// time only (the simulator clock) so that a fixed seed and scenario
+// produce a byte-identical trace on every run, on every platform, at
+// every fleet thread count. Components hold a `Trace*` (null means
+// tracing is off) and emit spans at the interesting points of an
+// alert's lifecycle: bus send/deliver and chaos injections, log
+// append/ack/recovery, MAB classify → aggregate → filter → route, and
+// delivery-engine block/action attempts with fallback and skip
+// reasons.
+//
+// Like Counters/Summary/Histogram, traces merge: fleet shards each
+// record their own Trace and run_fleet folds them together in shard
+// order, so the merged trace is independent of the thread count.
+// Export is canonical sorted JSONL (integer microsecond timestamps,
+// no floats) — the format the golden-trace tests byte-compare.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace simba::util {
+
+/// One lifecycle event. `component` and `stage` MUST be string
+/// literals (static storage duration): spans copy only the pointer,
+/// which keeps emission allocation-light and makes merged traces safe
+/// to outlive the emitting component. Instant events have start == end;
+/// stages with real latency (log write, bus transit, delivery blocks)
+/// carry their duration as [start, end].
+struct Span {
+  std::string alert_id;  // empty for non-alert traffic (sign-in, sweeps)
+  const char* component = "";
+  const char* stage = "";
+  TimePoint start{};
+  TimePoint end{};
+  std::string detail;
+
+  Duration duration() const { return end - start; }
+};
+
+class Trace {
+ public:
+  /// Instant event at `at`.
+  void emit(std::string alert_id, const char* component, const char* stage,
+            TimePoint at, std::string detail = {});
+  /// Event spanning [start, end].
+  void emit(std::string alert_id, const char* component, const char* stage,
+            TimePoint start, TimePoint end, std::string detail = {});
+
+  const std::vector<Span>& spans() const { return spans_; }
+  std::size_t size() const { return spans_.size(); }
+  bool empty() const { return spans_.empty(); }
+
+  /// Appends `other`'s spans in order. Merging shard traces in shard
+  /// order yields the same span sequence for any thread count, exactly
+  /// like Counters::merge / Summary::merge.
+  void merge(const Trace& other);
+
+  /// Spans in canonical order: (start, alert_id, component, stage,
+  /// end, detail), stable for full ties. Emission order within a shard
+  /// is deterministic, so this order is too.
+  std::vector<Span> sorted_spans() const;
+
+  /// Canonical export: one JSON object per line, sorted_spans() order,
+  /// integer microsecond timestamps only — byte-identical across runs,
+  /// platforms, and fleet thread counts for a fixed seed + scenario.
+  /// {"t":1500000,"dur":250000,"alert":"s0-1","comp":"log",
+  ///  "stage":"append","detail":"fresh"}
+  std::string to_jsonl() const;
+
+  /// Per-stage latency distributions keyed "component.stage", over
+  /// span durations in seconds (instant spans contribute 0).
+  std::map<std::string, Summary> stage_latency() const;
+
+  /// Per-stage latency histograms over span durations in seconds, all
+  /// sharing `boundaries`. Keyed like stage_latency().
+  std::map<std::string, Histogram> stage_histograms(
+      const std::vector<double>& boundaries) const;
+
+  /// Human-oriented per-stage latency table (one stage per line), for
+  /// the bench report sections.
+  std::string stage_report() const;
+
+  /// All spans for one alert, in canonical order.
+  std::vector<Span> spans_for(const std::string& alert_id) const;
+
+  /// Multi-line lifecycle listing for one alert, for invariant-failure
+  /// reports: "  [d+hh:mm:ss.mmm +dur] comp.stage detail".
+  std::string describe(const std::string& alert_id) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace simba::util

@@ -6,11 +6,15 @@
 // Runs under `ctest -L chaos`.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fleet/chaos_workload.h"
 #include "fleet/fleet.h"
+#include "sim/invariants.h"
+#include "util/trace.h"
 
 namespace simba::fleet {
 namespace {
@@ -56,9 +60,12 @@ void expect_conserved(const FleetReport& report, const std::string& context) {
     EXPECT_EQ(merged.get(violation), 0) << context << ": " << violation;
   }
   for (std::size_t i = 0; i < report.per_shard.size(); ++i) {
+    // On failure, the shard's violation report embeds each violating
+    // alert's full lifecycle trace — print it.
     EXPECT_EQ(report.per_shard[i].counters.get("invariant.violations.total"),
               0)
-        << context << ": shard " << i;
+        << context << ": shard " << i << "\n"
+        << report.per_shard[i].violation_details;
   }
 }
 
@@ -97,6 +104,8 @@ TEST_P(ChaosMatrixTest, EveryWorldConservesAlertsAcrossSeeds) {
     EXPECT_GT(any_of({"chaos.duplicate", "chaos.reorder", "chaos.delay_spike",
                       "dropped.chaos_late_loss"}),
               0);
+  } else if (scenario.name == "dup_storm") {
+    EXPECT_GT(injected.get("chaos.duplicate"), 0);
   } else if (scenario.name == "crashy_daemon") {
     EXPECT_GT(any_of({"chaos.mab_crashes", "chaos.mab_hangs",
                       "chaos.reboots"}),
@@ -112,8 +121,8 @@ TEST_P(ChaosMatrixTest, EveryWorldConservesAlertsAcrossSeeds) {
 
 INSTANTIATE_TEST_SUITE_P(
     Scenarios, ChaosMatrixTest,
-    ::testing::Values("baseline", "flaky_network", "crashy_daemon",
-                      "power_storms", "everything"),
+    ::testing::Values("baseline", "flaky_network", "dup_storm",
+                      "crashy_daemon", "power_storms", "everything"),
     [](const auto& info) { return info.param; });
 
 class ChaosDeterminismTest : public ::testing::TestWithParam<std::string> {};
@@ -141,6 +150,68 @@ TEST_P(ChaosDeterminismTest, SerialAndParallelReportsAreIdentical) {
 INSTANTIATE_TEST_SUITE_P(Scenarios, ChaosDeterminismTest,
                          ::testing::Values("flaky_network", "everything"),
                          [](const auto& info) { return info.param; });
+
+TEST(ChaosTraceTest, DuplicateDropsAreMatchedByBusDuplicateSpans) {
+  // dup_storm is the isolation scenario for duplicate detection: the
+  // bus only ever duplicates (never loses or delays), so every alert
+  // the MAB drops as "already logged" must trace back to a bus-level
+  // chaos duplication of a message carrying that alert's id.
+  const ChaosWorkloadOptions workload =
+      workload_for(sim::ChaosScenario::preset("dup_storm"));
+  const ShardTask task{0, shard_seed(kSeeds[0], 0)};
+  const ShardResult result = run_chaos_shard(task, workload);
+
+  std::set<std::string> duplicated_ids;
+  std::int64_t bus_duplicates = 0;
+  std::vector<std::string> dropped_ids;
+  for (const util::Span& span : result.trace.spans()) {
+    if (std::string_view(span.component) == "bus" &&
+        std::string_view(span.stage) == "duplicate") {
+      ++bus_duplicates;
+      duplicated_ids.insert(span.alert_id);
+    }
+    if (std::string_view(span.component) == "mab" &&
+        std::string_view(span.stage) == "duplicate_drop") {
+      dropped_ids.push_back(span.alert_id);
+    }
+  }
+
+  // The storm actually duplicated alert traffic. The chaos counter can
+  // exceed the span count: it also counts duplicated keepalive traffic
+  // (pings, logins), which the bus deliberately leaves untraced.
+  EXPECT_GT(bus_duplicates, 0);
+  EXPECT_LE(bus_duplicates, result.counters.get("chaos.duplicate"));
+
+  // Every duplicate-detection drop is explained by a bus duplication
+  // of that same alert's traffic.
+  for (const std::string& id : dropped_ids) {
+    EXPECT_TRUE(duplicated_ids.count(id) > 0)
+        << "MAB dropped '" << id
+        << "' as a duplicate but the bus never duplicated it";
+  }
+}
+
+TEST(ChaosTraceTest, ViolationReportEmbedsAlertTrace) {
+  // A log-before-ack violation: the source was acked on the primary
+  // leg but the pessimistic log never saw the alert.
+  sim::InvariantChecker checker;
+  checker.on_submitted("a-1", kTimeZero);
+  checker.on_acked("a-1", /*block=*/0, /*logged=*/false,
+                   kTimeZero + seconds(1));
+
+  util::Trace trace;
+  trace.emit("a-1", "mab", "receive", kTimeZero, "im from src");
+  trace.emit("a-1", "mab", "ack_send", kTimeZero + seconds(1), "to src");
+
+  const sim::InvariantChecker::Report report = checker.check();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violating_ids, std::vector<std::string>{"a-1"});
+
+  const std::string details = report.describe(&trace);
+  EXPECT_NE(details.find("trace for a-1"), std::string::npos) << details;
+  EXPECT_NE(details.find("mab.receive"), std::string::npos) << details;
+  EXPECT_NE(details.find("mab.ack_send"), std::string::npos) << details;
+}
 
 TEST(ChaosPlanTest, SameInputsSamePlan) {
   const sim::ChaosScenario scenario = sim::ChaosScenario::everything();

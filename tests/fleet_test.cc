@@ -21,6 +21,10 @@ PortalWorkloadOptions fast_workload() {
   workload.alerts_per_user_day = 48.0;  // dense enough for a short run
   workload.horizon = hours(4);
   workload.drain = hours(1);
+  // Traced, so the determinism checks below also cover the lifecycle
+  // trace: its merged JSONL must be as scheduling-independent as every
+  // other merged statistic.
+  workload.world.trace = true;
   return workload;
 }
 
@@ -82,10 +86,26 @@ TEST_P(FleetDeterminismTest, SerialAndParallelReportsAreIdentical) {
         << "shard " << i;
     EXPECT_EQ(s.delivery_histogram.buckets(), p.delivery_histogram.buckets())
         << "shard " << i;
+    EXPECT_EQ(s.trace.to_jsonl(), p.trace.to_jsonl()) << "shard " << i;
   }
 
   // And the merged snapshot is bit-identical, timing excluded.
   EXPECT_EQ(serial.correctness_json(), parallel.correctness_json());
+
+  // The merged lifecycle trace too: byte-identical JSONL, identical
+  // per-stage latency report, identical stage-histogram buckets.
+  EXPECT_FALSE(serial.trace.empty());
+  EXPECT_EQ(serial.trace.to_jsonl(), parallel.trace.to_jsonl());
+  EXPECT_EQ(serial.trace.stage_report(), parallel.trace.stage_report());
+  const auto boundaries = delivery_latency_boundaries();
+  const auto serial_hist = serial.trace.stage_histograms(boundaries);
+  const auto parallel_hist = parallel.trace.stage_histograms(boundaries);
+  ASSERT_EQ(serial_hist.size(), parallel_hist.size());
+  for (const auto& [stage, histogram] : serial_hist) {
+    const auto it = parallel_hist.find(stage);
+    ASSERT_NE(it, parallel_hist.end()) << stage;
+    EXPECT_EQ(histogram.buckets(), it->second.buckets()) << stage;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FleetDeterminismTest,

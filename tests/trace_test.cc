@@ -1,0 +1,137 @@
+// Golden-trace suite: the lifecycle trace of a single-user portal run
+// is a pure function of the seed, so its canonical JSONL export is
+// byte-identical run over run, platform over platform. Each seed's
+// trace is checked against a golden file under testdata/traces/.
+//
+// When a deliberate change to the alert path alters the traces,
+// regenerate the goldens and review the diff like any other code:
+//   ./build/tests/trace_test --regen
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "fleet/fleet.h"
+#include "fleet/portal_workload.h"
+#include "util/trace.h"
+
+namespace simba::fleet {
+namespace {
+
+bool g_regen = false;
+
+const char* const kTestdata = SIMBA_TRACE_TESTDATA;
+
+// Small but complete: IM-with-ack traffic through the fast loss-free
+// models, dense enough that classify/aggregate/filter/route, delivery
+// blocks, log appends, and bus hops all appear in the trace.
+PortalWorkloadOptions golden_workload() {
+  PortalWorkloadOptions workload;
+  workload.traffic = Traffic::kSourceIm;
+  workload.world.fidelity = ModelFidelity::kFast;
+  workload.world.email_check_interval = minutes(15);
+  workload.world.trace = true;
+  workload.alerts_per_user_day = 48.0;
+  workload.horizon = hours(2);
+  workload.drain = minutes(30);
+  return workload;
+}
+
+std::string run_trace_jsonl(std::uint64_t seed) {
+  const PortalWorkloadOptions workload = golden_workload();
+  const ShardTask task{0, shard_seed(seed, 0)};
+  const ShardResult result = run_portal_shard(task, workload);
+  return result.trace.to_jsonl();
+}
+
+std::string golden_path(std::uint64_t seed) {
+  return std::string(kTestdata) + "/portal_seed" + std::to_string(seed) +
+         ".jsonl";
+}
+
+class GoldenTraceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GoldenTraceTest, PortalRunMatchesGoldenByteForByte) {
+  const std::uint64_t seed = GetParam();
+  const std::string jsonl = run_trace_jsonl(seed);
+  ASSERT_FALSE(jsonl.empty());
+
+  const std::string path = golden_path(seed);
+  if (g_regen) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << jsonl;
+    return;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — regenerate with: trace_test --regen";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(golden.str(), jsonl)
+      << "trace drifted for seed " << seed
+      << "; if the alert path changed deliberately, regenerate with: "
+         "trace_test --regen and review the diff";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GoldenTraceTest,
+                         ::testing::Values(1u, 2u, 3u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(TraceDeterminismTest, RerunIsByteIdentical) {
+  // The in-process half of the golden guarantee: two runs in the same
+  // binary agree exactly, JSONL and per-stage latency report alike.
+  EXPECT_EQ(run_trace_jsonl(7), run_trace_jsonl(7));
+
+  const PortalWorkloadOptions workload = golden_workload();
+  const ShardTask task{0, shard_seed(7, 0)};
+  const ShardResult a = run_portal_shard(task, workload);
+  const ShardResult b = run_portal_shard(task, workload);
+  EXPECT_EQ(a.trace.stage_report(), b.trace.stage_report());
+}
+
+TEST(TraceContentTest, CoversEveryTracedComponent) {
+  const PortalWorkloadOptions workload = golden_workload();
+  const ShardTask task{0, shard_seed(1, 0)};
+  const ShardResult result = run_portal_shard(task, workload);
+
+  std::set<std::string> components;
+  for (const util::Span& span : result.trace.spans()) {
+    components.insert(span.component);
+  }
+  for (const char* component : {"bus", "log", "mab", "delivery"}) {
+    EXPECT_TRUE(components.count(component) > 0)
+        << "no '" << component << "' spans in a full portal run";
+  }
+
+  // Stage latencies are derivable and carry percentile support.
+  const auto latency = result.trace.stage_latency();
+  ASSERT_TRUE(latency.count("delivery.deliver") > 0);
+  const Summary& deliver = latency.at("delivery.deliver");
+  EXPECT_GT(deliver.count(), 0u);
+  EXPECT_GE(deliver.percentile(99), deliver.percentile(50));
+}
+
+}  // namespace
+}  // namespace simba::fleet
+
+// Custom main: strip our --regen flag before handing argv to gtest.
+int main(int argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--regen") {
+      simba::fleet::g_regen = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

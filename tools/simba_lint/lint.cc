@@ -85,6 +85,14 @@ constexpr std::array<std::string_view, 12> kBannedSync{
     "std::condition_variable_any",
 };
 
+// Wall-clock sources that must never stamp a lifecycle-trace span:
+// merged traces are compared bit-for-bit across runs and thread
+// counts, so spans carry virtual time only (util/trace.h).
+constexpr std::array<std::string_view, 2> kWallClockSources{
+    "WallTimer",
+    "wall_seconds",
+};
+
 constexpr std::string_view kOrderedWaiver = "simba-lint: ordered";
 
 bool is_ident_char(char c) {
@@ -211,6 +219,24 @@ bool contains_call(const std::string& text, std::string_view name) {
   return false;
 }
 
+// True when `name` appears as a call, member or free: whole identifier
+// followed by '('. Trace::emit is normally reached as `trace_->emit(`,
+// which contains_call deliberately skips.
+bool contains_any_call(const std::string& text, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    const std::size_t after = pos + name.size();
+    const bool word = (pos == 0 || !is_ident_char(text[pos - 1])) &&
+                      (after < text.size() && !is_ident_char(text[after]));
+    if (word) {
+      const std::size_t paren = text.find_first_not_of(" \t", after);
+      if (paren != std::string::npos && text[paren] == '(') return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
 std::string file_module(const std::string& rel_path) {
   if (rel_path.rfind("src/", 0) == 0) {
     const std::size_t slash = rel_path.find('/', 4);
@@ -331,6 +357,26 @@ std::vector<Diagnostic> lint_file(const std::string& rel_path,
                    "' is banned outside util/; use util::Mutex / "
                    "util::MutexLock (util/mutex.h) so Clang thread-safety "
                    "annotations cover it");
+        }
+      }
+    }
+
+    // [trace] — span timestamps must come from the sim clock. A line
+    // that touches the trace API (an emit(...) call or the Span type)
+    // may not also mention a wall-clock source.
+    if (in_src) {
+      const bool span_line = contains_token(tokens, "Span") ||
+                             contains_any_call(tokens, "emit");
+      if (span_line) {
+        for (const std::string_view token : kWallClockSources) {
+          if (contains_token(tokens, token)) {
+            emit(line_no, "trace",
+                 "trace span stamped from wall-clock source '" +
+                     std::string(token) +
+                     "'; spans carry virtual time only "
+                     "(sim::Simulator::now) so merged traces stay "
+                     "bit-identical across runs and thread counts");
+          }
         }
       }
     }

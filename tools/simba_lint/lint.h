@@ -17,6 +17,12 @@
 //                 banned outside util/ — use util::Mutex/MutexLock
 //                 (util/mutex.h), which carry Clang thread-safety
 //                 annotations.
+//   [trace]       lifecycle-trace spans carry virtual time only: a
+//                 src/ line that emits or builds a util::Trace span
+//                 (an emit(...) call or the Span type) may not
+//                 mention a wall-clock source (util::WallTimer /
+//                 wall_seconds) — wall-stamped spans would break the
+//                 bit-identical merged-trace guarantee.
 //
 // The checks are line-based over comment- and string-stripped source,
 // so they are fast, dependency-free, and deterministic; anything that
@@ -32,7 +38,7 @@ namespace simba::lint {
 struct Diagnostic {
   std::string file;  // path relative to the lint root, '/' separators
   int line = 0;      // 1-based
-  std::string rule;  // "layer", "determinism", or "sync"
+  std::string rule;  // "layer", "determinism", "sync", or "trace"
   std::string message;
 };
 

@@ -129,6 +129,34 @@ TEST(SimbaLint, RawSyncOutsideUtil) {
   EXPECT_EQ(result.diagnostics[2].line, 11);
 }
 
+TEST(SimbaLint, TraceSpansMustUseVirtualTime) {
+  const LintResult result = lint_fixture("trace");
+  EXPECT_EQ(result.files_scanned, 2);
+  // bad_trace.cc: WallTimer on the emit line (16), wall_seconds on the
+  // Span line (17). The virtual-time emissions in both files and the
+  // span-free wall_seconds declaration (9) stay clean.
+  ASSERT_EQ(result.diagnostics.size(), 2u);
+  const Diagnostic& timer = result.diagnostics[0];
+  EXPECT_EQ(timer.file, "src/fleet/bad_trace.cc");
+  EXPECT_EQ(timer.line, 16);
+  EXPECT_EQ(timer.rule, "trace");
+  EXPECT_EQ(format(timer),
+            "src/fleet/bad_trace.cc:16: error: [trace] trace span stamped "
+            "from wall-clock source 'WallTimer'; spans carry virtual time "
+            "only (sim::Simulator::now) so merged traces stay bit-identical "
+            "across runs and thread counts");
+  const Diagnostic& seconds = result.diagnostics[1];
+  EXPECT_EQ(seconds.line, 17);
+  EXPECT_EQ(seconds.rule, "trace");
+  EXPECT_NE(seconds.message.find("'wall_seconds'"), std::string::npos)
+      << seconds.message;
+
+  std::string out;
+  EXPECT_EQ(cli({"--root", (std::string(kTestdata) + "/trace").c_str()}, out),
+            1);
+  EXPECT_NE(out.find("2 violation(s)"), std::string::npos) << out;
+}
+
 TEST(SimbaLint, CommentsAndStringsDoNotTrip) {
   const std::vector<Diagnostic> diags = lint_file(
       "src/core/x.cc",

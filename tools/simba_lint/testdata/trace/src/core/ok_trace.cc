@@ -1,0 +1,8 @@
+// Virtual-time trace emission: never flagged by [trace].
+#include "util/trace.h"
+
+namespace simba::core {
+void note(util::Trace& trace, TimePoint now) {
+  trace.emit("a-1", "mab", "classify", now, now, "keyword K");
+}
+}  // namespace simba::core

@@ -1,0 +1,19 @@
+// Trace fixture: span-emission lines stamped from a wall-clock source
+// (util::WallTimer / wall_seconds) must be flagged; the same emission
+// from virtual time must not, and a wall token with no span nearby is
+// the [determinism]-exempt timing path, not a [trace] violation.
+#include "util/trace.h"
+#include "util/wall_clock.h"
+
+namespace simba::fleet {
+void observe(util::Trace& trace, TimePoint now, double wall_seconds);
+
+void good(util::Trace& trace, TimePoint now) {
+  trace.emit("a-1", "bus", "send", now);
+}
+
+void bad(util::Trace& trace) {
+  trace.emit("a-2", "bus", "send", stamp(util::WallTimer().seconds()));
+  const util::Span span{"a-3", "bus", "send", stamp(wall_seconds()), {}, ""};
+}
+}  // namespace simba::fleet
