@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
     Counters merged;
     util::Trace merged_trace;
     double wall = 0.0;
+    std::uint64_t events = 0;
     for (int s = 0; s < seeds; ++s) {
       fleet::FleetOptions fleet_options;
       fleet_options.shards = static_cast<std::size_t>(users);
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
       }
       merged_trace.merge(report.trace);
       wall += report.wall_seconds;
+      events += report.events_processed;
     }
 
     print_section("scenario: " + scenario.name);
@@ -93,12 +95,16 @@ int main(int argc, char** argv) {
     print_row("invariant violations", "0", std::to_string(violations),
               violations == 0 ? "conservation holds" : "CONTRACT BROKEN");
     print_row("wall-clock", "-", strformat("%.2f s", wall));
+    print_row("kernel events per second", "-",
+              strformat("%.0f", events / std::max(wall, 1e-9)));
     print_section("scenario " + scenario.name +
                   ": per-stage latency (merged lifecycle trace)");
     std::printf("%s", merged_trace.stage_report().c_str());
   }
 
   print_section("verdict");
+  print_row("peak RSS", "-",
+            strformat("%.1f MiB", peak_rss_bytes() / (1024.0 * 1024.0)));
   std::printf("  %s\n",
               total_violations == 0
                   ? "conservation held across the whole matrix"

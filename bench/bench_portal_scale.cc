@@ -71,6 +71,13 @@ int main(int argc, char** argv) {
             std::to_string(report.events_processed));
   print_row("wall-clock for the virtual day", "-",
             strformat("%.2f s", report.wall_seconds));
+  const double events_per_sec =
+      report.events_processed / std::max(report.wall_seconds, 1e-9);
+  print_row("kernel events per second", "-",
+            strformat("%.0f", events_per_sec),
+            "throughput metric tracked by BENCH_portal_scale.json");
+  print_row("peak RSS", "-",
+            strformat("%.1f MiB", peak_rss_bytes() / (1024.0 * 1024.0)));
   print_row("virtual-day speedup", "-",
             strformat("%.0fx", 86400.0 / std::max(report.wall_seconds, 1e-9)));
   const double full_scale_estimate =
@@ -100,5 +107,22 @@ int main(int argc, char** argv) {
 
   print_section("merged fleet report");
   std::printf("%s", report.render().c_str());
+
+  if (!options.json.empty()) {
+    JsonReport json;
+    json.add("bench", std::string("bench_portal_scale"));
+    json.add("seed", static_cast<std::int64_t>(options.seed));
+    json.add("users", users);
+    json.add("threads", threads);
+    json.add("alerts_sent", sent);
+    json.add("alerts_delivered", delivered);
+    json.add("alerts_lost", report.counters.get("alerts.lost"));
+    json.add("alerts_duplicates", report.counters.get("alerts.duplicates"));
+    json.add("events_processed", report.events_processed);
+    json.add("wall_seconds", report.wall_seconds);
+    json.add("events_per_sec", events_per_sec);
+    json.add("peak_rss_bytes", peak_rss_bytes());
+    if (!json.write_to(options.json)) return 1;
+  }
   return 0;
 }

@@ -1,6 +1,10 @@
 #include "common.h"
 
+#include <sys/resource.h>
+
 #include <cstring>
+
+#include "util/strings.h"
 
 namespace simba::bench {
 
@@ -29,9 +33,67 @@ Options Options::parse(int argc, char** argv) {
       options.threads = static_cast<int>(std::strtol(v, nullptr, 10));
     } else if (const char* v = value_of(arg, "--trace-jsonl", i)) {
       options.trace_jsonl = v;
+    } else if (const char* v = value_of(arg, "--json", i)) {
+      options.json = v;
     }
   }
   return options;
+}
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+void JsonReport::add(const std::string& key, double value) {
+  fields_.emplace_back(key, strformat("%.6g", value));
+}
+
+void JsonReport::add(const std::string& key, std::int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+}
+
+void JsonReport::add(const std::string& key, std::uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+}
+
+void JsonReport::add(const std::string& key, const std::string& value) {
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted += '"';
+  for (const char c : value) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    quoted += c;
+  }
+  quoted += '"';
+  fields_.emplace_back(key, std::move(quoted));
+}
+
+std::string JsonReport::render() const {
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    out += "  \"";
+    out += fields_[i].first;
+    out += "\": ";
+    out += fields_[i].second;
+    out += i + 1 < fields_.size() ? ",\n" : "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+bool JsonReport::write_to(const std::string& path) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string body = render();
+  std::fwrite(body.data(), 1, body.size(), out);
+  std::fclose(out);
+  return true;
 }
 
 ExperimentWorld::ExperimentWorld(std::uint64_t seed)

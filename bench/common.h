@@ -11,9 +11,12 @@
 // helpers at the bottom.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/mab_host.h"
 #include "core/source_endpoint.h"
@@ -28,10 +31,10 @@
 
 namespace simba::bench {
 
-/// Command-line: --seed, --n (workload size), --users, --threads, and
-/// --trace-jsonl, each accepted as "--flag=V" or "--flag V", in any
-/// order; unknown flags are ignored so harness wrappers can pass
-/// extras.
+/// Command-line: --seed, --n (workload size), --users, --threads,
+/// --trace-jsonl, and --json, each accepted as "--flag=V" or
+/// "--flag V", in any order; unknown flags are ignored so harness
+/// wrappers can pass extras.
 struct Options {
   std::uint64_t seed = 42;
   int n = 0;        // 0 = bench-specific default
@@ -40,7 +43,36 @@ struct Options {
   /// Non-empty: write the merged lifecycle trace as sorted JSONL here
   /// (benches that trace; see fleet::FleetReport::trace).
   std::string trace_jsonl;
+  /// Non-empty: also write the machine-readable metrics (the
+  /// JsonReport the bench builds) to this path.
+  std::string json;
   static Options parse(int argc, char** argv);
+};
+
+/// Peak resident set size of this process so far, in bytes (Linux
+/// ru_maxrss). Timing/footprint-only — never fold into deterministic
+/// output.
+std::uint64_t peak_rss_bytes();
+
+/// Insertion-ordered flat JSON object for bench metrics; just enough
+/// for the BENCH_*.json artifacts (numbers and plain strings).
+class JsonReport {
+ public:
+  void add(const std::string& key, double value);
+  void add(const std::string& key, std::int64_t value);
+  void add(const std::string& key, std::uint64_t value);
+  void add(const std::string& key, int value) {
+    add(key, static_cast<std::int64_t>(value));
+  }
+  void add(const std::string& key, const std::string& value);
+
+  std::string render() const;
+  /// Writes render() to `path`; returns false (with a stderr note) on
+  /// I/O failure.
+  bool write_to(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> literal
 };
 
 /// Calibrated infrastructure.

@@ -14,7 +14,8 @@ void Sensor::set_state(bool on) {
 void Sensor::start_heartbeat(Duration period) {
   stop_heartbeat();
   heartbeat_task_ = sim_.every(
-      period, [this] { transmit("HEARTBEAT"); }, "sensor." + id_ + ".hb");
+      period, [this] { transmit("HEARTBEAT"); },
+      (heartbeat_label_ = "sensor." + id_ + ".hb").c_str());
 }
 
 void Sensor::stop_heartbeat() { heartbeat_task_.cancel(); }

@@ -40,7 +40,8 @@ void PowerlineMonitor::apply(const HomeSignal& signal) {
   const auto it = devices_.find(signal.source_id);
   if (it == devices_.end()) {
     stats_.bump("frames.unknown_device");
-    log_debug("plmon", "frame from unregistered device " + signal.source_id);
+    SIMBA_LOG_DEBUG("plmon",
+                    "frame from unregistered device " + signal.source_id);
     return;
   }
   const DeviceConfig& config = it->second;

@@ -48,8 +48,9 @@ void CommunicationManager::add_caption_pair(
 
 void CommunicationManager::start_monkey(Duration interval) {
   stop_monkey();
+  if (monkey_label_.empty()) monkey_label_ = name_ + ".monkey";
   monkey_task_ = sim_.every(
-      interval, [this] { monkey_sweep(); }, name_ + ".monkey");
+      interval, [this] { monkey_sweep(); }, monkey_label_.c_str());
 }
 
 void CommunicationManager::stop_monkey() { monkey_task_.cancel(); }
@@ -69,7 +70,7 @@ int CommunicationManager::monkey_sweep() {
         if (!icontains(caption, sub)) continue;
         if (desktop_.click(sub, button)) {
           stats_.bump("dialogs_clicked");
-          log_debug(name_, "monkey clicked \"" + caption + "\"");
+          SIMBA_LOG_DEBUG(name_, "monkey clicked \"" + caption + "\"");
           clicked++;
           progress = true;
         }

@@ -5,12 +5,20 @@
 namespace simba::core {
 
 void AlertClassifier::add_rule(SourceRule rule) {
-  for (auto& existing : rules_) {
-    if (iequals(existing.source, rule.source)) {
-      existing = std::move(rule);
+  FoldedKeys folded;
+  folded.source = to_lower(rule.source);
+  folded.keywords.reserve(rule.keywords.size());
+  for (const auto& keyword : rule.keywords) {
+    folded.keywords.push_back(to_lower(keyword));
+  }
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (iequals(rules_[i].source, rule.source)) {
+      folded_[i] = std::move(folded);
+      rules_[i] = std::move(rule);
       return;
     }
   }
+  folded_.push_back(std::move(folded));
   rules_.push_back(std::move(rule));
 }
 
@@ -19,8 +27,12 @@ bool AlertClassifier::accepts(const std::string& source) const {
 }
 
 const SourceRule* AlertClassifier::rule_for(const std::string& source) const {
-  for (const auto& rule : rules_) {
-    if (iequals(rule.source, source)) return &rule;
+  // One fold of the probe (SSO for typical short source names), then
+  // plain equality against the pre-folded rule keys: the scan itself
+  // is memcmp-speed and allocation-free.
+  const std::string folded_source = to_lower(source);
+  for (std::size_t i = 0; i < folded_.size(); ++i) {
+    if (folded_[i].source == folded_source) return &rules_[i];
   }
   return nullptr;
 }
@@ -31,6 +43,7 @@ std::optional<std::string> AlertClassifier::classify(const Alert& alert) const {
     stats_.bump("rejected_source");
     return std::nullopt;
   }
+  const FoldedKeys& folded = folded_[static_cast<std::size_t>(rule - rules_.data())];
   const std::string* field = nullptr;
   switch (rule->location) {
     case KeywordLocation::kNativeCategory:
@@ -56,10 +69,13 @@ std::optional<std::string> AlertClassifier::classify(const Alert& alert) const {
       field = &alert.body;
       break;
   }
-  for (const auto& keyword : rule->keywords) {
-    if (icontains(*field, keyword)) {
+  // Fold the searched field once; each keyword probe is then a plain
+  // substring search over pre-lowered text.
+  const std::string folded_field = to_lower(*field);
+  for (std::size_t k = 0; k < folded.keywords.size(); ++k) {
+    if (contains(folded_field, folded.keywords[k])) {
       stats_.bump("classified");
-      return keyword;
+      return rule->keywords[k];
     }
   }
   stats_.bump("no_keyword");

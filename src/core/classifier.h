@@ -62,7 +62,17 @@ class AlertClassifier {
   const Counters& stats() const { return stats_; }
 
  private:
+  /// Case-folded copies of a rule's match keys, computed once in
+  /// add_rule so the per-alert hot path (rule_for's linear scan,
+  /// classify's keyword search) compares pre-lowered strings instead
+  /// of re-folding both sides on every probe.
+  struct FoldedKeys {
+    std::string source;
+    std::vector<std::string> keywords;
+  };
+
   std::vector<SourceRule> rules_;
+  std::vector<FoldedKeys> folded_;  // index-aligned with rules_
   mutable Counters stats_;
 };
 

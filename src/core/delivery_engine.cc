@@ -25,7 +25,7 @@ void DeliveryEngine::deliver(const Alert& alert, const AddressBook& addresses,
   d.mode = mode;
   d.done = std::move(done);
   d.started_at = sim_.now();
-  trace_event(d, "start", "mode " + mode.name());
+  if (traced()) trace_event(d, "start", "mode " + mode.name());
   deliveries_.emplace(id, std::move(d));
   stats_.bump("deliveries_started");
   run_block(id);
@@ -54,12 +54,17 @@ void DeliveryEngine::run_block(std::uint64_t delivery_id) {
     const Address* address = d.addresses.find(action.address_name);
     if (address == nullptr) {
       stats_.bump("actions.unknown_address");
-      trace_event(d, "action_skip", action.address_name + ": unknown address");
+      if (traced()) {
+        trace_event(d, "action_skip",
+                    action.address_name + ": unknown address");
+      }
       continue;
     }
     if (!address->enabled) {
       stats_.bump("actions.disabled_address");
-      trace_event(d, "action_skip", action.address_name + ": disabled");
+      if (traced()) {
+        trace_event(d, "action_skip", action.address_name + ": disabled");
+      }
       continue;
     }
     runnable.push_back(&action);
@@ -68,16 +73,20 @@ void DeliveryEngine::run_block(std::uint64_t delivery_id) {
     // "Any delivery block that contains [only disabled] actions will
     // automatically fail and fall back to the next backup block."
     stats_.bump("blocks.all_disabled");
-    trace_event(d, "block_skip",
-                strformat("block %zu: no runnable action", block_index));
+    if (traced()) {
+      trace_event(d, "block_skip",
+                  strformat("block %zu: no runnable action", block_index));
+    }
     d.block_index++;
     run_block(delivery_id);
     return;
   }
   d.block_started_at = sim_.now();
-  trace_event(d, "block_start",
-              strformat("block %zu: %zu action(s)", block_index,
-                        runnable.size()));
+  if (traced()) {
+    trace_event(d, "block_start",
+                strformat("block %zu: %zu action(s)", block_index,
+                          runnable.size()));
+  }
 
   d.actions_pending = static_cast<int>(runnable.size());
   d.acks_outstanding = 0;
@@ -102,8 +111,10 @@ void DeliveryEngine::run_block(std::uint64_t delivery_id) {
           return;
         }
         stats_.bump("blocks.timed_out");
-        trace_event(dit->second, "block_timeout",
-                    strformat("block %zu", block_index));
+        if (traced()) {
+          trace_event(dit->second, "block_timeout",
+                      strformat("block %zu", block_index));
+        }
         advance_block(delivery_id);
       },
       "delivery.block_timeout");
@@ -143,7 +154,9 @@ void DeliveryEngine::start_action(std::uint64_t delivery_id,
       auto headers = alert_headers(d.alert);
       headers[wire::kKind] = wire::kKindAlert;
       if (action.require_ack) {
-        headers[wire::kRequiresAck] = "1";
+        // std::string{} rvalue: sidesteps a GCC 12 -Werror=restrict
+        // false positive on the const char* assign path at -O2.
+        headers[wire::kRequiresAck] = std::string("1");
         // Register the waiter before sending: the ack can beat the
         // send-completion callback.
         ack_waiters_[d.alert.id + "|" + address->value] = delivery_id;
@@ -175,8 +188,10 @@ void DeliveryEngine::start_action(std::uint64_t delivery_id,
               // slot converts into the outstanding-ack slot.
               dit->second.actions_pending--;
               stats_.bump("actions.im_waiting_ack");
-              trace_event(dit->second, "action",
-                          "im accepted; awaiting ack from " + to_user);
+              if (traced()) {
+                trace_event(dit->second, "action",
+                            "im accepted; awaiting ack from " + to_user);
+              }
             } else {
               action_succeeded(delivery_id, block_index, "im accepted");
             }
@@ -232,7 +247,7 @@ void DeliveryEngine::action_failed(std::uint64_t delivery_id,
   if (it == deliveries_.end()) return;
   Delivery& d = it->second;
   if (d.block_index != block_index) return;
-  log_debug("delivery", "action failed: " + reason);
+  SIMBA_LOG_DEBUG("delivery", "action failed: " + reason);
   trace_event(d, "action_fail", reason);
   d.actions_pending--;
   if (d.actions_pending <= 0 && d.acks_outstanding <= 0) {
@@ -344,7 +359,7 @@ bool DeliveryEngine::handle_incoming(const im::ImMessage& message) {
   if (it == deliveries_.end()) return true;
   it->second.acks_outstanding--;
   stats_.bump("acks.received");
-  trace_event(it->second, "ack", "from " + message.from_user);
+  if (traced()) trace_event(it->second, "ack", "from " + message.from_user);
   action_succeeded(delivery_id, it->second.block_index, "ack received");
   return true;
 }

@@ -120,6 +120,9 @@ class DeliveryEngine {
   void advance_block(std::uint64_t delivery_id);
   void finish(std::uint64_t delivery_id, bool delivered,
               const std::string& detail);
+  /// True when lifecycle tracing is armed; detail-building call sites
+  /// check this first so untraced runs skip the string construction.
+  bool traced() const { return trace_ != nullptr; }
   /// Instant trace event on the delivery's alert (no-op untraced).
   void trace_event(const Delivery& d, const char* stage, std::string detail);
 

@@ -268,7 +268,7 @@ void MyAlertBuddy::pump_email() {
 void MyAlertBuddy::handle_alert_im(const im::ImMessage& message) {
   const Alert alert = alert_from_headers(message.headers, message.body);
   stats_.bump("im.alerts_received");
-  trace_event(alert.id, "receive", "im from " + message.from_user);
+  if (traced()) trace_event(alert.id, "receive", "im from " + message.from_user);
   if (alert_observer_) alert_observer_(alert, sim_.now());
   const bool wants_ack = message.headers.count(wire::kRequiresAck) > 0;
 
@@ -328,7 +328,7 @@ void MyAlertBuddy::send_ack(const std::string& to_user,
                 if (!status.ok()) stats_.bump("acks.send_failed");
               });
   stats_.bump("acks.sent");
-  trace_event(alert_id, "ack_send", "to " + to_user);
+  if (traced()) trace_event(alert_id, "ack_send", "to " + to_user);
 }
 
 void MyAlertBuddy::process_alert(const Alert& alert) {
@@ -343,14 +343,14 @@ void MyAlertBuddy::process_alert(const Alert& alert) {
     if (options_.pessimistic_logging) log_.mark_processed(alert.id, sim_.now());
     return;
   }
-  trace_event(alert.id, "classify", "keyword " + *keyword);
+  if (traced()) trace_event(alert.id, "classify", "keyword " + *keyword);
   // Aggregation: keyword -> personal category; unmapped keywords fall
   // back to the default category or to the keyword itself.
   std::string category = config_.categories.category_for(*keyword)
                              .value_or(options_.default_category.empty()
                                            ? *keyword
                                            : options_.default_category);
-  trace_event(alert.id, "aggregate", "category " + category);
+  if (traced()) trace_event(alert.id, "aggregate", "category " + category);
   // Filtering: a disabled category retains the alert for the digest
   // ("temporarily blocks unwanted alerts, which ... may be useful in
   // the future"); a closed delivery window defers routing until the
@@ -392,26 +392,32 @@ void MyAlertBuddy::route(const Alert& alert, const std::string& category) {
   const auto subscriptions = config_.subscriptions.for_category(category);
   if (subscriptions.empty()) {
     stats_.bump("alerts_unsubscribed");
-    trace_event(alert.id, "route", "no subscription for " + category);
+    if (traced()) {
+      trace_event(alert.id, "route", "no subscription for " + category);
+    }
     return;
   }
   for (const auto& sub : subscriptions) {
     const UserProfile* profile = config_.profile_for(sub.user);
     if (profile == nullptr) {
       stats_.bump("routing.unknown_user");
-      trace_event(alert.id, "route", "unknown user " + sub.user);
+      if (traced()) trace_event(alert.id, "route", "unknown user " + sub.user);
       continue;
     }
     const DeliveryMode* mode = profile->mode(sub.mode_name);
     if (mode == nullptr) {
       stats_.bump("routing.unknown_mode");
-      trace_event(alert.id, "route",
-                  "unknown mode " + sub.mode_name + " for " + sub.user);
+      if (traced()) {
+        trace_event(alert.id, "route",
+                    "unknown mode " + sub.mode_name + " for " + sub.user);
+      }
       continue;
     }
     stats_.bump("routing.dispatched");
-    trace_event(alert.id, "route",
-                "dispatch " + sub.mode_name + " for " + sub.user);
+    if (traced()) {
+      trace_event(alert.id, "route",
+                  "dispatch " + sub.mode_name + " for " + sub.user);
+    }
     engine_->deliver(alert, profile->addresses(), *mode,
                      [this, alive = alive_](const DeliveryOutcome& outcome) {
                        if (!*alive) return;

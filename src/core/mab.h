@@ -147,6 +147,10 @@ class MyAlertBuddy {
   /// terminates and gets restarted by the MDC."
   void fail_with(const std::string& reason);
   void progress() { last_progress_ = sim_.now(); }
+  /// True when lifecycle tracing is armed; call sites that build a
+  /// detail string check this first so untraced runs never pay for
+  /// the concatenation.
+  bool traced() const { return options_.trace != nullptr; }
   /// Instant trace event on `alert_id` (no-op untraced).
   void trace_event(const std::string& alert_id, const char* stage,
                    std::string detail);

@@ -47,7 +47,7 @@ void SourceEndpoint::start() {
         email_manager_->sanity_check(nullptr);
         pump_im();  // sweep for acks whose events were lost
       },
-      "source." + options_.name + ".sanity");
+      (sanity_label_ = "source." + options_.name + ".sanity").c_str());
 }
 
 void SourceEndpoint::set_target(const std::string& target_im,

@@ -87,6 +87,8 @@ class SourceEndpoint {
   AddressBook target_;
   DeliveryMode mode_;
   sim::TaskHandle sanity_task_;
+  /// Stable storage for the "source.<name>.sanity" event label.
+  std::string sanity_label_;
   Counters stats_;
 };
 

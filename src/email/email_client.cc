@@ -13,7 +13,8 @@ EmailClientApp::EmailClientApp(sim::Simulator& sim, gui::Desktop& desktop,
                      std::move(profile)),
       server_(server),
       mailbox_address_(std::move(mailbox_address)),
-      config_(config) {
+      config_(config),
+      poll_label_(name() + ".poll") {
   server_.create_mailbox(mailbox_address_);
 }
 
@@ -21,7 +22,7 @@ void EmailClientApp::on_launch() {
   // A freshly launched client re-syncs from where it left off; the
   // server mailbox is durable, so nothing is lost across restarts.
   poll_task_ = sim().every(
-      config_.poll_interval, [this] { poll(); }, name() + ".poll",
+      config_.poll_interval, [this] { poll(); }, poll_label_.c_str(),
       /*immediate=*/true);
 }
 

@@ -52,7 +52,7 @@ Status EmailServer::submit(Email email) {
   stats_.bump("accepted");
   if (rng_.chance(delay_.loss_probability)) {
     stats_.bump("lost");
-    log_debug("email", "silently lost mail to " + email.to);
+    SIMBA_LOG_DEBUG("email", "silently lost mail to " + email.to);
     return Status::success();  // sender cannot tell; that is the point
   }
   const Duration delay = delay_.sample(rng_);

@@ -50,13 +50,19 @@ ShardResult run_chaos_shard(const ShardTask& task,
     t += rng.exponential_duration(mean_gap);
     if (t >= end) break;
     const std::int64_t alert_number = sent++;
-    const std::string id = "s" + std::to_string(task.shard_id) + "-" +
-                           std::to_string(alert_number);
+    // Appends instead of operator+ chains: sidesteps a GCC 12
+    // -Werror=restrict false positive at -O2.
+    std::string id = "s";
+    id += std::to_string(task.shard_id);
+    id += '-';
+    id += std::to_string(alert_number);
     sent_at.emplace(id, t);
     world.sim.at(t, [&world, &checker, id, alert_number] {
       core::Alert alert;
-      alert.source = "src";
-      alert.native_category = "K";
+      // std::string rvalues: sidestep a GCC 12 -Werror=restrict
+      // false positive on the const char* assign path at -O2.
+      alert.source = std::string("src");
+      alert.native_category = std::string("K");
       alert.subject = "chaos alert " + std::to_string(alert_number);
       alert.id = id;
       alert.created_at = world.sim.now();

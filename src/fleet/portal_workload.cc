@@ -59,14 +59,17 @@ ShardResult run_portal_shard(const ShardTask& task,
         world.email_server.submit(std::move(mail));
       });
     } else {
-      const std::string id =
-          "s" + std::to_string(task.shard_id) + "-" +
-          std::to_string(alert_number);
+      // Appends instead of operator+ chains: sidesteps a GCC 12
+      // -Werror=restrict false positive at -O2.
+      std::string id = "s";
+      id += std::to_string(task.shard_id);
+      id += '-';
+      id += std::to_string(alert_number);
       sent_at.emplace(id, t);
       world.sim.at(t, [&world, &acked, id, alert_number] {
         core::Alert alert;
-        alert.source = "src";
-        alert.native_category = "K";
+        alert.source = std::string("src");
+        alert.native_category = std::string("K");
         alert.subject = "alert " + std::to_string(alert_number);
         alert.id = id;
         alert.created_at = world.sim.now();

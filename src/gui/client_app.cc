@@ -29,7 +29,8 @@ void ClientApp::launch() {
   launched_at_ = sim_.now();
   leaked_op_mb_ = 0.0;
   stats_.bump("launches");
-  log_debug("gui." + name_, "launched, instance " + std::to_string(instance_));
+  SIMBA_LOG_DEBUG("gui." + name_,
+                  "launched, instance " + std::to_string(instance_));
   schedule_faults();
   on_launch();
 }
@@ -40,7 +41,7 @@ void ClientApp::kill() {
   state_ = ProcessState::kNotRunning;
   stats_.bump("kills");
   desktop_.close_owned_by(name_);
-  log_debug("gui." + name_, "killed");
+  SIMBA_LOG_DEBUG("gui." + name_, "killed");
   on_kill();
 }
 
@@ -72,7 +73,7 @@ void ClientApp::force_hang() {
   cancel_faults();
   state_ = ProcessState::kHung;
   stats_.bump("hangs");
-  log_debug("gui." + name_, "hung");
+  SIMBA_LOG_DEBUG("gui." + name_, "hung");
 }
 
 void ClientApp::force_crash() {
@@ -81,7 +82,7 @@ void ClientApp::force_crash() {
   state_ = ProcessState::kNotRunning;
   stats_.bump("crashes");
   desktop_.close_owned_by(name_);
-  log_debug("gui." + name_, "crashed");
+  SIMBA_LOG_DEBUG("gui." + name_, "crashed");
   on_kill();
 }
 
@@ -123,7 +124,7 @@ void ClientApp::schedule_faults() {
     const Duration delay = rng_.exponential_duration(mean);
     fault_events_.push_back(sim_.after(
         delay, std::forward<decltype(action)>(action),
-        "gui." + name_ + "." + label));
+        label_interner_.intern("gui." + name_ + "." + label)));
   };
   arm(profile_.mean_time_to_hang, [this] { force_hang(); }, "hang");
   arm(profile_.mean_time_to_crash, [this] { force_crash(); }, "crash");
@@ -145,9 +146,10 @@ void ClientApp::spontaneous_dialog() {
   pop_dialog(profile_.dialog_pool[pick]);
   // Re-arm for the next spontaneous dialog.
   if (profile_.mean_time_to_dialog > Duration::zero()) {
-    fault_events_.push_back(
-        sim_.after(rng_.exponential_duration(profile_.mean_time_to_dialog),
-                   [this] { spontaneous_dialog(); }, "gui." + name_ + ".dialog"));
+    fault_events_.push_back(sim_.after(
+        rng_.exponential_duration(profile_.mean_time_to_dialog),
+        [this] { spontaneous_dialog(); },
+        label_interner_.intern("gui." + name_ + ".dialog")));
   }
 }
 

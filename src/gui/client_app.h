@@ -17,6 +17,7 @@
 
 #include "gui/desktop.h"
 #include "sim/simulator.h"
+#include "util/interner.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -141,6 +142,9 @@ class ClientApp {
   TimePoint launched_at_{};
   double leaked_op_mb_ = 0.0;
   std::vector<sim::EventId> fault_events_;
+  /// Owns the "gui.<name>.<fault>" event labels (three per app); the
+  /// kernel stores label pointers, so they must outlive the events.
+  util::StringInterner label_interner_;
   Counters stats_;
 };
 

@@ -11,8 +11,8 @@ std::uint64_t Desktop::show(DialogBox box,
                             std::function<void(const std::string&)> on_closed) {
   box.id = next_id_++;
   box.opened_at = sim_.now();
-  log_debug("desktop", "dialog shown: \"" + box.caption + "\" (owner=" +
-                           box.owner + ")");
+  SIMBA_LOG_DEBUG("desktop", "dialog shown: \"" + box.caption + "\" (owner=" +
+                                 box.owner + ")");
   entries_.push_back(Entry{std::move(box), std::move(on_closed)});
   rebuild_view();
   return entries_.back().box.id;
@@ -27,8 +27,8 @@ bool Desktop::click(std::string caption_substring, std::string button) {
                      [&](const std::string& b) { return iequals(b, button); });
     if (match == box.buttons.end()) continue;
     const std::string canonical = *match;  // report the real label
-    log_debug("desktop", "dialog clicked: \"" + box.caption + "\" [" +
-                             canonical + "]");
+    SIMBA_LOG_DEBUG("desktop", "dialog clicked: \"" + box.caption + "\" [" +
+                                   canonical + "]");
     auto on_closed = std::move(entries_[i].on_closed);
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
     rebuild_view();

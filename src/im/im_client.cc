@@ -13,7 +13,8 @@ ImClientApp::ImClientApp(sim::Simulator& sim, gui::Desktop& desktop,
       server_address_(std::move(server_address)),
       user_(std::move(user)),
       bus_address_("im.client." + user_),
-      config_(config) {}
+      config_(config),
+      rpc_timeout_label_(name() + ".rpc_timeout") {}
 
 ImClientApp::~ImClientApp() { bus_.detach(bus_address_); }
 
@@ -70,7 +71,7 @@ std::uint64_t ImClientApp::send_rpc(const std::string& type,
                                   " timed out (service unreachable?)"));
         }
       },
-      name() + ".rpc_timeout");
+      rpc_timeout_label_.c_str());
   pending_.emplace(id, std::move(rpc));
   return id;
 }

@@ -103,6 +103,9 @@ class ImClientApp : public gui::ClientApp {
   std::string user_;
   std::string bus_address_;
   ImClientConfig config_;
+  /// Stable storage for the per-client "<name>.rpc_timeout" event
+  /// label; the kernel keeps only the pointer.
+  std::string rpc_timeout_label_;
   bool logged_in_ = false;
   std::uint64_t epoch_ = 0;
   std::uint64_t next_seq_ = 1;

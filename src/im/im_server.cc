@@ -44,7 +44,7 @@ void ImServer::force_logout(const std::string& user) {
   if (it->second.reset_event != 0) sim_.cancel(it->second.reset_event);
   sessions_.erase(it);
   stats_.bump("forced_logouts");
-  log_debug("im.server", "forced logout of " + user);
+  SIMBA_LOG_DEBUG("im.server", "forced logout of " + user);
   net::Message note;
   note.from = address_;
   note.to = client;

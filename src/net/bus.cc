@@ -7,8 +7,10 @@
 namespace simba::net {
 
 namespace {
-std::pair<std::string, std::string> ordered(const std::string& a,
-                                            const std::string& b) {
+// View-typed key for transparent probes of the partition/link maps:
+// no strings are copied on the per-send hot path.
+std::pair<std::string_view, std::string_view> ordered(std::string_view a,
+                                                      std::string_view b) {
   return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
 }
 }  // namespace
@@ -35,7 +37,15 @@ void MessageBus::set_link(const std::string& from, const std::string& to,
 }
 
 void MessageBus::partition(const std::string& a, const std::string& b) {
-  partitions_[ordered(a, b)]++;
+  const auto key = ordered(a, b);
+  const auto it = partitions_.find(key);
+  if (it != partitions_.end()) {
+    it->second++;
+    return;
+  }
+  partitions_.emplace(std::make_pair(std::string(key.first),
+                                     std::string(key.second)),
+                      1);
 }
 
 void MessageBus::heal(const std::string& a, const std::string& b) {
@@ -57,7 +67,7 @@ void MessageBus::set_chaos(const sim::NetChaosConfig& config, Rng rng) {
 
 bool MessageBus::partitioned(const std::string& a,
                              const std::string& b) const {
-  return partitions_.count(ordered(a, b)) > 0;
+  return partitions_.find(ordered(a, b)) != partitions_.end();
 }
 
 std::string MessageBus::trace_id(const Message& message) const {
@@ -81,30 +91,41 @@ void MessageBus::trace_event(const Message& message, const char* stage,
   trace_->emit(std::move(id), "bus", stage, sim_.now(), std::move(detail));
 }
 
-const LinkModel& MessageBus::link_for(const std::string& from,
-                                      const std::string& to) const {
-  const auto it = links_.find({from, to});
+const LinkModel& MessageBus::link_for(std::string_view from,
+                                      std::string_view to) const {
+  const auto it = links_.find(std::make_pair(from, to));
   return it == links_.end() ? default_link_ : it->second;
+}
+
+const char* MessageBus::deliver_label(const std::string& type) {
+  const auto it = deliver_labels_.find(type);
+  if (it != deliver_labels_.end()) return it->second;
+  const char* label = label_interner_.intern("net.deliver:" + type);
+  deliver_labels_.emplace(type, label);
+  return label;
 }
 
 std::uint64_t MessageBus::send(Message message) {
   message.id = next_id_++;
   message.sent_at = sim_.now();
   stats_.bump("sent");
-  trace_event(message, "send",
-              message.type + " " + message.from + " -> " + message.to);
+  if (tracing()) {
+    trace_event(message, "send",
+                message.type + " " + message.from + " -> " + message.to);
+  }
 
   if (partitioned(message.from, message.to)) {
     stats_.bump("dropped.partition");
     trace_event(message, "drop", "partition");
-    log_debug("net", "partition drop " + message.from + " -> " + message.to);
+    SIMBA_LOG_DEBUG("net",
+                    "partition drop " + message.from + " -> " + message.to);
     return message.id;
   }
   const LinkModel& link = link_for(message.from, message.to);
   if (rng_.chance(link.loss_probability)) {
     stats_.bump("dropped.loss");
     trace_event(message, "drop", "loss");
-    log_debug("net", "loss drop " + message.from + " -> " + message.to);
+    SIMBA_LOG_DEBUG("net", "loss drop " + message.from + " -> " + message.to);
     return message.id;
   }
   Duration latency = link.sample_latency(rng_);
@@ -121,7 +142,7 @@ std::uint64_t MessageBus::send(Message message) {
       latency += chaos_rng_->lognormal_duration(chaos_.delay_spike.magnitude,
                                                 chaos_.delay_spike.sigma);
       stats_.bump("chaos.delay_spike");
-      trace_event(message, "delay_spike", message.type);
+      if (tracing()) trace_event(message, "delay_spike", message.type);
     }
     if (chaos_.reorder.active_at(now) &&
         chaos_rng_->chance(chaos_.reorder.probability)) {
@@ -130,7 +151,7 @@ std::uint64_t MessageBus::send(Message message) {
       latency += chaos_rng_->uniform_duration(Duration::zero(),
                                               chaos_.reorder.magnitude);
       stats_.bump("chaos.reorder");
-      trace_event(message, "reorder", message.type);
+      if (tracing()) trace_event(message, "reorder", message.type);
     }
     if (chaos_.late_loss.active_at(now) &&
         chaos_rng_->chance(chaos_.late_loss.probability)) {
@@ -141,7 +162,7 @@ std::uint64_t MessageBus::send(Message message) {
       // At-least-once transport: a second arrival of the same message
       // (same id) with its own independently-sampled latency.
       stats_.bump("chaos.duplicate");
-      trace_event(message, "duplicate", message.type);
+      if (tracing()) trace_event(message, "duplicate", message.type);
       schedule_delivery(message, link.sample_latency(*chaos_rng_),
                         /*chaos_late_loss=*/false);
     }
@@ -152,7 +173,7 @@ std::uint64_t MessageBus::send(Message message) {
 
 void MessageBus::schedule_delivery(Message message, Duration latency,
                                    bool chaos_late_loss) {
-  const std::string label = "net.deliver:" + message.type;
+  const char* label = deliver_label(message.type);
   sim_.after(
       latency,
       [this, message = std::move(message), chaos_late_loss] {
@@ -166,8 +187,8 @@ void MessageBus::schedule_delivery(Message message, Duration latency,
         if (chaos_late_loss) {
           stats_.bump("dropped.chaos_late_loss");
           trace_event(message, "drop", "chaos_late_loss");
-          log_debug("net", "chaos late loss " + message.from + " -> " +
-                               message.to);
+          SIMBA_LOG_DEBUG("net", "chaos late loss " + message.from + " -> " +
+                                     message.to);
           return;
         }
         const auto it = endpoints_.find(message.to);
@@ -177,11 +198,11 @@ void MessageBus::schedule_delivery(Message message, Duration latency,
                                     : "dropped.unreachable");
           trace_event(message, "drop",
                       undeliverable ? "undeliverable" : "unreachable");
-          log_debug("net", "no endpoint " + message.to);
+          SIMBA_LOG_DEBUG("net", "no endpoint " + message.to);
           return;
         }
         stats_.bump("delivered");
-        if (trace_ != nullptr) {
+        if (tracing()) {
           std::string id = trace_id(message);
           if (!id.empty()) {
             trace_->emit(std::move(id), "bus", "deliver", message.sent_at,

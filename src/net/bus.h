@@ -16,15 +16,30 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/chaos.h"
 #include "sim/simulator.h"
+#include "util/interner.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/trace.h"
 
 namespace simba::net {
+
+/// Transparent ordering over (from, to) string pairs: lets the link
+/// and partition maps be probed with a pair of string_views, so the
+/// per-send partition check builds no temporary strings.
+struct AddressPairLess {
+  using is_transparent = void;
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    const int c = std::string_view(a.first).compare(b.first);
+    if (c != 0) return c < 0;
+    return std::string_view(a.second) < std::string_view(b.second);
+  }
+};
 
 /// An in-flight message. `type` is a protocol discriminator (e.g.
 /// "im.send", "smtp.mail"); `headers` carry protocol fields; `body`
@@ -95,22 +110,30 @@ class MessageBus {
   void set_trace(util::Trace* trace) { trace_ = trace; }
 
  private:
-  const LinkModel& link_for(const std::string& from,
-                            const std::string& to) const;
+  const LinkModel& link_for(std::string_view from, std::string_view to) const;
   /// Schedules one arrival. `chaos_late_loss` kills the message at
   /// arrival time (counted "dropped.chaos_late_loss").
   void schedule_delivery(Message message, Duration latency,
                          bool chaos_late_loss);
   /// The alert id a message belongs to ("" for non-alert traffic).
   std::string trace_id(const Message& message) const;
+  /// True when lifecycle tracing is armed. Call sites that build a
+  /// detail string must check this first so disabled tracing costs
+  /// nothing (ISSUE satellite: no detail construction when off).
+  bool tracing() const { return trace_ != nullptr; }
   void trace_event(const Message& message, const char* stage,
                    std::string detail);
+  /// Stable interned "net.deliver:<type>" label for the simulator
+  /// event, built once per distinct message type.
+  const char* deliver_label(const std::string& type);
 
   sim::Simulator& sim_;
   Rng rng_;
   std::map<std::string, Handler> endpoints_;
-  std::map<std::pair<std::string, std::string>, LinkModel> links_;
-  std::map<std::pair<std::string, std::string>, int> partitions_;
+  std::map<std::pair<std::string, std::string>, LinkModel, AddressPairLess>
+      links_;
+  std::map<std::pair<std::string, std::string>, int, AddressPairLess>
+      partitions_;
   LinkModel default_link_;
   /// Addresses that were attached once and detached since; in-flight
   /// messages to them count under "dropped.undeliverable" rather than
@@ -121,6 +144,11 @@ class MessageBus {
   std::uint64_t next_id_ = 1;
   Counters stats_;
   util::Trace* trace_ = nullptr;
+  /// Event labels handed to the simulator must outlive their events;
+  /// the interner owns them, the cache makes the per-send lookup a
+  /// single allocation-free transparent map probe.
+  util::StringInterner label_interner_;
+  std::map<std::string, const char*, std::less<>> deliver_labels_;
 };
 
 }  // namespace simba::net

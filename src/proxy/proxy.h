@@ -17,6 +17,7 @@
 
 #include "core/alert.h"
 #include "sim/simulator.h"
+#include "util/interner.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -89,6 +90,8 @@ class AlertProxy {
   sim::Simulator& sim_;
   WebDirectory& web_;
   Rng rng_;
+  /// Owns the per-watch "proxy.poll.<url>" event labels.
+  util::StringInterner label_interner_;
   std::map<WatchId, Watch> watches_;
   WatchId next_watch_ = 1;
   std::uint64_t next_alert_ = 1;

@@ -12,59 +12,86 @@ Simulator::Simulator(std::uint64_t seed)
 
 Simulator::~Simulator() { Log::clear_time_source(); }
 
-EventId Simulator::at(TimePoint t, Callback cb, std::string label) {
-  if (t < now_) t = now_;
-  auto event = std::make_shared<Event>();
-  event->when = t;
-  event->sequence = next_sequence_++;
-  event->id = next_id_++;
-  event->callback = std::move(cb);
-  event->label = std::move(label);
-  index_.emplace(event->id, event);
-  queue_.push(event);
-  return event->id;
+std::uint32_t Simulator::allocate_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(pool_.size());
+  pool_.emplace_back();
+  return slot;
 }
 
-EventId Simulator::after(Duration delay, Callback cb, std::string label) {
+void Simulator::release_slot(std::uint32_t slot) {
+  Event& event = pool_[slot];
+  event.callback = nullptr;
+  event.periodic.reset();
+  event.label = "";
+  event.cancelled = false;
+  event.pending = false;
+  // Bumping the generation invalidates every EventId issued for the
+  // old occupant; skipping 0 keeps all ids nonzero (0 is the callers'
+  // "no event" sentinel).
+  if (++event.generation == 0) event.generation = 1;
+  free_.push_back(slot);
+}
+
+EventId Simulator::at(TimePoint t, Callback cb, const char* label) {
+  if (t < now_) t = now_;
+  const std::uint32_t slot = allocate_slot();
+  Event& event = pool_[slot];
+  event.when = t;
+  event.callback = std::move(cb);
+  event.label = label == nullptr ? "" : label;
+  event.pending = true;
+  queue_.push(QueueEntry{t, next_sequence_++, slot});
+  return make_id(slot, event.generation);
+}
+
+EventId Simulator::after(Duration delay, Callback cb, const char* label) {
   if (delay < Duration::zero()) delay = Duration::zero();
-  return at(now_ + delay, std::move(cb), std::move(label));
+  return at(now_ + delay, std::move(cb), label);
 }
 
 void Simulator::cancel(EventId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return;
-  if (auto event = it->second.lock()) event->cancelled = true;
-  index_.erase(it);
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= pool_.size()) return;
+  Event& event = pool_[slot];
+  if (!event.pending || event.generation != generation) return;
+  // The heap entry still references this slot, so the slot is only
+  // freed (and its generation bumped) when that entry pops.
+  event.cancelled = true;
 }
 
-TaskHandle Simulator::every(Duration period, Callback cb, std::string label,
+TaskHandle Simulator::every(Duration period, Callback cb, const char* label,
                             bool immediate) {
   assert(period > Duration::zero());
-  auto cancelled = std::make_shared<bool>(false);
-  // Ownership: each scheduled event holds the shared holder; the
-  // recurring closure itself only holds a weak self-reference, so no
-  // cycle — once cancelled (or the simulator dies with the queue), the
-  // holder is freed. `this` outlives all events by construction.
-  struct Recurring {
-    std::function<void()> fn;
-  };
-  auto holder = std::make_shared<Recurring>();
-  holder->fn = [this, period, cb = std::move(cb), cancelled,
-                weak = std::weak_ptr<Recurring>(holder), label] {
-    if (*cancelled) return;
-    cb();
-    if (*cancelled) return;
-    if (auto self = weak.lock()) {
-      after(period, [self] { self->fn(); }, label);
-    }
-  };
-  after(immediate ? Duration::zero() : period,
-        [holder] { holder->fn(); }, label);
-  return TaskHandle{cancelled};
+  auto task = std::make_shared<PeriodicTask>();
+  task->callback = std::move(cb);
+  task->period = period;
+  const std::uint32_t slot = allocate_slot();
+  Event& event = pool_[slot];
+  event.when = now_ + (immediate ? Duration::zero() : period);
+  event.periodic = task;
+  event.label = label == nullptr ? "" : label;
+  event.pending = true;
+  queue_.push(QueueEntry{event.when, next_sequence_++, slot});
+  return TaskHandle{std::move(task)};
 }
 
 void Simulator::drop_cancelled_head() {
-  while (!queue_.empty() && queue_.top()->cancelled) queue_.pop();
+  // Kernel-cancelled events are dropped silently: no time advance, no
+  // events_processed tick. (A flag-cancelled periodic task is
+  // different — its already-scheduled fire still pops as a real event;
+  // see step().)
+  while (!queue_.empty()) {
+    const std::uint32_t slot = queue_.top().slot;
+    if (!pool_[slot].cancelled) break;
+    queue_.pop();
+    release_slot(slot);
+  }
 }
 
 bool Simulator::queue_empty() const {
@@ -76,13 +103,44 @@ bool Simulator::queue_empty() const {
 bool Simulator::step() {
   drop_cancelled_head();
   if (queue_.empty()) return false;
-  auto event = queue_.top();
+  const QueueEntry entry = queue_.top();
   queue_.pop();
-  assert(event->when >= now_);
-  now_ = event->when;
-  index_.erase(event->id);
+  assert(entry.when >= now_);
+  now_ = entry.when;
   ++processed_;
-  event->callback();
+  Event& event = pool_[entry.slot];
+  if (event.periodic != nullptr) {
+    // Copy the shared_ptr: it keeps the task alive and reachable even
+    // if the callback schedules enough events to reallocate the pool.
+    std::shared_ptr<PeriodicTask> task = event.periodic;
+    if (task->cancelled) {
+      // The handle was cancelled after this fire was armed: the pending
+      // fire still pops (advancing time and counting as processed) but
+      // runs nothing and ends the chain.
+      release_slot(entry.slot);
+      return true;
+    }
+    task->callback();
+    if (task->cancelled) {
+      release_slot(entry.slot);
+      return true;
+    }
+    // Re-arm the same slot. Refresh the reference (the callback may
+    // have grown the pool) and take the next sequence only now, after
+    // the callback ran — events the callback scheduled at now+period
+    // fire before the next tick, matching FIFO expectations.
+    Event& rearmed = pool_[entry.slot];
+    rearmed.when = now_ + task->period;
+    queue_.push(QueueEntry{rearmed.when, next_sequence_++, entry.slot});
+    return true;
+  }
+  // One-shot: free the slot before invoking, so cancel(own id) inside
+  // the callback is a clean no-op (the generation already moved on)
+  // and the slot is immediately reusable by whatever the callback
+  // schedules.
+  Callback cb = std::move(event.callback);
+  release_slot(entry.slot);
+  cb();
   return true;
 }
 
@@ -96,7 +154,7 @@ void Simulator::run_until(TimePoint t) {
   stopped_ = false;
   while (!stopped_) {
     drop_cancelled_head();
-    if (queue_.empty() || queue_.top()->when > t) break;
+    if (queue_.empty() || queue_.top().when > t) break;
     step();
   }
   if (now_ < t) now_ = t;

@@ -5,15 +5,20 @@
 // time. The kernel is deliberately single-threaded and deterministic:
 // events at equal times fire in scheduling order, and all randomness
 // comes from named child streams of the simulator's seed.
+//
+// The kernel is allocation-light (DESIGN.md §12): events live in a
+// slab pool with a free list, the binary heap orders plain 24-byte
+// entries, and EventIds pack (generation, slot) so cancel() is an O(1)
+// slot check with no side index. Labels are `const char*` — string
+// literals or pointers interned via util::StringInterner — so
+// scheduling never copies a label.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <queue>
-#include <string>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -25,8 +30,20 @@ namespace simba::sim {
 
 using Callback = std::function<void()>;
 
-/// Identifies a scheduled event for cancellation. 0 is never issued.
+/// Identifies a scheduled event for cancellation. Packs the pool slot
+/// index (low 32 bits) and the slot's generation at scheduling time
+/// (high 32 bits). Generations start at 1 and skip 0 on wrap, so the
+/// id 0 is never issued — callers use 0 as a "no event" sentinel.
 using EventId = std::uint64_t;
+
+/// Shared state of one periodic task (see Simulator::every). Owned
+/// jointly by the pooled event that re-arms it and by every TaskHandle
+/// copy; the cancelled flag is how handles stop the chain.
+struct PeriodicTask {
+  Callback callback;
+  Duration period{};
+  bool cancelled = false;
+};
 
 /// Handle to a periodic task. Copyable; copies share the task. The
 /// task runs until cancel() is called — destruction alone does NOT
@@ -36,15 +53,15 @@ using EventId = std::uint64_t;
 class TaskHandle {
  public:
   TaskHandle() = default;
-  explicit TaskHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
+  explicit TaskHandle(std::shared_ptr<PeriodicTask> task)
+      : task_(std::move(task)) {}
   void cancel() {
-    if (cancelled_) *cancelled_ = true;
+    if (task_) task_->cancelled = true;
   }
-  bool active() const { return cancelled_ && !*cancelled_; }
+  bool active() const { return task_ && !task_->cancelled; }
 
  private:
-  std::shared_ptr<bool> cancelled_;
+  std::shared_ptr<PeriodicTask> task_;
 };
 
 /// RAII owner of a periodic task: cancels in its destructor. Move-only,
@@ -90,19 +107,26 @@ class Simulator {
   Rng make_rng(std::string_view name) const { return root_rng_.child(name); }
 
   /// Schedules `cb` at absolute time `t` (clamped to now). Returns an
-  /// id usable with cancel(). `label` shows up in trace logging.
-  EventId at(TimePoint t, Callback cb, std::string label = {});
+  /// id usable with cancel(). `label` must outlive the event — pass a
+  /// string literal, or intern runtime-built labels through
+  /// util::StringInterner; the kernel stores only the pointer.
+  EventId at(TimePoint t, Callback cb, const char* label = "");
 
   /// Schedules `cb` after `delay` (clamped to zero).
-  EventId after(Duration delay, Callback cb, std::string label = {});
+  EventId after(Duration delay, Callback cb, const char* label = "");
 
   /// Cancels a pending event; no-op if already fired or cancelled.
+  /// O(1): decodes the slot from the id and checks the generation, so
+  /// a stale id (slot since recycled) can never cancel the new
+  /// occupant.
   void cancel(EventId id);
 
   /// Schedules `cb` every `period`, first firing after `period` (or
   /// immediately at now+0 if `immediate`). The task stops when the
-  /// returned handle is cancelled.
-  TaskHandle every(Duration period, Callback cb, std::string label = {},
+  /// returned handle is cancelled. The kernel re-arms the same pool
+  /// slot after each fire, so a steady-state periodic task allocates
+  /// nothing per tick.
+  TaskHandle every(Duration period, Callback cb, const char* label = "",
                    bool immediate = false);
 
   /// Runs until the event queue is empty or stop() is called.
@@ -117,22 +141,45 @@ class Simulator {
   std::uint64_t events_processed() const { return processed_; }
   bool queue_empty() const;
 
+  /// Pool introspection for tests and bench_kernel: total slots ever
+  /// created, and slots currently on the free list.
+  std::size_t pool_slots() const { return pool_.size(); }
+  std::size_t pool_free() const { return free_.size(); }
+
  private:
+  /// One pool slot. A slot is `pending` from scheduling until its heap
+  /// entry pops (even while cancelled — the entry still references
+  /// it); release bumps the generation so stale EventIds miss.
   struct Event {
+    Callback callback;                       // one-shot payload
+    std::shared_ptr<PeriodicTask> periodic;  // periodic payload, else null
+    TimePoint when{};
+    const char* label = "";
+    std::uint32_t generation = 1;
+    bool cancelled = false;
+    bool pending = false;
+  };
+  /// Heap entry: plain value type, no indirection. At most one live
+  /// entry per pending slot (a periodic slot re-pushes only after its
+  /// previous entry popped).
+  struct QueueEntry {
     TimePoint when;
     std::uint64_t sequence;  // tie-break: FIFO among equal times
-    EventId id;
-    Callback callback;
-    std::string label;
-    bool cancelled = false;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const std::shared_ptr<Event>& a,
-                    const std::shared_ptr<Event>& b) const {
-      if (a->when != b->when) return a->when > b->when;
-      return a->sequence > b->sequence;
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
     }
   };
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
+
+  std::uint32_t allocate_slot();
+  void release_slot(std::uint32_t slot);
 
   /// Pops and runs one event; returns false when nothing remains.
   bool step();
@@ -141,13 +188,10 @@ class Simulator {
   TimePoint now_{};
   std::uint64_t seed_;
   Rng root_rng_;
-  std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>,
-                      Later>
-      queue_;
-  // simba-lint: ordered — lookup/erase by id only, never iterated.
-  std::unordered_map<EventId, std::weak_ptr<Event>> index_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+  std::vector<Event> pool_;
+  std::vector<std::uint32_t> free_;
   std::uint64_t next_sequence_ = 1;
-  std::uint64_t next_id_ = 1;
   std::uint64_t processed_ = 0;
   bool stopped_ = false;
 };

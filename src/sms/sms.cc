@@ -42,7 +42,7 @@ void SmsGateway::attach_to(email::EmailServer& server) {
     if (!mail.body.empty()) text += " | " + mail.body;
     if (text.size() > 160) text.resize(160);
     const Status s = submit(number, text, mail.headers);
-    if (!s.ok()) log_debug("sms", "bridge drop: " + s.error());
+    if (!s.ok()) SIMBA_LOG_DEBUG("sms", "bridge drop: " + s.error());
   });
 }
 
@@ -88,7 +88,7 @@ void SmsGateway::deliver_or_retry(SmsMessage message, TimePoint give_up_at) {
   // just come back into coverage.
   if (sim_.now() >= give_up_at) {
     stats_.bump("expired");
-    log_debug("sms", "gave up on SMS to " + message.number);
+    SIMBA_LOG_DEBUG("sms", "gave up on SMS to " + message.number);
     return;
   }
   if (phone.reachable()) {

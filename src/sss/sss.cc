@@ -179,7 +179,7 @@ void SssServer::arm_timeout(const std::string& name) {
       [this, name, armed_version, armed_refresh] {
         on_timeout_deadline(name, armed_version, armed_refresh);
       },
-      "sss.timeout." + name);
+      label_interner_.intern("sss.timeout." + name));
 }
 
 void SssServer::on_timeout_deadline(const std::string& name,
@@ -194,7 +194,7 @@ void SssServer::on_timeout_deadline(const std::string& name,
   if (v.timed_out) return;
   v.timed_out = true;
   stats_.bump("timeouts");
-  log_debug("sss." + node_, "variable timed out: " + name);
+  SIMBA_LOG_DEBUG("sss." + node_, "variable timed out: " + name);
   emit(EventKind::kTimedOut, v);
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sim/simulator.h"
+#include "util/interner.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -114,6 +115,9 @@ class SssServer {
   std::set<std::string> types_;
   std::map<std::string, Variable> variables_;
   std::map<std::string, sim::EventId> timeout_events_;
+  /// Owns the per-variable "sss.timeout.<name>" event labels; the
+  /// kernel stores only the pointer, so they must outlive the events.
+  util::StringInterner label_interner_;
   std::vector<Subscription> subscriptions_;
   SubscriptionId next_sub_ = 1;
   SssReplicationGroup* group_ = nullptr;

@@ -1,0 +1,42 @@
+// String interning for event labels and other small, repeated names.
+//
+// The simulator kernel stores event labels as `const char*` so that
+// scheduling never allocates for the (overwhelmingly common) case of a
+// string-literal label. Call sites that genuinely build a label at
+// runtime — e.g. net::MessageBus's per-message-type delivery label —
+// intern it once and reuse the stable pointer forever after.
+//
+// A StringInterner is deliberately per-instance, not global: every
+// fleet shard owns its own component graph (bus, MAB, endpoints), so
+// per-component interners need no locking and TSan stays quiet.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace simba::util {
+
+/// Owns a deduplicated set of strings and hands out stable C-string
+/// pointers into them. Pointers stay valid for the interner's lifetime
+/// (std::set nodes never move). Not thread-safe; intended to be owned
+/// by a single-threaded component alongside its Simulator.
+class StringInterner {
+ public:
+  /// Returns a stable NUL-terminated pointer to a string equal to
+  /// `text`, inserting it on first sight. O(log n) with no allocation
+  /// when `text` was seen before.
+  const char* intern(std::string_view text) {
+    const auto it = strings_.find(text);
+    if (it != strings_.end()) return it->c_str();
+    return strings_.emplace(text).first->c_str();
+  }
+
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  // std::less<> enables heterogeneous string_view lookups.
+  std::set<std::string, std::less<>> strings_;
+};
+
+}  // namespace simba::util

@@ -54,11 +54,17 @@ void Log::write(LogLevel level, const std::string& component,
                 const std::string& message) {
   if (level < g_threshold.load(std::memory_order_relaxed)) return;
   std::string line;
+  line.reserve(component.size() + message.size() + 48);
   if (g_time_source) {
-    line += "[" + format_time(g_time_source()) + "] ";
+    line += '[';
+    line += format_time(g_time_source());
+    line += "] ";
   }
   line += level_name(level);
-  line += " [" + component + "] " + message;
+  line += " [";
+  line += component;
+  line += "] ";
+  line += message;
   if (g_sink) {
     g_sink(line);
   } else {

@@ -20,6 +20,12 @@ class Log {
   static LogLevel threshold();
   static void set_threshold(LogLevel level);
 
+  /// True when a line at `level` would actually be emitted. The lazy
+  /// SIMBA_LOG_* macros below consult this before evaluating their
+  /// message expression, so disabled-level logging costs one atomic
+  /// load and nothing else — no string building, no allocation.
+  static bool enabled(LogLevel level) { return level >= threshold(); }
+
   /// The simulator installs itself here so log lines carry virtual time.
   static void set_time_source(std::function<TimePoint()> source);
   static void clear_time_source();
@@ -40,3 +46,32 @@ void log_warn(const std::string& component, const std::string& message);
 void log_error(const std::string& component, const std::string& message);
 
 }  // namespace simba
+
+/// Lazy logging: the message expression is evaluated only when the
+/// level clears the threshold, so hot paths can log rich concatenated
+/// detail without paying for string construction when (as in benches
+/// and fleets) logging is off. `message_expr` may be any expression
+/// convertible to std::string. Usage:
+///
+///   SIMBA_LOG_DEBUG("net", "loss drop " + from + " -> " + to);
+///
+/// simba-lint's [alloc] rule requires these macros (instead of the
+/// eager log_debug/log_trace functions) wherever the message argument
+/// builds a temporary string.
+#define SIMBA_LOG_AT(level, component, message_expr)            \
+  do {                                                          \
+    if (::simba::Log::enabled(level)) {                         \
+      ::simba::Log::write((level), (component), (message_expr)); \
+    }                                                           \
+  } while (0)
+
+#define SIMBA_LOG_TRACE(component, message_expr) \
+  SIMBA_LOG_AT(::simba::LogLevel::kTrace, (component), (message_expr))
+#define SIMBA_LOG_DEBUG(component, message_expr) \
+  SIMBA_LOG_AT(::simba::LogLevel::kDebug, (component), (message_expr))
+#define SIMBA_LOG_INFO(component, message_expr) \
+  SIMBA_LOG_AT(::simba::LogLevel::kInfo, (component), (message_expr))
+#define SIMBA_LOG_WARN(component, message_expr) \
+  SIMBA_LOG_AT(::simba::LogLevel::kWarn, (component), (message_expr))
+#define SIMBA_LOG_ERROR(component, message_expr) \
+  SIMBA_LOG_AT(::simba::LogLevel::kError, (component), (message_expr))

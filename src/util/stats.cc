@@ -79,11 +79,19 @@ std::string Summary::report(const char* value_format) const {
   return out;
 }
 
-void Counters::bump(const std::string& name, std::int64_t by) {
-  counts_[name] += by;
+void Counters::bump(std::string_view name, std::int64_t by) {
+  // Transparent find first: after a counter's first bump, subsequent
+  // bumps are allocation-free. The std::string key is built only on
+  // the insert path.
+  const auto it = counts_.find(name);
+  if (it != counts_.end()) {
+    it->second += by;
+    return;
+  }
+  counts_.emplace(std::string(name), by);
 }
 
-std::int64_t Counters::get(const std::string& name) const {
+std::int64_t Counters::get(std::string_view name) const {
   const auto it = counts_.find(name);
   return it == counts_.end() ? 0 : it->second;
 }

@@ -4,8 +4,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/time.h"
@@ -56,18 +58,25 @@ class Summary {
 
 /// Counter bag: named integer counters for fault logs and recovery
 /// statistics (experiment E6 reports these directly).
+///
+/// bump()/get() take string_view and look up through a transparent
+/// comparator, so the ubiquitous string-literal call sites
+/// (`stats_.bump("delivered")`) never materialise a std::string on the
+/// hot path — a key is copied once, on first insertion.
 class Counters {
  public:
-  void bump(const std::string& name, std::int64_t by = 1);
-  std::int64_t get(const std::string& name) const;
-  const std::map<std::string, std::int64_t>& all() const { return counts_; }
+  void bump(std::string_view name, std::int64_t by = 1);
+  std::int64_t get(std::string_view name) const;
+  const std::map<std::string, std::int64_t, std::less<>>& all() const {
+    return counts_;
+  }
   /// Adds every counter from `other` into this bag (sums on key
   /// collision, inserts otherwise). Associative and commutative.
   void merge(const Counters& other);
   std::string report() const;
 
  private:
-  std::map<std::string, std::int64_t> counts_;
+  std::map<std::string, std::int64_t, std::less<>> counts_;
 };
 
 /// Fixed-boundary histogram for latency distributions.

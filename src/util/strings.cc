@@ -63,7 +63,15 @@ bool contains(std::string_view haystack, std::string_view needle) {
 }
 
 bool icontains(std::string_view haystack, std::string_view needle) {
-  return contains(to_lower(haystack), to_lower(needle));
+  // Case-insensitive search without materialising lowered copies:
+  // this sits on per-message hot paths (IM command sniffing, alert
+  // keyword classification).
+  const auto ieq = [](char x, char y) {
+    return std::tolower(static_cast<unsigned char>(x)) ==
+           std::tolower(static_cast<unsigned char>(y));
+  };
+  return std::search(haystack.begin(), haystack.end(), needle.begin(),
+                     needle.end(), ieq) != haystack.end();
 }
 
 std::string join(const std::vector<std::string>& parts, std::string_view sep) {

@@ -99,7 +99,8 @@ WishClient::WishClient(sim::Simulator& sim, FloorMap map, RadioModel radio,
 void WishClient::start() {
   stop();
   report_task_ = sim_.every(
-      report_interval_, [this] { report_now(); }, "wish." + user_ + ".report",
+      report_interval_, [this] { report_now(); },
+      (report_label_ = "wish." + user_ + ".report").c_str(),
       /*immediate=*/true);
 }
 

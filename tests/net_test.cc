@@ -265,12 +265,12 @@ TEST_P(BusLossSweep, ObservedLossTracksModel) {
   int received = 0;
   bus.attach("b", [&](const Message&) { ++received; });
   const int n = 2000;
+  Message proto;
+  proto.from = "a";
+  proto.to = "b";
+  proto.type = "t";
   for (int i = 0; i < n; ++i) {
-    Message m;
-    m.from = "a";
-    m.to = "b";
-    m.type = "t";
-    bus.send(std::move(m));
+    bus.send(proto);
   }
   sim.run();
   const double observed = 1.0 - static_cast<double>(received) / n;

@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event kernel and fault plans.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/fault.h"
@@ -73,6 +75,53 @@ TEST(SimulatorTest, CancelUnknownIdIsSafe) {
   EXPECT_EQ(sim.events_processed(), 1u);
 }
 
+TEST(SimulatorTest, StaleIdDoesNotCancelRecycledSlot) {
+  Simulator sim;
+  bool first = false, second = false;
+  const EventId a = sim.after(seconds(1), [&] { first = true; });
+  sim.run();
+  EXPECT_TRUE(first);
+  const EventId b = sim.after(seconds(1), [&] { second = true; });
+  // The pool recycles the slot, so the ids share the low 32 bits but
+  // differ in generation; the stale id must miss the new occupant.
+  EXPECT_EQ(a & 0xffffffffu, b & 0xffffffffu);
+  EXPECT_NE(a, b);
+  sim.cancel(a);
+  sim.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(SimulatorTest, CancelOwnIdInsideCallbackIsSafe) {
+  Simulator sim;
+  int runs = 0;
+  EventId id = 0;
+  id = sim.after(seconds(1), [&] {
+    ++runs;
+    sim.cancel(id);  // already firing: must be a no-op
+  });
+  sim.run();
+  EXPECT_EQ(runs, 1);
+  // The slot was released before the callback ran. A new event may
+  // reuse it immediately; the stale id must still not touch it.
+  bool later = false;
+  sim.after(seconds(1), [&] { later = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_TRUE(later);
+}
+
+TEST(SimulatorTest, CancelPendingEventFromAnotherCallback) {
+  Simulator sim;
+  bool victim = false;
+  const EventId id = sim.after(seconds(2), [&] { victim = true; });
+  sim.after(seconds(1), [&] { sim.cancel(id); });
+  sim.run();
+  EXPECT_FALSE(victim);
+  // Kernel-cancelled events are dropped at the heap head without
+  // counting as processed; only the cancelling event ran.
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
 TEST(SimulatorTest, RunUntilStopsAtBoundary) {
   Simulator sim;
   int count = 0;
@@ -135,6 +184,45 @@ TEST(SimulatorTest, CancelInsideOwnCallbackStopsRepetition) {
   });
   sim.run_until(kTimeZero + seconds(10));
   EXPECT_EQ(ticks, 2);
+}
+
+TEST(SimulatorTest, EveryCancelledJustBeforeFireDoesNotRun) {
+  Simulator sim;
+  int ticks = 0;
+  TaskHandle task;
+  // Scheduled first, so it pops first at t=1s (FIFO among equal times)
+  // and flag-cancels the periodic whose fire is already queued.
+  sim.after(seconds(1), [&] { task.cancel(); });
+  task = sim.every(seconds(1), [&] { ++ticks; });
+  sim.run_until(kTimeZero + seconds(5));
+  EXPECT_EQ(ticks, 0);
+  // The queued periodic fire still popped: a flag-cancelled fire
+  // advances time and counts as processed (unlike a kernel-cancelled
+  // one-shot), matching the pre-pool kernel's semantics.
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(SimulatorTest, MillionEventChurnReusesPoolSlots) {
+  Simulator sim;
+  constexpr int kInFlight = 256;
+  constexpr std::uint64_t kTotal = 1000000;
+  std::uint64_t budget = kTotal;
+  std::function<void()> tick = [&] {
+    if (budget > 0) {
+      --budget;
+      sim.after(micros(1), tick);
+    }
+  };
+  for (int i = 0; i < kInFlight; ++i) {
+    --budget;
+    sim.after(micros(i), tick);
+  }
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), kTotal);
+  // The slab must plateau at the in-flight width, not grow with the
+  // total event count — the allocation-light contract of DESIGN.md §12.
+  EXPECT_LE(sim.pool_slots(), static_cast<std::size_t>(2 * kInFlight));
+  EXPECT_EQ(sim.pool_free(), sim.pool_slots());
 }
 
 TEST(SimulatorTest, MakeRngIsDeterministicPerName) {

@@ -85,6 +85,22 @@ constexpr std::array<std::string_view, 12> kBannedSync{
     "std::condition_variable_any",
 };
 
+// Logging calls whose message argument must not be built eagerly:
+// below the threshold they discard the string they just allocated.
+// SIMBA_LOG_DEBUG/SIMBA_LOG_TRACE (util/log.h) evaluate the message
+// expression only when the level is enabled.
+constexpr std::array<std::string_view, 2> kLazyLogCalls{
+    "log_debug",
+    "log_trace",
+};
+
+// Argument patterns that mean "this line allocates to build the
+// message": concatenation, formatting, number-to-string conversion.
+constexpr std::array<std::string_view, 2> kAllocCalls{
+    "strformat",
+    "to_string",
+};
+
 // Wall-clock sources that must never stamp a lifecycle-trace span:
 // merged traces are compared bit-for-bit across runs and thread
 // counts, so spans carry virtual time only (util/trace.h).
@@ -217,6 +233,27 @@ bool contains_call(const std::string& text, std::string_view name) {
     ++pos;
   }
   return false;
+}
+
+// Position just past the '(' of a free-function call of `name` (see
+// contains_call), or npos when the line has no such call.
+std::size_t find_call_args(const std::string& text, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    const std::size_t after = pos + name.size();
+    const bool word = (pos == 0 || !is_ident_char(text[pos - 1])) &&
+                      (after < text.size() && !is_ident_char(text[after]));
+    if (word) {
+      const std::size_t paren = text.find_first_not_of(" \t", after);
+      const bool calls = paren != std::string::npos && text[paren] == '(';
+      const bool member =
+          (pos >= 1 && text[pos - 1] == '.') ||
+          (pos >= 2 && text[pos - 2] == '-' && text[pos - 1] == '>');
+      if (calls && !member) return paren + 1;
+    }
+    ++pos;
+  }
+  return std::string::npos;
 }
 
 // True when `name` appears as a call, member or free: whole identifier
@@ -357,6 +394,33 @@ std::vector<Diagnostic> lint_file(const std::string& rel_path,
                    "' is banned outside util/; use util::Mutex / "
                    "util::MutexLock (util/mutex.h) so Clang thread-safety "
                    "annotations cover it");
+        }
+      }
+    }
+
+    // [alloc] — debug/trace log messages must not be built eagerly.
+    // A log_debug/log_trace call whose argument text (same line)
+    // concatenates, formats, or stringifies allocates the message even
+    // when the level is off; the SIMBA_LOG_* macros defer that work.
+    if (in_src) {
+      for (const std::string_view name : kLazyLogCalls) {
+        const std::size_t args = find_call_args(tokens, name);
+        if (args == std::string::npos) continue;
+        const std::string rest = tokens.substr(args);
+        bool allocates = rest.find('+') != std::string::npos;
+        for (const std::string_view call : kAllocCalls) {
+          allocates = allocates || contains_any_call(rest, call);
+        }
+        if (allocates) {
+          emit(line_no, "alloc",
+               "message for '" + std::string(name) +
+                   "(' is built eagerly (+/strformat/to_string in the "
+                   "argument list) and allocates even when the level is "
+                   "disabled; use " +
+                   (name == "log_trace" ? "SIMBA_LOG_TRACE"
+                                        : "SIMBA_LOG_DEBUG") +
+                   " (util/log.h) so the message is only built when it "
+                   "will be written");
         }
       }
     }

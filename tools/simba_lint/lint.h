@@ -23,6 +23,13 @@
 //                 mention a wall-clock source (util::WallTimer /
 //                 wall_seconds) — wall-stamped spans would break the
 //                 bit-identical merged-trace guarantee.
+//   [alloc]       debug/trace log messages must be built lazily: a
+//                 src/ log_debug/log_trace call whose argument text
+//                 concatenates ('+'), formats (strformat), or
+//                 stringifies (to_string) allocates the message even
+//                 when the level is disabled — use SIMBA_LOG_DEBUG /
+//                 SIMBA_LOG_TRACE (util/log.h), which evaluate the
+//                 message expression only when it will be written.
 //
 // The checks are line-based over comment- and string-stripped source,
 // so they are fast, dependency-free, and deterministic; anything that
@@ -38,7 +45,7 @@ namespace simba::lint {
 struct Diagnostic {
   std::string file;  // path relative to the lint root, '/' separators
   int line = 0;      // 1-based
-  std::string rule;  // "layer", "determinism", "sync", or "trace"
+  std::string rule;  // "layer", "determinism", "sync", "trace", "alloc"
   std::string message;
 };
 

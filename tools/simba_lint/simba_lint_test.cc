@@ -157,6 +157,37 @@ TEST(SimbaLint, TraceSpansMustUseVirtualTime) {
   EXPECT_NE(out.find("2 violation(s)"), std::string::npos) << out;
 }
 
+TEST(SimbaLint, EagerLogMessagesAreFlagged) {
+  const LintResult result = lint_fixture("alloc");
+  EXPECT_EQ(result.files_scanned, 2);
+  // bad_log.cc: '+' (12), strformat (13), to_string (14). The literal
+  // message, log_warn, the declarations, and everything in ok_log.cc
+  // (lazy macro, no-build call, comment, string literal) stay clean.
+  ASSERT_EQ(result.diagnostics.size(), 3u);
+  for (const Diagnostic& d : result.diagnostics) {
+    EXPECT_EQ(d.file, "src/core/bad_log.cc");
+    EXPECT_EQ(d.rule, "alloc");
+  }
+  EXPECT_EQ(result.diagnostics[0].line, 12);
+  EXPECT_EQ(format(result.diagnostics[0]),
+            "src/core/bad_log.cc:12: error: [alloc] message for 'log_debug(' "
+            "is built eagerly (+/strformat/to_string in the argument list) "
+            "and allocates even when the level is disabled; use "
+            "SIMBA_LOG_DEBUG (util/log.h) so the message is only built when "
+            "it will be written");
+  EXPECT_EQ(result.diagnostics[1].line, 13);
+  EXPECT_NE(result.diagnostics[1].message.find("'log_trace('"),
+            std::string::npos);
+  EXPECT_NE(result.diagnostics[1].message.find("SIMBA_LOG_TRACE"),
+            std::string::npos);
+  EXPECT_EQ(result.diagnostics[2].line, 14);
+
+  std::string out;
+  EXPECT_EQ(cli({"--root", (std::string(kTestdata) + "/alloc").c_str()}, out),
+            1);
+  EXPECT_NE(out.find("3 violation(s)"), std::string::npos) << out;
+}
+
 TEST(SimbaLint, CommentsAndStringsDoNotTrip) {
   const std::vector<Diagnostic> diags = lint_file(
       "src/core/x.cc",
