@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
                "kernel overhead must be negligible next to the models");
   JsonReport json;
   json.add("bench", std::string("bench_kernel"));
+  json.add("scheduler", std::string(sim::Simulator::kScheduler));
   json.add("seed", static_cast<std::int64_t>(options.seed));
 
   // --- One-shot schedule/fire throughput ------------------------------------

@@ -111,6 +111,7 @@ int main(int argc, char** argv) {
   if (!options.json.empty()) {
     JsonReport json;
     json.add("bench", std::string("bench_portal_scale"));
+    json.add("scheduler", std::string(sim::Simulator::kScheduler));
     json.add("seed", static_cast<std::int64_t>(options.seed));
     json.add("users", users);
     json.add("threads", threads);

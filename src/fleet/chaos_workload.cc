@@ -3,6 +3,9 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
+
+#include "util/arena.h"
 
 namespace simba::fleet {
 
@@ -50,12 +53,15 @@ ShardResult run_chaos_shard(const ShardTask& task,
     t += rng.exponential_duration(mean_gap);
     if (t >= end) break;
     const std::int64_t alert_number = sent++;
-    // Appends instead of operator+ chains: sidesteps a GCC 12
-    // -Werror=restrict false positive at -O2.
-    std::string id = "s";
-    id += std::to_string(task.shard_id);
-    id += '-';
-    id += std::to_string(alert_number);
+    // Ids live in the shard's bump arena (see portal_workload.cc):
+    // closures capture 16-byte views, and the arena rewinds in one
+    // step at the epoch boundary below.
+    char shard_buf[20];
+    char number_buf[20];
+    const std::string_view id = world.id_arena.concat(
+        {"s", util::format_u64(task.shard_id, shard_buf), "-",
+         util::format_u64(static_cast<std::uint64_t>(alert_number),
+                          number_buf)});
     sent_at.emplace(id, t);
     world.sim.at(t, [&world, &checker, id, alert_number] {
       core::Alert alert;
@@ -64,26 +70,31 @@ ShardResult run_chaos_shard(const ShardTask& task,
       alert.source = std::string("src");
       alert.native_category = std::string("K");
       alert.subject = "chaos alert " + std::to_string(alert_number);
-      alert.id = id;
+      alert.id = std::string(id);
       alert.created_at = world.sim.now();
-      checker.on_submitted(id, world.sim.now());
+      checker.on_submitted(alert.id, world.sim.now());
       world.source->send_alert(
           alert, [&world, &checker, id](const core::DeliveryOutcome& outcome) {
+            const std::string id_str(id);
             if (outcome.delivered) {
               // Probe the pessimistic log at the instant the source
               // learns of success: log-before-ack demands the record
               // is already on disk for a primary-leg (block 0) ack.
-              checker.on_acked(id, outcome.block_used,
-                               world.host->alert_log().contains(id),
+              checker.on_acked(id_str, outcome.block_used,
+                               world.host->alert_log().contains(id_str),
                                outcome.completed_at);
             } else {
-              checker.on_failed(id, outcome.completed_at);
+              checker.on_failed(id_str, outcome.completed_at);
             }
           });
     });
   }
 
   world.sim.run_until(end + options.drain);
+
+  // Epoch boundary: every closure holding an arena view has fired (or
+  // will never run); rewind the id scratch in O(1).
+  world.id_arena.reset();
 
   // --- Horizon-time sweep ---------------------------------------------------
   // An alert with no terminal state must still be *recoverable*: in

@@ -2,6 +2,9 @@
 
 #include <map>
 #include <string>
+#include <string_view>
+
+#include "util/arena.h"
 
 namespace simba::fleet {
 
@@ -59,19 +62,23 @@ ShardResult run_portal_shard(const ShardTask& task,
         world.email_server.submit(std::move(mail));
       });
     } else {
-      // Appends instead of operator+ chains: sidesteps a GCC 12
-      // -Werror=restrict false positive at -O2.
-      std::string id = "s";
-      id += std::to_string(task.shard_id);
-      id += '-';
-      id += std::to_string(alert_number);
+      // Ids live in the shard's bump arena: one contiguous allocation
+      // per alert, no std::to_string temporaries, and the scheduling
+      // closures capture a 16-byte view instead of a string. The views
+      // stay valid through the drain; the arena resets only after it.
+      char shard_buf[20];
+      char number_buf[20];
+      const std::string_view id = world.id_arena.concat(
+          {"s", util::format_u64(task.shard_id, shard_buf), "-",
+           util::format_u64(static_cast<std::uint64_t>(alert_number),
+                            number_buf)});
       sent_at.emplace(id, t);
       world.sim.at(t, [&world, &acked, id, alert_number] {
         core::Alert alert;
         alert.source = std::string("src");
         alert.native_category = std::string("K");
         alert.subject = "alert " + std::to_string(alert_number);
-        alert.id = id;
+        alert.id = std::string(id);
         alert.created_at = world.sim.now();
         world.source->send_alert(
             alert, [&acked, id](const core::DeliveryOutcome& outcome) {
@@ -82,6 +89,11 @@ ShardResult run_portal_shard(const ShardTask& task,
   }
 
   world.sim.run_until(end + options.drain);
+
+  // Epoch boundary: every pre-scheduled alert closure has fired, so no
+  // live view points into the arena any more. Rewind it in O(1); a
+  // reused world would re-fill the same chunks next epoch.
+  world.id_arena.reset();
 
   // Score the day from inside the shard, while the world is alive.
   // std::map iteration keeps every Summary's add order deterministic.

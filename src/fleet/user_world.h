@@ -19,6 +19,7 @@
 #include "sim/invariants.h"
 #include "sim/simulator.h"
 #include "sms/sms.h"
+#include "util/arena.h"
 #include "util/trace.h"
 
 namespace simba::fleet {
@@ -63,6 +64,13 @@ struct UserWorld {
   /// Lifecycle trace; null unless options.trace. Declared before the
   /// components that emit into it so it outlives them all.
   std::unique_ptr<util::Trace> trace;
+  /// Per-shard scratch arena (DESIGN.md §13) for per-alert id strings
+  /// the workloads build by the thousand. Views stay valid for the
+  /// shard's epoch; the workload resets the arena only at the epoch
+  /// boundary (after the drain), when every closure that captured a
+  /// view has fired. Declared before the bus and components so it
+  /// outlives anything that could hold a view.
+  util::BumpArena id_arena;
   net::MessageBus bus;
   im::ImServer im_server;
   email::EmailServer email_server;

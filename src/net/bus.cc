@@ -171,36 +171,64 @@ std::uint64_t MessageBus::send(Message message) {
   return id;
 }
 
+std::uint32_t MessageBus::acquire_inflight(Message&& message) {
+  if (!inflight_free_.empty()) {
+    const std::uint32_t slot = inflight_free_.back();
+    inflight_free_.pop_back();
+    inflight_pool_[slot] = std::move(message);
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(inflight_pool_.size());
+  inflight_pool_.push_back(std::move(message));
+  return slot;
+}
+
+void MessageBus::recycle_inflight(std::uint32_t slot) {
+  // Drop references to the payload now rather than at reuse time, so
+  // a quiet link is not pinning its last message's body.
+  Message& message = inflight_pool_[slot];
+  message.body.clear();
+  message.headers.clear();
+  inflight_free_.push_back(slot);
+}
+
 void MessageBus::schedule_delivery(Message message, Duration latency,
                                    bool chaos_late_loss) {
   const char* label = deliver_label(message.type);
-  sim_.after(
-      latency,
-      [this, message = std::move(message), chaos_late_loss] {
-        // Partition state and endpoint liveness are re-checked at arrival
-        // time: a link that failed mid-flight loses the message.
-        if (partitioned(message.from, message.to)) {
-          stats_.bump("dropped.partition");
-          trace_event(message, "drop", "partition_at_arrival");
-          return;
-        }
-        if (chaos_late_loss) {
-          stats_.bump("dropped.chaos_late_loss");
-          trace_event(message, "drop", "chaos_late_loss");
-          SIMBA_LOG_DEBUG("net", "chaos late loss " + message.from + " -> " +
-                                     message.to);
-          return;
-        }
-        const auto it = endpoints_.find(message.to);
-        if (it == endpoints_.end()) {
-          const bool undeliverable = detached_.count(message.to) > 0;
-          stats_.bump(undeliverable ? "dropped.undeliverable"
-                                    : "dropped.unreachable");
-          trace_event(message, "drop",
-                      undeliverable ? "undeliverable" : "unreachable");
-          SIMBA_LOG_DEBUG("net", "no endpoint " + message.to);
-          return;
-        }
+  const std::uint32_t slot = acquire_inflight(std::move(message));
+  // (this, slot, flag) fits std::function's inline buffer: scheduling
+  // an arrival allocates nothing beyond the pooled slot itself.
+  sim_.after(latency,
+             [this, slot, chaos_late_loss] { arrive(slot, chaos_late_loss); },
+             label);
+}
+
+void MessageBus::arrive(std::uint32_t slot, bool chaos_late_loss) {
+  {
+    // Scoped: the reference must not outlive the handler call below,
+    // which may send and grow the pool (deque references hold, but the
+    // recycle after this block must be the slot's last touch).
+    const Message& message = inflight_pool_[slot];
+    // Partition state and endpoint liveness are re-checked at arrival
+    // time: a link that failed mid-flight loses the message.
+    if (partitioned(message.from, message.to)) {
+      stats_.bump("dropped.partition");
+      trace_event(message, "drop", "partition_at_arrival");
+    } else if (chaos_late_loss) {
+      stats_.bump("dropped.chaos_late_loss");
+      trace_event(message, "drop", "chaos_late_loss");
+      SIMBA_LOG_DEBUG("net",
+                      "chaos late loss " + message.from + " -> " + message.to);
+    } else {
+      const auto it = endpoints_.find(message.to);
+      if (it == endpoints_.end()) {
+        const bool undeliverable = detached_.count(message.to) > 0;
+        stats_.bump(undeliverable ? "dropped.undeliverable"
+                                  : "dropped.unreachable");
+        trace_event(message, "drop",
+                    undeliverable ? "undeliverable" : "unreachable");
+        SIMBA_LOG_DEBUG("net", "no endpoint " + message.to);
+      } else {
         stats_.bump("delivered");
         if (tracing()) {
           std::string id = trace_id(message);
@@ -210,8 +238,10 @@ void MessageBus::schedule_delivery(Message message, Duration latency,
           }
         }
         it->second(message);
-      },
-      label);
+      }
+    }
+  }
+  recycle_inflight(slot);
 }
 
 }  // namespace simba::net

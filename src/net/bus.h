@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -104,6 +105,12 @@ class MessageBus {
 
   const Counters& stats() const { return stats_; }
 
+  /// In-flight pool introspection for tests and benches: slots ever
+  /// created, and slots currently free. Steady-state traffic plateaus
+  /// at the link's bandwidth-delay product and then recycles.
+  std::size_t inflight_slots() const { return inflight_pool_.size(); }
+  std::size_t inflight_free() const { return inflight_free_.size(); }
+
   /// Arms lifecycle tracing (null disables it). Spans are correlated
   /// to an alert through the message headers, so transit, chaos
   /// injections, and drops show up on the alert's timeline.
@@ -115,6 +122,13 @@ class MessageBus {
   /// arrival time (counted "dropped.chaos_late_loss").
   void schedule_delivery(Message message, Duration latency,
                          bool chaos_late_loss);
+  /// Runs one arrival (the delivery-event body) for the pooled
+  /// message in `slot`, then recycles the slot.
+  void arrive(std::uint32_t slot, bool chaos_late_loss);
+  /// Moves `message` into a pooled slot (reusing a free one when
+  /// possible) and returns its index.
+  std::uint32_t acquire_inflight(Message&& message);
+  void recycle_inflight(std::uint32_t slot);
   /// The alert id a message belongs to ("" for non-alert traffic).
   std::string trace_id(const Message& message) const;
   /// True when lifecycle tracing is armed. Call sites that build a
@@ -149,6 +163,17 @@ class MessageBus {
   /// single allocation-free transparent map probe.
   util::StringInterner label_interner_;
   std::map<std::string, const char*, std::less<>> deliver_labels_;
+  /// In-flight message pool (DESIGN.md §13). A message awaiting
+  /// arrival lives in a pooled slot so the delivery closure captures
+  /// only (this, slot, late_loss) — small enough for std::function's
+  /// inline buffer, making a send schedule its arrival with no
+  /// per-send closure allocation. std::deque keeps slot references
+  /// stable while handlers send (and thus grow the pool) mid-arrival;
+  /// a chaos duplicate occupies its own slot. Slots recycle after the
+  /// handler returns, so the pool plateaus at the peak number of
+  /// concurrently in-flight messages.
+  std::deque<Message> inflight_pool_;
+  std::vector<std::uint32_t> inflight_free_;
 };
 
 }  // namespace simba::net

@@ -4,6 +4,15 @@
 
 namespace simba::sim {
 
+int Simulator::Bitmap::next_above(int i) const {
+  for (int w = (i + 1) >> 6; w < kSlots / 64; ++w) {
+    std::uint64_t bits = words[w];
+    if (w == (i + 1) >> 6) bits &= ~0ull << ((i + 1) & 63);
+    if (bits != 0) return (w << 6) + __builtin_ctzll(bits);
+  }
+  return kSlots;
+}
+
 Simulator::Simulator(std::uint64_t seed)
     : seed_(seed), root_rng_(Rng{seed}.child("root")) {
   // Log lines carry virtual time while this simulator is alive.
@@ -37,6 +46,27 @@ void Simulator::release_slot(std::uint32_t slot) {
   free_.push_back(slot);
 }
 
+void Simulator::place(const QueueEntry& entry) {
+  const Tick t = tick_of(entry.when);
+  assert(t >= cursor_);
+  const auto x =
+      static_cast<std::uint64_t>(t) ^ static_cast<std::uint64_t>(cursor_);
+  if ((x >> kOverflowShift) != 0) {
+    overflow_[t >> kOverflowShift].push_back(entry);
+    return;
+  }
+  // Lowest level whose block bits (everything above the level's 8-bit
+  // slot group) match the cursor's. Same-tick events always agree on
+  // this, whatever the cursor was when each was filed, so they share
+  // one slot list and FIFO order is append order (DESIGN.md §13).
+  int level = 0;
+  while ((x >> (kSlotBits * (level + 1))) != 0) ++level;
+  const int index = static_cast<int>((t >> (kSlotBits * level)) & (kSlots - 1));
+  std::vector<QueueEntry>& slot = slots_[level][index];
+  if (slot.empty()) occupied_[level].set(index);
+  slot.push_back(entry);
+}
+
 EventId Simulator::at(TimePoint t, Callback cb, const char* label) {
   if (t < now_) t = now_;
   const std::uint32_t slot = allocate_slot();
@@ -45,7 +75,8 @@ EventId Simulator::at(TimePoint t, Callback cb, const char* label) {
   event.callback = std::move(cb);
   event.label = label == nullptr ? "" : label;
   event.pending = true;
-  queue_.push(QueueEntry{t, next_sequence_++, slot});
+  ++entry_count_;
+  place(QueueEntry{t, next_sequence_++, slot});
   return make_id(slot, event.generation);
 }
 
@@ -60,8 +91,9 @@ void Simulator::cancel(EventId id) {
   if (slot >= pool_.size()) return;
   Event& event = pool_[slot];
   if (!event.pending || event.generation != generation) return;
-  // The heap entry still references this slot, so the slot is only
-  // freed (and its generation bumped) when that entry pops.
+  // The wheel entry still references this slot, so the slot is only
+  // freed (and its generation bumped) when that entry is consumed —
+  // by a find_next() scan, a cascade, or a block sweep.
   event.cancelled = true;
 }
 
@@ -77,34 +109,203 @@ TaskHandle Simulator::every(Duration period, Callback cb, const char* label,
   event.periodic = task;
   event.label = label == nullptr ? "" : label;
   event.pending = true;
-  queue_.push(QueueEntry{event.when, next_sequence_++, slot});
+  ++entry_count_;
+  place(QueueEntry{event.when, next_sequence_++, slot});
   return TaskHandle{std::move(task)};
 }
 
-void Simulator::drop_cancelled_head() {
-  // Kernel-cancelled events are dropped silently: no time advance, no
-  // events_processed tick. (A flag-cancelled periodic task is
-  // different — its already-scheduled fire still pops as a real event;
-  // see step().)
-  while (!queue_.empty()) {
-    const std::uint32_t slot = queue_.top().slot;
-    if (!pool_[slot].cancelled) break;
-    queue_.pop();
-    release_slot(slot);
+std::optional<Simulator::Tick> Simulator::find_next() {
+  // Kernel-cancelled events scanned past here are dropped silently: no
+  // time advance, no events_processed tick — the wheel's analog of the
+  // heap's drop_cancelled_head(). (A flag-cancelled periodic task is
+  // different — its already-armed fire still pops as a real event; see
+  // fire_at().)
+
+  // 1. Remainder of the cursor's own level-0 slot: the next same-tick
+  // FIFO entry, including zero-delay events the firing callback just
+  // appended.
+  {
+    const int index = static_cast<int>(cursor_ & (kSlots - 1));
+    std::vector<QueueEntry>& slot = slots_[0][index];
+    std::uint32_t& head = head0_[index];
+    while (head < slot.size()) {
+      if (!pool_[slot[head].slot].cancelled) return cursor_;
+      release_slot(slot[head].slot);
+      consume_entry();
+      ++head;
+    }
+    if (!slot.empty()) {
+      slot.clear();
+      head = 0;
+      occupied_[0].clear(index);
+    }
+  }
+  // 2. Level-0 slots ahead in the current 256-tick block; each slot
+  // resolves exactly one tick.
+  {
+    const int cur = static_cast<int>(cursor_ & (kSlots - 1));
+    Bitmap& bits = occupied_[0];
+    for (int index = bits.next_above(cur); index < kSlots;
+         index = bits.next_above(index)) {
+      std::vector<QueueEntry>& slot = slots_[0][index];
+      std::uint32_t& head = head0_[index];
+      while (head < slot.size() && pool_[slot[head].slot].cancelled) {
+        release_slot(slot[head].slot);
+        consume_entry();
+        ++head;
+      }
+      if (head < slot.size()) {
+        return (cursor_ >> kSlotBits << kSlotBits) | index;
+      }
+      slot.clear();
+      head = 0;
+      bits.clear(index);
+    }
+  }
+  // 3. Higher levels: the first occupied slot ahead strictly precedes
+  // every later slot and every higher level (disjoint ascending tick
+  // ranges), so its minimum live tick is the global next. Cancelled
+  // entries inside a mixed slot stay put — the cascade that empties
+  // the slot releases them.
+  for (int level = 1; level < kLevels; ++level) {
+    const int cur =
+        static_cast<int>((cursor_ >> (kSlotBits * level)) & (kSlots - 1));
+    Bitmap& bits = occupied_[level];
+    for (int index = bits.next_above(cur); index < kSlots;
+         index = bits.next_above(index)) {
+      std::vector<QueueEntry>& slot = slots_[level][index];
+      Tick best = -1;
+      for (const QueueEntry& entry : slot) {
+        if (pool_[entry.slot].cancelled) continue;
+        const Tick t = tick_of(entry.when);
+        if (best < 0 || t < best) best = t;
+      }
+      if (best >= 0) return best;
+      for (const QueueEntry& entry : slot) {
+        release_slot(entry.slot);
+        consume_entry();
+      }
+      slot.clear();
+      bits.clear(index);
+    }
+  }
+  // 4. Overflow calendar, in block order.
+  while (!overflow_.empty()) {
+    const auto it = overflow_.begin();
+    Tick best = -1;
+    for (const QueueEntry& entry : it->second) {
+      if (pool_[entry.slot].cancelled) continue;
+      const Tick t = tick_of(entry.when);
+      if (best < 0 || t < best) best = t;
+    }
+    if (best >= 0) return best;
+    for (const QueueEntry& entry : it->second) {
+      release_slot(entry.slot);
+      consume_entry();
+    }
+    overflow_.erase(it);
+  }
+  return std::nullopt;
+}
+
+void Simulator::sweep_level(int level, int from, int to) {
+  Bitmap& bits = occupied_[level];
+  for (int index = bits.next_above(from); index < to;
+       index = bits.next_above(index)) {
+    std::vector<QueueEntry>& slot = slots_[level][index];
+    // Level-0 entries before the consumed-prefix head were already
+    // released when they fired or were dropped.
+    const std::size_t start = level == 0 ? head0_[index] : 0;
+    for (std::size_t i = start; i < slot.size(); ++i) {
+      assert(pool_[slot[i].slot].cancelled);
+      release_slot(slot[i].slot);
+      consume_entry();
+    }
+    slot.clear();
+    if (level == 0) head0_[index] = 0;
+    bits.clear(index);
   }
 }
 
-bool Simulator::queue_empty() const {
-  // Cancelled events at the head still count as empty-in-effect; this is
-  // a cheap conservative check used only by diagnostics.
-  return queue_.empty();
+void Simulator::cascade(int level, int index) {
+  std::vector<QueueEntry>& slot = slots_[level][index];
+  if (slot.empty()) return;
+  occupied_[level].clear(index);
+  // Every entry here matches the (advanced) cursor on this level's
+  // block bits, so place() re-files it strictly below `level` — never
+  // back into this vector, so in-place iteration is safe. Iterating in
+  // list order keeps same-tick entries in sequence order.
+  for (const QueueEntry& entry : slot) {
+    if (pool_[entry.slot].cancelled) {
+      release_slot(entry.slot);
+      consume_entry();
+    } else {
+      place(entry);
+    }
+  }
+  slot.clear();
 }
 
-bool Simulator::step() {
-  drop_cancelled_head();
-  if (queue_.empty()) return false;
-  const QueueEntry entry = queue_.top();
-  queue_.pop();
+void Simulator::advance_cursor(Tick target) {
+  const Tick old = cursor_;
+  assert(target > old);
+  if ((old >> kOverflowShift) != (target >> kOverflowShift)) {
+    // Entering a new overflow block: anything still filed in the wheel
+    // is earlier than the next live event, hence cancelled.
+    for (int level = 0; level < kLevels; ++level) {
+      sweep_level(level, -1, kSlots);
+    }
+    cursor_ = target;
+    // Demote the target block's bucket. Earlier buckets were released
+    // by find_next() (they held no live entries); later buckets wait.
+    const Tick block = target >> kOverflowShift;
+    while (!overflow_.empty() && overflow_.begin()->first <= block) {
+      std::vector<QueueEntry> entries = std::move(overflow_.begin()->second);
+      overflow_.erase(overflow_.begin());
+      for (const QueueEntry& entry : entries) {
+        if (pool_[entry.slot].cancelled || tick_of(entry.when) < target) {
+          assert(pool_[entry.slot].cancelled);
+          release_slot(entry.slot);
+          consume_entry();
+        } else {
+          place(entry);
+        }
+      }
+    }
+    return;
+  }
+  // Highest level whose block changed; everything below it is being
+  // left behind (stale cancelled leftovers), and at that level the
+  // slot containing `target` becomes current and cascades down.
+  int level = kLevels - 1;
+  while (level > 0 &&
+         (old >> (kSlotBits * level)) == (target >> (kSlotBits * level))) {
+    --level;
+  }
+  if (level == 0) {
+    cursor_ = target;
+    return;
+  }
+  for (int l = 0; l < level; ++l) sweep_level(l, -1, kSlots);
+  const int from = static_cast<int>((old >> (kSlotBits * level)) & (kSlots - 1));
+  const int to =
+      static_cast<int>((target >> (kSlotBits * level)) & (kSlots - 1));
+  sweep_level(level, from, to);
+  cursor_ = target;
+  cascade(level, to);
+}
+
+void Simulator::fire_at(Tick target) {
+  if (target != cursor_) advance_cursor(target);
+  const int index = static_cast<int>(target & (kSlots - 1));
+  std::vector<QueueEntry>& slot = slots_[0][index];
+  std::uint32_t& head = head0_[index];
+  // The head entry is live: find_next() released any cancelled prefix,
+  // and cascade/demotion release cancelled entries instead of placing.
+  assert(head < slot.size());
+  const QueueEntry entry = slot[head];
+  ++head;
+  consume_entry();
   assert(entry.when >= now_);
   now_ = entry.when;
   ++processed_;
@@ -118,12 +319,12 @@ bool Simulator::step() {
       // fire still pops (advancing time and counting as processed) but
       // runs nothing and ends the chain.
       release_slot(entry.slot);
-      return true;
+      return;
     }
     task->callback();
     if (task->cancelled) {
       release_slot(entry.slot);
-      return true;
+      return;
     }
     // Re-arm the same slot. Refresh the reference (the callback may
     // have grown the pool) and take the next sequence only now, after
@@ -131,8 +332,9 @@ bool Simulator::step() {
     // fire before the next tick, matching FIFO expectations.
     Event& rearmed = pool_[entry.slot];
     rearmed.when = now_ + task->period;
-    queue_.push(QueueEntry{rearmed.when, next_sequence_++, entry.slot});
-    return true;
+    ++entry_count_;
+    place(QueueEntry{rearmed.when, next_sequence_++, entry.slot});
+    return;
   }
   // One-shot: free the slot before invoking, so cancel(own id) inside
   // the callback is a clean no-op (the generation already moved on)
@@ -141,21 +343,30 @@ bool Simulator::step() {
   Callback cb = std::move(event.callback);
   release_slot(entry.slot);
   cb();
-  return true;
+}
+
+bool Simulator::queue_empty() const {
+  // Cancelled-but-unreleased entries still count as occupancy; this is
+  // a cheap conservative check used only by diagnostics.
+  return entry_count_ == 0;
 }
 
 void Simulator::run() {
   stopped_ = false;
-  while (!stopped_ && step()) {
+  while (!stopped_) {
+    const std::optional<Tick> next = find_next();
+    if (!next) break;
+    fire_at(*next);
   }
 }
 
 void Simulator::run_until(TimePoint t) {
   stopped_ = false;
+  const Tick limit = tick_of(t);
   while (!stopped_) {
-    drop_cancelled_head();
-    if (queue_.empty() || queue_.top().when > t) break;
-    step();
+    const std::optional<Tick> next = find_next();
+    if (!next || *next > limit) break;
+    fire_at(*next);
   }
   if (now_ < t) now_ = t;
 }

@@ -1,0 +1,83 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace simba::util {
+
+BumpArena::BumpArena(std::size_t chunk_bytes)
+    : chunk_bytes_(std::max<std::size_t>(chunk_bytes, 64)) {}
+
+char* BumpArena::allocate(std::size_t n) {
+  if (n == 0) n = 1;  // distinct non-null pointers, keeps views simple
+  if (chunks_.empty() || offset_ + n > chunks_[chunk_index_].size) {
+    return refill(n);
+  }
+  char* p = chunks_[chunk_index_].data.get() + offset_;
+  offset_ += n;
+  used_ += n;
+  return p;
+}
+
+char* BumpArena::refill(std::size_t n) {
+  // Later chunks may exist from a previous, larger epoch; reuse the
+  // first one that fits before reserving anything new.
+  while (chunk_index_ + 1 < chunks_.size()) {
+    ++chunk_index_;
+    offset_ = 0;
+    if (n <= chunks_[chunk_index_].size) return allocate(n);
+  }
+  Chunk chunk;
+  chunk.size = std::max(chunk_bytes_, n);
+  chunk.data = std::make_unique<char[]>(chunk.size);
+  chunks_.push_back(std::move(chunk));
+  chunk_index_ = chunks_.size() - 1;
+  offset_ = 0;
+  return allocate(n);
+}
+
+std::string_view BumpArena::copy(std::string_view s) {
+  char* p = allocate(s.size());
+  if (!s.empty()) std::memcpy(p, s.data(), s.size());
+  return std::string_view(p, s.size());
+}
+
+std::string_view BumpArena::concat(
+    std::initializer_list<std::string_view> parts) {
+  std::size_t total = 0;
+  for (const std::string_view part : parts) total += part.size();
+  char* p = allocate(total);
+  char* cursor = p;
+  for (const std::string_view part : parts) {
+    if (part.empty()) continue;
+    std::memcpy(cursor, part.data(), part.size());
+    cursor += part.size();
+  }
+  return std::string_view(p, total);
+}
+
+void BumpArena::reset() {
+  chunk_index_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+std::size_t BumpArena::bytes_reserved() const {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.size;
+  return total;
+}
+
+std::string_view format_u64(std::uint64_t v, char* buf) {
+  char* end = buf + 20;
+  char* p = end;
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  const auto n = static_cast<std::size_t>(end - p);
+  std::memmove(buf, p, n);
+  return std::string_view(buf, n);
+}
+
+}  // namespace simba::util

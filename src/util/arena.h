@@ -1,0 +1,77 @@
+// Bump-pointer arena for short-lived scratch bytes.
+//
+// The fleet workloads build one small id string per alert ("s7-12345")
+// whose useful life is bounded by the shard's epoch: once the shard
+// has drained, every closure that captured a view of it has fired.
+// Allocating each of those through the global heap is pure churn, so a
+// UserWorld carries a BumpArena (DESIGN.md §13): allocation is a
+// pointer bump into chunked storage, views stay valid until reset(),
+// and reset() at the epoch boundary rewinds the whole arena in O(1)
+// while keeping its chunks for the next epoch.
+//
+// Not thread-safe — arenas are per-shard, like everything else in a
+// UserWorld. Memory is never returned to the heap until destruction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace simba::util {
+
+class BumpArena {
+ public:
+  /// `chunk_bytes` sizes every chunk; oversized allocations get a
+  /// dedicated chunk of their own.
+  explicit BumpArena(std::size_t chunk_bytes = 16 * 1024);
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  /// Uninitialized bytes, alignment 1 (byte storage for string data).
+  /// Valid until reset() or destruction.
+  char* allocate(std::size_t n);
+
+  /// Copies `s` into the arena and returns the arena-backed view.
+  std::string_view copy(std::string_view s);
+
+  /// Concatenates the parts into one contiguous arena allocation.
+  /// The workloads' id builder: no temporary std::string, one bump.
+  std::string_view concat(std::initializer_list<std::string_view> parts);
+
+  /// Rewinds to empty, retaining every chunk already reserved. All
+  /// views handed out so far become invalid — callers run this only at
+  /// an epoch boundary, after the last closure using them has fired.
+  void reset();
+
+  /// Bytes handed out since the last reset.
+  std::size_t bytes_used() const { return used_; }
+  /// Bytes of chunk storage reserved (high-water mark across epochs).
+  std::size_t bytes_reserved() const;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Makes the chunk at `chunk_index_` able to hold `n` more bytes,
+  /// advancing to (or creating) a later chunk if needed.
+  char* refill(std::size_t n);
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_index_ = 0;  // chunk currently being bumped
+  std::size_t offset_ = 0;       // bump position within that chunk
+  std::size_t used_ = 0;
+};
+
+/// Formats v's decimal digits into `buf` (at least 20 bytes) and
+/// returns the written view. Pairs with BumpArena::concat to build ids
+/// like "s7-12345" with no heap traffic at all.
+std::string_view format_u64(std::uint64_t v, char* buf);
+
+}  // namespace simba::util

@@ -280,5 +280,75 @@ TEST_P(BusLossSweep, ObservedLossTracksModel) {
 INSTANTIATE_TEST_SUITE_P(LossRates, BusLossSweep,
                          ::testing::Values(0.0, 0.05, 0.25, 0.5, 0.9));
 
+// ---------------------------------------------------------------------------
+// In-flight message pool (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+TEST_F(BusTest, InflightPoolPlateausAndRecycles) {
+  int received = 0;
+  bus_.attach("b", [&](const Message&) { ++received; });
+  // Waves of concurrent traffic: the pool must grow to one wave's
+  // width, then recycle those same slots for every later wave instead
+  // of growing without bound.
+  const int kWaves = 50;
+  const int kPerWave = 8;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    sim_.after(millis(100.0 * wave), [&] {
+      for (int i = 0; i < kPerWave; ++i) bus_.send(make("a", "b"));
+    });
+  }
+  sim_.run();
+  EXPECT_EQ(received, kWaves * kPerWave);
+  EXPECT_LE(bus_.inflight_slots(), static_cast<std::size_t>(kPerWave));
+  // Quiescent bus: every slot back on the free list.
+  EXPECT_EQ(bus_.inflight_free(), bus_.inflight_slots());
+}
+
+TEST_F(BusTest, PooledMessageSurvivesReentrantSendFromHandler) {
+  // A handler that sends while its own message is still pooled: the
+  // nested send may grow the pool, and the outer message (a deque
+  // slot reference) must stay intact through it.
+  std::vector<std::string> bodies;
+  bus_.attach("b", [&](const Message& m) {
+    if (m.body == "first") {
+      for (int i = 0; i < 4; ++i) {
+        Message nested = make("b", "c");
+        nested.body = "nested";
+        bus_.send(std::move(nested));
+      }
+    }
+    bodies.push_back(m.body);
+  });
+  bus_.attach("c", [&](const Message& m) { bodies.push_back(m.body); });
+  Message first = make("a", "b");
+  first.body = "first";
+  bus_.send(std::move(first));
+  sim_.run();
+  ASSERT_EQ(bodies.size(), 5u);
+  EXPECT_EQ(bodies[0], "first");
+  for (std::size_t i = 1; i < bodies.size(); ++i) {
+    EXPECT_EQ(bodies[i], "nested");
+  }
+  EXPECT_EQ(bus_.inflight_free(), bus_.inflight_slots());
+}
+
+TEST_F(BusTest, ChaosDuplicateOccupiesItsOwnSlot) {
+  sim::NetChaosConfig chaos;
+  chaos.duplicate.probability = 1.0;  // always-on duplication window
+  chaos.duplicate.window_start = kTimeZero;
+  chaos.duplicate.window_end = kTimeZero + hours(1);
+  bus_.set_chaos(chaos, sim_.make_rng("chaos.net"));
+  int received = 0;
+  bus_.attach("b", [&](const Message& m) {
+    EXPECT_EQ(m.body, "hello");
+    ++received;
+  });
+  bus_.send(make("a", "b"));
+  sim_.run();
+  EXPECT_EQ(received, 2);  // original + duplicate, both intact
+  EXPECT_EQ(bus_.stats().get("chaos.duplicate"), 1);
+  EXPECT_EQ(bus_.inflight_free(), bus_.inflight_slots());
+}
+
 }  // namespace
 }  // namespace simba::net
