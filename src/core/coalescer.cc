@@ -1,0 +1,96 @@
+#include "core/coalescer.h"
+
+#include <utility>
+
+namespace simba::core {
+
+std::string AlertCoalescer::Digest::alert_id() const {
+  return kDigestIdPrefix + std::to_string(sequence);
+}
+
+std::string AlertCoalescer::Digest::subject() const {
+  return std::to_string(count) + " " + category + " alert" +
+         (count == 1 ? "" : "s") + " in " +
+         format_duration(flushed_at - opened_at);
+}
+
+std::string AlertCoalescer::Digest::body() const {
+  std::string body = "Coalesced " + std::to_string(count) + " " + category +
+                     " alert" + (count == 1 ? "" : "s") + ".\n";
+  if (!representative_ids.empty()) {
+    body += "Representative alerts:\n";
+    for (const auto& id : representative_ids) {
+      body += "  " + id + "\n";
+    }
+  }
+  return body;
+}
+
+AlertCoalescer::FoldResult AlertCoalescer::add(const Alert& alert,
+                                               const std::string& category,
+                                               TimePoint now) {
+  auto it = windows_.find(category);
+  bool opened = false;
+  if (it == windows_.end()) {
+    Window window;
+    window.opened_at = now;
+    window.deadline = now + options_.window;
+    it = windows_.emplace(category, std::move(window)).first;
+    opened = true;
+  }
+  Window& window = it->second;
+  if (!window.folded_ids.insert(alert.id).second) {
+    return FoldResult::kDuplicate;
+  }
+  window.count += 1;
+  if (window.representative_ids.size() < options_.representatives) {
+    window.representative_ids.push_back(alert.id);
+  }
+  if (options_.max_batch != 0 && window.count >= options_.max_batch) {
+    return FoldResult::kBatchFull;
+  }
+  return opened ? FoldResult::kOpenedWindow : FoldResult::kFolded;
+}
+
+std::vector<AlertCoalescer::Digest> AlertCoalescer::flush_due(TimePoint now) {
+  std::vector<Digest> digests;
+  for (auto it = windows_.begin(); it != windows_.end();) {
+    if (it->second.deadline <= now) {
+      digests.push_back(flush_window(it->first, it->second, now));
+      it = windows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return digests;
+}
+
+std::vector<AlertCoalescer::Digest> AlertCoalescer::flush_all(TimePoint now) {
+  std::vector<Digest> digests;
+  for (auto& [category, window] : windows_) {
+    digests.push_back(flush_window(category, window, now));
+  }
+  windows_.clear();
+  return digests;
+}
+
+std::size_t AlertCoalescer::pending_alerts() const {
+  std::size_t total = 0;
+  for (const auto& [category, window] : windows_) total += window.count;
+  return total;
+}
+
+AlertCoalescer::Digest AlertCoalescer::flush_window(const std::string& category,
+                                                    Window& window,
+                                                    TimePoint now) {
+  Digest digest;
+  digest.category = category;
+  digest.count = window.count;
+  digest.representative_ids = std::move(window.representative_ids);
+  digest.opened_at = window.opened_at;
+  digest.flushed_at = now;
+  digest.sequence = next_sequence_++;
+  return digest;
+}
+
+}  // namespace simba::core

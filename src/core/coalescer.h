@@ -1,0 +1,107 @@
+// Semantic coalescing for over-limit alerts.
+//
+// When admission control suppresses an alert, it is not discarded:
+// the coalescer folds suppressed alerts of the same category within a
+// window into one digest alert ("12 motion alerts in 30s") carrying
+// the count and a few representative alert ids. Like the pessimistic
+// log and the DigestStore, the coalescer is owned by the host machine
+// and survives MAB restarts — a crash mid-window loses nothing; the
+// next incarnation flushes the pending windows on start.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/alert.h"
+#include "util/time.h"
+
+namespace simba::core {
+
+struct CoalescerOptions {
+  /// How long a window stays open collecting alerts of one category.
+  Duration window = seconds(30);
+  /// A window folding this many alerts flushes early (0 = no cap).
+  std::size_t max_batch = 0;
+  /// How many folded alert ids the digest carries as trace links.
+  std::size_t representatives = 3;
+};
+
+/// Prefix shared by every digest alert id, so downstream accounting
+/// (sighting observers, invariant checkers) can tell digests from the
+/// original alerts they summarize.
+inline constexpr char kDigestIdPrefix[] = "dg.";
+
+inline bool is_digest_alert_id(const std::string& id) {
+  return id.rfind(kDigestIdPrefix, 0) == 0;
+}
+
+class AlertCoalescer {
+ public:
+  enum class FoldResult {
+    kOpenedWindow,  // first alert of a fresh window — caller schedules flush
+    kFolded,        // joined an open window
+    kDuplicate,     // already folded this alert id (e.g. recovery replay)
+    kBatchFull,     // folded and the window hit max_batch — flush now
+  };
+
+  /// One flushed window, ready to become a digest alert.
+  struct Digest {
+    std::string category;
+    std::size_t count = 0;
+    std::vector<std::string> representative_ids;
+    TimePoint opened_at{};
+    TimePoint flushed_at{};
+    std::uint64_t sequence = 0;
+
+    /// The digest alert's own id ("dg.<seq>").
+    std::string alert_id() const;
+    /// "12 Aladdin alerts in 30s" style subject line.
+    std::string subject() const;
+    /// Body listing the representative alert ids.
+    std::string body() const;
+  };
+
+  explicit AlertCoalescer(CoalescerOptions options = {})
+      : options_(options) {}
+
+  const CoalescerOptions& options() const { return options_; }
+
+  /// Folds `alert` into the category's open window (opening one if
+  /// needed). Duplicate ids within a window fold to kDuplicate so a
+  /// recovery replay cannot double-count.
+  FoldResult add(const Alert& alert, const std::string& category,
+                 TimePoint now);
+
+  /// Flushes every window whose deadline has passed. Windows flush in
+  /// category order for determinism.
+  std::vector<Digest> flush_due(TimePoint now);
+
+  /// Flushes everything regardless of deadline (MAB reboot, shutdown).
+  std::vector<Digest> flush_all(TimePoint now);
+
+  std::size_t open_windows() const { return windows_.size(); }
+  std::size_t pending_alerts() const;
+
+ private:
+  struct Window {
+    std::size_t count = 0;
+    std::vector<std::string> representative_ids;
+    std::set<std::string> folded_ids;
+    TimePoint opened_at{};
+    TimePoint deadline{};
+  };
+
+  Digest flush_window(const std::string& category, Window& window,
+                      TimePoint now);
+
+  CoalescerOptions options_;
+  std::map<std::string, Window> windows_;
+  // Monotonic across MAB incarnations: the coalescer outlives crashes,
+  // so digest ids never repeat after a restart.
+  std::uint64_t next_sequence_ = 1;
+};
+
+}  // namespace simba::core

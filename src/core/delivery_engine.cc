@@ -5,9 +5,22 @@
 
 namespace simba::core {
 
+const char* to_string(DeliveryPriority priority) {
+  switch (priority) {
+    case DeliveryPriority::kCritical:
+      return "critical";
+    case DeliveryPriority::kNormal:
+      return "normal";
+    case DeliveryPriority::kDigest:
+      return "digest";
+  }
+  return "unknown";
+}
+
 DeliveryEngine::DeliveryEngine(sim::Simulator& sim, automation::ImManager* im,
-                               automation::EmailManager* email)
-    : sim_(sim), im_(im), email_(email) {}
+                               automation::EmailManager* email,
+                               DeliveryEngineOptions options)
+    : sim_(sim), im_(im), email_(email), options_(options) {}
 
 DeliveryEngine::~DeliveryEngine() {
   // Outstanding sends and block timers may still fire after this
@@ -16,19 +29,85 @@ DeliveryEngine::~DeliveryEngine() {
 }
 
 void DeliveryEngine::deliver(const Alert& alert, const AddressBook& addresses,
-                             const DeliveryMode& mode, DoneCallback done) {
-  const std::uint64_t id = next_delivery_++;
+                             const DeliveryMode& mode, DoneCallback done,
+                             DeliveryPriority priority) {
   Delivery d;
-  d.id = id;
+  d.id = next_delivery_++;
   d.alert = alert;
   d.addresses = addresses;
   d.mode = mode;
   d.done = std::move(done);
+  d.priority = priority;
   d.started_at = sim_.now();
   if (traced()) trace_event(d, "start", "mode " + mode.name());
+  if (options_.max_concurrent <= 0) {
+    // Unlimited concurrency: dispatch immediately, exactly the
+    // pre-lane behavior (no extra events, no queue residency).
+    dispatch(std::move(d));
+    return;
+  }
+  if (active_ < options_.max_concurrent && queued() == 0) {
+    dispatch(std::move(d));
+    return;
+  }
+  const std::size_t lane =
+      options_.priority_lanes ? static_cast<std::size_t>(priority) : 0;
+  if (options_.lane_bound != 0 && lanes_[lane].size() >= options_.lane_bound) {
+    // Lane full: shed with explicit accounting. `done` still fires so
+    // upstream conservation sees the outcome.
+    stats_.bump("deliveries_shed");
+    stats_.bump(std::string("lanes.shed.") + to_string(priority));
+    if (traced()) {
+      trace_event(d, "shed",
+                  strformat("%s lane full (%zu queued)", to_string(priority),
+                            lanes_[lane].size()));
+    }
+    DeliveryOutcome outcome;
+    outcome.shed = true;
+    outcome.completed_at = sim_.now();
+    outcome.detail = std::string(to_string(priority)) + " lane full";
+    if (d.done) d.done(outcome);
+    return;
+  }
+  stats_.bump(std::string("lanes.enqueued.") + to_string(priority));
+  if (traced()) {
+    trace_event(d, "enqueue",
+                strformat("%s lane, %zu ahead", to_string(priority),
+                          lanes_[lane].size()));
+  }
+  lanes_[lane].push_back(std::move(d));
+  pump();
+}
+
+void DeliveryEngine::dispatch(Delivery d) {
+  const std::uint64_t id = d.id;
+  if (options_.max_concurrent > 0) ++active_;
   deliveries_.emplace(id, std::move(d));
   stats_.bump("deliveries_started");
   run_block(id);
+}
+
+void DeliveryEngine::pump() {
+  if (pumping_) return;
+  pumping_ = true;
+  while (active_ < options_.max_concurrent) {
+    std::size_t lane = 0;
+    while (lane < 3 && lanes_[lane].empty()) ++lane;
+    if (lane == 3) break;
+    Delivery d = std::move(lanes_[lane].front());
+    lanes_[lane].pop_front();
+    if (traced()) {
+      trace_event(d, "dequeue",
+                  strformat("%s lane, waited %s", to_string(d.priority),
+                            format_duration(sim_.now() - d.started_at).c_str()));
+    }
+    dispatch(std::move(d));
+  }
+  pumping_ = false;
+}
+
+std::size_t DeliveryEngine::queued() const {
+  return lanes_[0].size() + lanes_[1].size() + lanes_[2].size();
 }
 
 void DeliveryEngine::trace_event(const Delivery& d, const char* stage,
@@ -334,6 +413,10 @@ void DeliveryEngine::finish(std::uint64_t delivery_id, bool delivered,
                            : "failed: " + detail);
   }
   if (d.done) d.done(outcome);
+  if (options_.max_concurrent > 0) {
+    --active_;
+    pump();
+  }
 }
 
 bool DeliveryEngine::handle_incoming(const im::ImMessage& message) {

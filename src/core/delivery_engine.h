@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -53,6 +54,9 @@ inline constexpr char kAckFor[] = "simba_ack_for";  // alert id being acked
 
 struct DeliveryOutcome {
   bool delivered = false;
+  /// The delivery never ran: its priority lane was full and the engine
+  /// dropped it with explicit accounting (never silently).
+  bool shed = false;
   /// 0-based index of the block that succeeded; -1 if none.
   int block_used = -1;
   /// Total messages actually sent while delivering (the "irritability
@@ -62,25 +66,51 @@ struct DeliveryOutcome {
   std::string detail;
 };
 
+/// Dispatch priority under overload. Strict: a queued CRITICAL delivery
+/// always dispatches before NORMAL, and NORMAL before DIGEST.
+enum class DeliveryPriority { kCritical = 0, kNormal = 1, kDigest = 2 };
+
+const char* to_string(DeliveryPriority priority);
+
+struct DeliveryEngineOptions {
+  /// Deliveries allowed to run concurrently. 0 = unlimited: every
+  /// deliver() dispatches immediately and the lane machinery is
+  /// bypassed entirely (the pre-overload behavior, event-for-event).
+  int max_concurrent = 0;
+  /// Queued deliveries each lane holds while waiting for a dispatch
+  /// slot; one more is shed. 0 = unbounded lanes.
+  std::size_t lane_bound = 0;
+  /// Strict priority across CRITICAL/NORMAL/DIGEST lanes. When false
+  /// every delivery shares one FIFO lane — the "defenses off"
+  /// configuration bench_storm measures against.
+  bool priority_lanes = true;
+};
+
 class DeliveryEngine {
  public:
   /// Either manager may be null; actions needing it then fail.
   DeliveryEngine(sim::Simulator& sim, automation::ImManager* im,
-                 automation::EmailManager* email);
+                 automation::EmailManager* email,
+                 DeliveryEngineOptions options = {});
   ~DeliveryEngine();
 
   using DoneCallback = std::function<void(const DeliveryOutcome&)>;
 
-  /// Starts an asynchronous delivery. `done` fires exactly once.
+  /// Starts an asynchronous delivery. `done` fires exactly once —
+  /// immediately with outcome.shed set if the priority lane is full.
   void deliver(const Alert& alert, const AddressBook& addresses,
-               const DeliveryMode& mode, DoneCallback done);
+               const DeliveryMode& mode, DoneCallback done,
+               DeliveryPriority priority = DeliveryPriority::kNormal);
 
   /// Feed incoming IMs here; returns true if the message was an
   /// acknowledgement this engine was waiting for (and consumed).
   bool handle_incoming(const im::ImMessage& message);
 
-  /// Number of deliveries still in flight.
+  /// Number of deliveries still in flight (dispatched, not queued).
   std::size_t in_flight() const { return deliveries_.size(); }
+
+  /// Deliveries queued in lanes awaiting a dispatch slot.
+  std::size_t queued() const;
 
   const Counters& stats() const { return stats_; }
 
@@ -95,6 +125,7 @@ class DeliveryEngine {
     AddressBook addresses;  // snapshot: enable/disable state at send time
     DeliveryMode mode;
     DoneCallback done;
+    DeliveryPriority priority = DeliveryPriority::kNormal;
     std::size_t block_index = 0;
     int messages_sent = 0;
     /// Actions still able to succeed in the current block.
@@ -110,6 +141,12 @@ class DeliveryEngine {
     TimePoint block_started_at{};
   };
 
+  /// Moves the delivery into the running set and starts its first
+  /// block. Counted as started only here, never at enqueue time.
+  void dispatch(Delivery d);
+  /// Dispatches queued deliveries while slots are free, highest
+  /// priority lane first.
+  void pump();
   void run_block(std::uint64_t delivery_id);
   void start_action(std::uint64_t delivery_id, const DeliveryAction& action,
                     std::size_t block_index);
@@ -129,6 +166,7 @@ class DeliveryEngine {
   sim::Simulator& sim_;
   automation::ImManager* im_;
   automation::EmailManager* email_;
+  DeliveryEngineOptions options_;
   /// Engines die with their MAB incarnation while sends and timers may
   /// still be in flight; every async callback holds this token and
   /// bails out once the engine is gone.
@@ -137,6 +175,15 @@ class DeliveryEngine {
   /// alert_id -> delivery id waiting for that ack.
   std::map<std::string, std::uint64_t> ack_waiters_;
   std::uint64_t next_delivery_ = 1;
+  /// Priority lanes awaiting a dispatch slot (kCritical/kNormal/
+  /// kDigest; only index 0 is used when priority_lanes is off).
+  // simba-lint: bounded(options_.lane_bound, shed in deliver())
+  std::deque<Delivery> lanes_[3];
+  /// Deliveries currently holding one of max_concurrent slots.
+  int active_ = 0;
+  /// Re-entrancy guard: a run_block that finishes synchronously calls
+  /// pump() from inside the outer pump loop.
+  bool pumping_ = false;
   Counters stats_;
   util::Trace* trace_ = nullptr;
 };

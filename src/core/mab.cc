@@ -13,6 +13,7 @@ const UserProfile* MabConfig::profile_for(const std::string& user) const {
 
 MyAlertBuddy::MyAlertBuddy(sim::Simulator& sim, MabConfig& config,
                            AlertLog& log, DigestStore& digest,
+                           AlertCoalescer& coalescer,
                            automation::ImManager& im,
                            automation::EmailManager& email, MabOptions options,
                            Rng rng)
@@ -20,13 +21,17 @@ MyAlertBuddy::MyAlertBuddy(sim::Simulator& sim, MabConfig& config,
       config_(config),
       log_(log),
       digest_(digest),
+      coalescer_(coalescer),
       im_(im),
       email_(email),
       options_(std::move(options)),
       rng_(std::move(rng)),
-      engine_(std::make_unique<DeliveryEngine>(sim, &im, &email)),
+      engine_(std::make_unique<DeliveryEngine>(sim, &im, &email,
+                                               options_.overload.engine)),
       started_at_(sim.now()),
-      last_progress_(sim.now()) {
+      last_progress_(sim.now()),
+      user_bucket_(options_.overload.per_user, sim.now()),
+      source_buckets_(options_.overload.per_source) {
   engine_->set_trace(options_.trace);
 }
 
@@ -50,6 +55,14 @@ MyAlertBuddy::~MyAlertBuddy() {
 
 void MyAlertBuddy::start() {
   log_info("mab", "MyAlertBuddy starting");
+
+  // Windows open when the previous incarnation died flush now: their
+  // scheduled flush events died with that incarnation's alive token,
+  // and the folded alerts must not wait for the next storm.
+  if (coalescer_.open_windows() > 0) {
+    stats_.bump("coalesce.restart_flushes");
+    flush_coalescer(/*all=*/true, "restart");
+  }
 
   // Recovery scan before accepting new alerts.
   if (options_.pessimistic_logging) {
@@ -248,16 +261,7 @@ void MyAlertBuddy::pump_email() {
         continue;
       }
     }
-    if (options_.processing_delay > Duration::zero()) {
-      sim_.after(
-          options_.processing_delay,
-          [this, alive = alive_, alert] {
-            if (*alive && running()) process_alert(alert);
-          },
-          "mab.process");
-    } else {
-      process_alert(alert);
-    }
+    process_after_delay(alert);
   }
 }
 
@@ -272,21 +276,6 @@ void MyAlertBuddy::handle_alert_im(const im::ImMessage& message) {
   if (alert_observer_) alert_observer_(alert, sim_.now());
   const bool wants_ack = message.headers.count(wire::kRequiresAck) > 0;
 
-  // Processing (classification, routing, automation calls) costs time
-  // beyond the ack; deferred so the sender's ack is not held up by it.
-  auto process_after_delay = [this](const Alert& a) {
-    if (options_.processing_delay <= Duration::zero()) {
-      process_alert(a);
-      return;
-    }
-    sim_.after(
-        options_.processing_delay,
-        [this, alive = alive_, a] {
-          if (*alive && running()) process_alert(a);
-        },
-        "mab.process");
-  };
-
   if (options_.pessimistic_logging) {
     const bool fresh = log_.append(alert, sim_.now());
     // Save to the log file *before* sending the acknowledgement; the
@@ -294,7 +283,7 @@ void MyAlertBuddy::handle_alert_im(const im::ImMessage& message) {
     sim_.after(
         log_.write_latency(),
         [this, alive = alive_, alert, fresh, wants_ack,
-         from = message.from_user, process_after_delay] {
+         from = message.from_user] {
           if (!*alive) return;
           if (!running()) return;  // crashed during the write
           if (wants_ack) send_ack(from, alert.id);
@@ -331,6 +320,38 @@ void MyAlertBuddy::send_ack(const std::string& to_user,
   if (traced()) trace_event(alert_id, "ack_send", "to " + to_user);
 }
 
+void MyAlertBuddy::process_after_delay(const Alert& alert) {
+  // Processing (classification, routing, automation calls) costs time
+  // beyond the ack; deferred so the sender's ack is not held up by it.
+  if (options_.processing_delay <= Duration::zero()) {
+    process_alert(alert);
+    return;
+  }
+  const std::size_t bound = options_.overload.inbox_bound;
+  if (bound != 0 && static_cast<std::size_t>(inbox_pending_) >= bound) {
+    // Inbox full. The alert is logged and acked; shedding here is a
+    // deliberate, accounted drop — marked processed so the recovery
+    // scan does not resurrect it.
+    stats_.bump("inbox.shed");
+    if (traced()) {
+      trace_event(alert.id, "shed",
+                  strformat("inbox full (%d queued)", inbox_pending_));
+    }
+    if (options_.pessimistic_logging) log_.mark_processed(alert.id, sim_.now());
+    if (shed_observer_) shed_observer_(alert.id, sim_.now());
+    return;
+  }
+  ++inbox_pending_;
+  sim_.after(
+      options_.processing_delay,
+      [this, alive = alive_, alert] {
+        if (!*alive) return;
+        --inbox_pending_;
+        if (running()) process_alert(alert);
+      },
+      "mab.process");
+}
+
 void MyAlertBuddy::process_alert(const Alert& alert) {
   progress();
   ++alerts_processed_;
@@ -351,6 +372,13 @@ void MyAlertBuddy::process_alert(const Alert& alert) {
                                            ? *keyword
                                            : options_.default_category);
   if (traced()) trace_event(alert.id, "aggregate", "category " + category);
+  // Admission control: over-limit alerts coalesce into a digest (or
+  // shed, both accounted and traced) instead of entering the delivery
+  // path. High-importance alerts always bypass the limiters.
+  if (!admit(alert, category)) {
+    if (options_.pessimistic_logging) log_.mark_processed(alert.id, sim_.now());
+    return;
+  }
   // Filtering: a disabled category retains the alert for the digest
   // ("temporarily blocks unwanted alerts, which ... may be useful in
   // the future"); a closed delivery window defers routing until the
@@ -388,6 +416,92 @@ void MyAlertBuddy::process_alert(const Alert& alert) {
   if (options_.pessimistic_logging) log_.mark_processed(alert.id, sim_.now());
 }
 
+bool MyAlertBuddy::admit(const Alert& alert, const std::string& category) {
+  if (!user_bucket_.enabled() && !source_buckets_.enabled()) return true;
+  if (alert.high_importance) {
+    stats_.bump("admission.critical_bypass");
+    return true;
+  }
+  const TimePoint now = sim_.now();
+  // Check every limiter before taking from any: an alert blocked by
+  // one bucket must not burn tokens in another.
+  if (user_bucket_.can_take(now) && source_buckets_.can_take(alert.source, now)) {
+    user_bucket_.try_take(now);
+    source_buckets_.try_take(alert.source, now);
+    stats_.bump("admission.admitted");
+    return true;
+  }
+  stats_.bump("admission.over_limit");
+  if (options_.overload.coalesce_enabled) {
+    coalesce(alert, category);
+    return false;
+  }
+  // No coalescing configured: shed with explicit accounting.
+  stats_.bump("admission.shed");
+  trace_event(alert.id, "shed", "over admission limit");
+  if (shed_observer_) shed_observer_(alert.id, sim_.now());
+  return false;
+}
+
+void MyAlertBuddy::coalesce(const Alert& alert, const std::string& category) {
+  const auto result = coalescer_.add(alert, category, sim_.now());
+  if (result == AlertCoalescer::FoldResult::kDuplicate) {
+    // Already folded (a recovery replay of an alert whose coalesce
+    // outlived the crash in the host-owned coalescer). Never counted
+    // twice.
+    stats_.bump("coalesce.duplicates");
+    trace_event(alert.id, "coalesce", "already folded; duplicate");
+    return;
+  }
+  stats_.bump("coalesce.folded");
+  if (traced()) {
+    trace_event(alert.id, "coalesce", "folded into " + category + " window");
+  }
+  if (coalesce_observer_) coalesce_observer_(alert.id, sim_.now());
+  if (result == AlertCoalescer::FoldResult::kBatchFull) {
+    flush_coalescer(/*all=*/false, "batch full");
+  } else if (result == AlertCoalescer::FoldResult::kOpenedWindow) {
+    sim_.after(
+        coalescer_.options().window,
+        [this, alive = alive_] {
+          if (!*alive || !running()) return;
+          flush_coalescer(/*all=*/false, "window closed");
+        },
+        "mab.coalesce_flush");
+  }
+}
+
+void MyAlertBuddy::flush_coalescer(bool all, const char* trigger) {
+  const auto digests = all ? coalescer_.flush_all(sim_.now())
+                           : coalescer_.flush_due(sim_.now());
+  for (const auto& digest : digests) {
+    if (traced()) {
+      trace_event(digest.alert_id(), "digest",
+                  strformat("%zu %s alert(s) coalesced (%s)", digest.count,
+                            digest.category.c_str(), trigger));
+      // Representative trace links: the folded alerts' lifecycles
+      // point at the digest that carried them, and vice versa.
+      for (const auto& rep : digest.representative_ids) {
+        trace_event(rep, "digest_link", "carried by " + digest.alert_id());
+        trace_event(digest.alert_id(), "digest_link", "represents " + rep);
+      }
+    }
+    emit_coalesced_digest(digest);
+  }
+}
+
+void MyAlertBuddy::emit_coalesced_digest(const AlertCoalescer::Digest& digest) {
+  Alert alert;
+  alert.source = "simba.coalescer";
+  alert.native_category = digest.category;
+  alert.subject = digest.subject();
+  alert.body = digest.body();
+  alert.created_at = sim_.now();
+  alert.id = digest.alert_id();
+  stats_.bump("coalesce.digests_emitted");
+  route(alert, digest.category);
+}
+
 void MyAlertBuddy::route(const Alert& alert, const std::string& category) {
   const auto subscriptions = config_.subscriptions.for_category(category);
   if (subscriptions.empty()) {
@@ -418,13 +532,26 @@ void MyAlertBuddy::route(const Alert& alert, const std::string& category) {
       trace_event(alert.id, "route",
                   "dispatch " + sub.mode_name + " for " + sub.user);
     }
-    engine_->deliver(alert, profile->addresses(), *mode,
-                     [this, alive = alive_](const DeliveryOutcome& outcome) {
-                       if (!*alive) return;
-                       stats_.bump(outcome.delivered
-                                       ? "routing.delivered"
-                                       : "routing.undeliverable");
-                     });
+    DeliveryPriority priority = DeliveryPriority::kNormal;
+    if (alert.high_importance) {
+      priority = DeliveryPriority::kCritical;
+    } else if (is_digest_alert_id(alert.id)) {
+      priority = DeliveryPriority::kDigest;
+    }
+    engine_->deliver(
+        alert, profile->addresses(), *mode,
+        [this, alive = alive_,
+         alert_id = alert.id](const DeliveryOutcome& outcome) {
+          if (!*alive) return;
+          if (outcome.shed) {
+            stats_.bump("routing.shed");
+            if (shed_observer_) shed_observer_(alert_id, sim_.now());
+            return;
+          }
+          stats_.bump(outcome.delivered ? "routing.delivered"
+                                        : "routing.undeliverable");
+        },
+        priority);
   }
 }
 

@@ -21,9 +21,11 @@
 #include "core/alert_log.h"
 #include "core/category_map.h"
 #include "core/classifier.h"
+#include "core/coalescer.h"
 #include "core/delivery_engine.h"
 #include "core/digest.h"
 #include "core/profile.h"
+#include "core/rate_limit.h"
 #include "sim/simulator.h"
 #include "util/calendar.h"
 #include "util/rng.h"
@@ -45,6 +47,27 @@ struct MabConfig {
   CategoryMap categories;
 
   const UserProfile* profile_for(const std::string& user) const;
+};
+
+/// Overload-control surface: admission limits, semantic coalescing,
+/// priority-lane delivery, and bounded queues. Every knob defaults to
+/// "off", leaving the pre-overload event schedule untouched.
+struct OverloadOptions {
+  /// Owner-wide admission bucket: total alert rate this MAB accepts
+  /// for individual delivery. 0 rate = unlimited.
+  TokenBucketConfig per_user;
+  /// Per-source admission buckets (one per alert.source, lazily
+  /// created). 0 rate = unlimited.
+  TokenBucketConfig per_source;
+  /// Fold over-limit alerts into per-category digest alerts instead of
+  /// shedding them outright.
+  bool coalesce_enabled = false;
+  CoalescerOptions coalesce;
+  /// Deferred-processing jobs (processing_delay > 0) the inbox holds;
+  /// one more is shed. 0 = unbounded.
+  std::size_t inbox_bound = 0;
+  /// Delivery-engine concurrency limit and priority lanes.
+  DeliveryEngineOptions engine;
 };
 
 /// Behavioral knobs (fault-tolerance toggles are the E8 ablation axes).
@@ -77,13 +100,17 @@ struct MabOptions {
   /// across MAB incarnations so a restart keeps appending to the same
   /// alert timelines. Also handed to this incarnation's DeliveryEngine.
   util::Trace* trace = nullptr;
+
+  /// Storm defenses (all off by default).
+  OverloadOptions overload;
 };
 
 class MyAlertBuddy {
  public:
   MyAlertBuddy(sim::Simulator& sim, MabConfig& config, AlertLog& log,
-               DigestStore& digest, automation::ImManager& im,
-               automation::EmailManager& email, MabOptions options, Rng rng);
+               DigestStore& digest, AlertCoalescer& coalescer,
+               automation::ImManager& im, automation::EmailManager& email,
+               MabOptions options, Rng rng);
   ~MyAlertBuddy();
 
   MyAlertBuddy(const MyAlertBuddy&) = delete;
@@ -133,11 +160,39 @@ class MyAlertBuddy {
     alert_observer_ = std::move(observer);
   }
 
+  /// Observes every alert shed by a bounded queue (MAB inbox or a
+  /// delivery lane) — the conservation checker's shed feed.
+  void set_shed_observer(
+      std::function<void(const std::string& alert_id, TimePoint at)> observer) {
+    shed_observer_ = std::move(observer);
+  }
+
+  /// Observes every alert folded into a digest — the conservation
+  /// checker's coalesced feed.
+  void set_coalesce_observer(
+      std::function<void(const std::string& alert_id, TimePoint at)> observer) {
+    coalesce_observer_ = std::move(observer);
+  }
+
  private:
   void handle_alert_im(const im::ImMessage& message);
   void send_ack(const std::string& to_user, const std::string& alert_id);
   void handle_command(const std::string& text, const std::string& from_user);
+  /// Queues `alert` for processing after the per-alert processing
+  /// delay (or processes immediately with no delay), shedding it when
+  /// the bounded inbox is full.
+  void process_after_delay(const Alert& alert);
   void process_alert(const Alert& alert);
+  /// Admission decision for an already-classified alert. Returns true
+  /// when the alert may be routed individually; false when it was
+  /// coalesced or shed (terminal — the caller marks it processed).
+  bool admit(const Alert& alert, const std::string& category);
+  /// Folds an over-limit alert into its category window, scheduling
+  /// the window flush when one opens.
+  void coalesce(const Alert& alert, const std::string& category);
+  /// Routes one flushed coalescer window as a digest alert.
+  void emit_coalesced_digest(const AlertCoalescer::Digest& digest);
+  void flush_coalescer(bool all, const char* trigger);
   void send_digest(const char* trigger);
   void route(const Alert& alert, const std::string& category);
   void stabilization_tick();
@@ -159,6 +214,7 @@ class MyAlertBuddy {
   MabConfig& config_;
   AlertLog& log_;
   DigestStore& digest_;
+  AlertCoalescer& coalescer_;
   automation::ImManager& im_;
   automation::EmailManager& email_;
   MabOptions options_;
@@ -180,6 +236,14 @@ class MyAlertBuddy {
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::function<void(const std::string&, bool)> on_terminated_;
   std::function<void(const Alert&, TimePoint)> alert_observer_;
+  std::function<void(const std::string&, TimePoint)> shed_observer_;
+  std::function<void(const std::string&, TimePoint)> coalesce_observer_;
+  /// Admission state. Per-incarnation: a restarted MAB starts with
+  /// full buckets, which only ever admits more, never loses alerts.
+  TokenBucket user_bucket_;
+  KeyedTokenBuckets source_buckets_;
+  /// Deferred-processing jobs currently queued (inbox bound).
+  int inbox_pending_ = 0;
   Counters stats_;
 };
 

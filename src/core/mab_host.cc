@@ -12,6 +12,7 @@ MabHost::MabHost(sim::Simulator& sim, net::MessageBus& bus,
       email_server_(email_server),
       options_(std::move(options)),
       desktop_(sim),
+      coalescer_(options_.mab_options.overload.coalesce),
       chaos_rng_(sim.make_rng("host.chaos." + options_.owner)) {
   if (options_.im_account.empty()) {
     options_.im_account = options_.owner + ".mab";
@@ -75,7 +76,7 @@ void MabHost::spawn_mab() {
   ++mab_incarnations_;
   stats_.bump("mab_incarnations");
   mab_ = std::make_unique<MyAlertBuddy>(
-      sim_, options_.config, alert_log_, digest_, *im_manager_,
+      sim_, options_.config, alert_log_, digest_, coalescer_, *im_manager_,
       *email_manager_, options_.mab_options,
       sim_.make_rng("mab." + options_.owner + "." +
                     std::to_string(mab_incarnations_)));
@@ -87,14 +88,22 @@ void MabHost::spawn_mab() {
     // nothing relaunches — the daemon just stays dead.
     if (options_.watchdog_enabled) mdc_->notify_terminated(reason, expected);
     sim_.after(Duration::zero(), [this] {
-      if (mab_ && mab_->terminated()) mab_.reset();
+      if (mab_ && mab_->terminated()) retire_mab();
     });
   });
   if (alert_observer_) mab_->set_alert_observer(alert_observer_);
+  if (shed_observer_) mab_->set_shed_observer(shed_observer_);
+  if (coalesce_observer_) mab_->set_coalesce_observer(coalesce_observer_);
   mab_->start();
 }
 
-void MabHost::kill_mab() { mab_.reset(); }
+void MabHost::kill_mab() { retire_mab(); }
+
+void MabHost::retire_mab() {
+  if (!mab_) return;
+  mab_totals_.merge(mab_->stats());
+  mab_.reset();
+}
 
 void MabHost::restart_mab() {
   if (!machine_up_) return;
@@ -192,7 +201,7 @@ void MabHost::power_down() {
   mdc_->stop();
   // Processes die instantly; no graceful anything. The alert log is a
   // disk file and survives; client mailboxes are server-side.
-  mab_.reset();
+  retire_mab();
   im_client_->kill();
   email_client_->kill();
   desktop_.clear();

@@ -92,6 +92,7 @@ class MabHost {
   MabConfig& config() { return options_.config; }
   AlertLog& alert_log() { return alert_log_; }
   DigestStore& digest() { return digest_; }
+  AlertCoalescer& coalescer() { return coalescer_; }
   /// Current incarnation; null between termination and restart.
   MyAlertBuddy* mab() { return mab_.get(); }
   MasterDaemonController& mdc() { return *mdc_; }
@@ -108,6 +109,15 @@ class MabHost {
 
   const Counters& stats() const { return stats_; }
   Counters& stats() { return stats_; }
+
+  /// MAB counters aggregated across every incarnation, dead or alive.
+  /// Incarnation counters die with their process; workloads that score
+  /// whole-run admission/coalesce/shed activity need the union.
+  Counters mab_stats_total() const {
+    Counters total = mab_totals_;
+    if (mab_) total.merge(mab_->stats());
+    return total;
+  }
 
   // Chaos-injection triggers (sim/chaos.h). Each is a no-op while the
   // machine is down; the ChaosPlan schedules them blindly and the host
@@ -128,10 +138,26 @@ class MabHost {
     if (mab_) mab_->set_alert_observer(alert_observer_);
   }
 
+  /// Conservation hooks, persistent across MAB incarnations: every
+  /// accounted shed / coalesce in the alert path.
+  void set_shed_observer(
+      std::function<void(const std::string&, TimePoint)> observer) {
+    shed_observer_ = std::move(observer);
+    if (mab_) mab_->set_shed_observer(shed_observer_);
+  }
+  void set_coalesce_observer(
+      std::function<void(const std::string&, TimePoint)> observer) {
+    coalesce_observer_ = std::move(observer);
+    if (mab_) mab_->set_coalesce_observer(coalesce_observer_);
+  }
+
  private:
   void boot();
   void spawn_mab();
   void kill_mab();
+  /// Folds the dying incarnation's counters into mab_totals_ before
+  /// releasing it. Every mab_.reset() goes through here.
+  void retire_mab();
   void restart_mab();   // MDC restart path (kills hung incarnation)
   void reboot_machine();
   void schedule_nightly();
@@ -152,12 +178,19 @@ class MabHost {
   std::unique_ptr<MyAlertBuddy> mab_;
   AlertLog alert_log_;
   DigestStore digest_;
+  /// Host-owned like the log and digest store: open coalescing windows
+  /// survive MAB crashes and flush on the next incarnation's start.
+  AlertCoalescer coalescer_;
   Rng chaos_rng_;  // torn-append dice; dedicated stream per host
   bool machine_up_ = false;
   std::function<void(const Alert&, TimePoint)> alert_observer_;
+  std::function<void(const std::string&, TimePoint)> shed_observer_;
+  std::function<void(const std::string&, TimePoint)> coalesce_observer_;
   sim::EventId nightly_event_ = 0;
   std::uint64_t mab_incarnations_ = 0;
   Counters stats_;
+  /// Union of the counters of every incarnation retired so far.
+  Counters mab_totals_;
 };
 
 }  // namespace simba::core

@@ -1,0 +1,60 @@
+#include "core/rate_limit.h"
+
+namespace simba::core {
+namespace {
+
+// Absorbs floating-point dust from repeated fractional refills so a
+// bucket refilled in N small steps admits exactly when one refilled
+// in a single step of the same total duration would.
+constexpr double kSlack = 1e-9;
+
+}  // namespace
+
+bool TokenBucket::try_take(TimePoint now, double tokens) {
+  if (!enabled()) return true;
+  refill(now);
+  if (tokens_ + kSlack < tokens) return false;
+  tokens_ -= tokens;
+  if (tokens_ < 0.0) tokens_ = 0.0;
+  return true;
+}
+
+bool TokenBucket::can_take(TimePoint now, double tokens) {
+  if (!enabled()) return true;
+  refill(now);
+  return tokens_ + kSlack >= tokens;
+}
+
+double TokenBucket::available(TimePoint now) {
+  if (!enabled()) return config_.burst;
+  refill(now);
+  return tokens_;
+}
+
+void TokenBucket::refill(TimePoint now) {
+  if (now <= last_refill_) return;
+  tokens_ += to_seconds(now - last_refill_) * config_.rate_per_sec;
+  if (tokens_ > config_.burst) tokens_ = config_.burst;
+  last_refill_ = now;
+}
+
+bool KeyedTokenBuckets::can_take(const std::string& key, TimePoint now) {
+  if (!enabled()) return true;
+  return bucket(key, now).available(now) + kSlack >= 1.0;
+}
+
+bool KeyedTokenBuckets::try_take(const std::string& key, TimePoint now) {
+  if (!enabled()) return true;
+  return bucket(key, now).try_take(now);
+}
+
+TokenBucket& KeyedTokenBuckets::bucket(const std::string& key,
+                                       TimePoint now) {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) {
+    it = buckets_.emplace(key, TokenBucket(config_, now)).first;
+  }
+  return it->second;
+}
+
+}  // namespace simba::core

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/time.h"
+
+namespace simba::core {
+
+// Token-bucket rate limiter driven purely by virtual time. A bucket
+// holds up to `burst` tokens and refills continuously at
+// `rate_per_sec`; each admitted alert takes one token. rate_per_sec
+// of 0 disables the bucket (try_take always succeeds), which keeps
+// the default MAB configuration byte-identical to the pre-overload
+// behavior.
+struct TokenBucketConfig {
+  double rate_per_sec = 0.0;  // 0 = unlimited
+  double burst = 1.0;         // bucket capacity in tokens
+};
+
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(TokenBucketConfig config, TimePoint start)
+      : config_(config), tokens_(config.burst), last_refill_(start) {}
+
+  bool enabled() const { return config_.rate_per_sec > 0.0; }
+
+  // Refills for the elapsed virtual time and, if at least `tokens`
+  // are available, consumes them. Disabled buckets always admit.
+  bool try_take(TimePoint now, double tokens = 1.0);
+
+  // Whether try_take(now, tokens) would succeed, without consuming.
+  // Lets a caller check several buckets before committing to any.
+  bool can_take(TimePoint now, double tokens = 1.0);
+
+  // Tokens currently available at `now` (refills as a side effect).
+  double available(TimePoint now);
+
+ private:
+  void refill(TimePoint now);
+
+  TokenBucketConfig config_;
+  double tokens_ = 0.0;
+  TimePoint last_refill_ = kTimeZero;
+};
+
+// Keyed bucket set: one bucket per alert source, lazily created on
+// first sight with a shared config. Iteration order never matters
+// (lookup only), but std::map keeps the structure deterministic
+// anyway.
+class KeyedTokenBuckets {
+ public:
+  KeyedTokenBuckets() = default;
+  explicit KeyedTokenBuckets(TokenBucketConfig config) : config_(config) {}
+
+  bool enabled() const { return config_.rate_per_sec > 0.0; }
+
+  // Peeks whether the bucket for `key` currently has a token without
+  // consuming it. Used to check multiple buckets before committing.
+  bool can_take(const std::string& key, TimePoint now);
+
+  bool try_take(const std::string& key, TimePoint now);
+
+  size_t size() const { return buckets_.size(); }
+
+ private:
+  TokenBucket& bucket(const std::string& key, TimePoint now);
+
+  TokenBucketConfig config_;
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace simba::core

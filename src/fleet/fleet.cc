@@ -28,6 +28,7 @@ void FleetReport::merge_shard(const ShardResult& shard) {
   counters.merge(shard.counters);
   delivery_latency.merge(shard.delivery_latency);
   ack_latency.merge(shard.ack_latency);
+  critical_latency.merge(shard.critical_latency);
   delivery_histogram.merge(shard.delivery_histogram);
   events_processed += shard.events_processed;
   shard_wall_seconds.add(shard.wall_seconds);
@@ -85,6 +86,7 @@ std::string FleetReport::correctness_json() const {
   out += ",\"counters\":" + json_counters(counters);
   out += ",\"delivery_latency\":" + json_summary(delivery_latency);
   out += ",\"ack_latency\":" + json_summary(ack_latency);
+  out += ",\"critical_latency\":" + json_summary(critical_latency);
   out += ",\"delivery_histogram\":" + json_histogram(delivery_histogram);
   out += ",\"events_processed\":" + std::to_string(events_processed);
   out += ",\"per_shard\":[";
@@ -117,6 +119,9 @@ std::string FleetReport::render() const {
   }
   if (!ack_latency.empty()) {
     out += "  ack latency        " + ack_latency.report("%.2f") + "\n";
+  }
+  if (!critical_latency.empty()) {
+    out += "  critical latency   " + critical_latency.report("%.2f") + "\n";
   }
   out += "  counters:\n" + counters.report();
   if (delivery_histogram.count() > 0) {

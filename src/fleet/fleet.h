@@ -49,6 +49,9 @@ struct ShardResult {
   Counters counters;
   Summary delivery_latency;  // seconds, submit -> user's first sighting
   Summary ack_latency;       // seconds, send -> source-side ack
+  /// Critical (high-importance) alerts only — the latency the overload
+  /// defenses exist to protect under storm load (experiment E12).
+  Summary critical_latency;
   Histogram delivery_histogram{delivery_latency_boundaries()};
   std::uint64_t events_processed = 0;
   double wall_seconds = 0.0;
@@ -70,6 +73,7 @@ struct FleetReport {
   Counters counters;
   Summary delivery_latency;
   Summary ack_latency;
+  Summary critical_latency;
   Histogram delivery_histogram{delivery_latency_boundaries()};
   std::uint64_t events_processed = 0;
   Summary shard_wall_seconds;  // timing-only, excluded from correctness

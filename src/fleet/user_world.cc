@@ -1,5 +1,6 @@
 #include "fleet/user_world.h"
 
+#include "core/coalescer.h"
 #include "sim/fault.h"
 
 namespace simba::fleet {
@@ -58,7 +59,8 @@ void apply_calibrated_models(UserWorld& world) {
 
 core::MabConfig fleet_config(const std::string& owner,
                              const std::string& sms_address,
-                             const std::string& email_address) {
+                             const std::string& email_address,
+                             bool storm_config) {
   using namespace core;
   MabConfig config;
   config.profile = UserProfile(owner);
@@ -98,6 +100,21 @@ core::MabConfig fleet_config(const std::string& owner,
   subs.subscribe("Cat", owner, "Urgent");
   subs.subscribe("Investment", owner, "Casual");
   subs.subscribe("News", owner, "Casual");
+
+  if (storm_config) {
+    // Storm plumbing (DESIGN.md §14): Aladdin sensor cascades ride the
+    // urgent IM path, proxy poll bursts the casual email path. Purely
+    // additive — the legacy rules, keywords, and subscriptions above
+    // are untouched, so non-storm traffic classifies exactly as before.
+    config.classifier.add_rule(
+        SourceRule{"aladdin", KeywordLocation::kNativeCategory, {}, ""});
+    config.classifier.add_rule(
+        SourceRule{"proxy", KeywordLocation::kNativeCategory, {}, ""});
+    config.categories.map_keyword("Motion", "Aladdin");
+    config.categories.map_keyword("Poll", "Portal");
+    subs.subscribe("Aladdin", owner, "Urgent");
+    subs.subscribe("Portal", owner, "Casual");
+  }
   return config;
 }
 
@@ -119,6 +136,9 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
     apply_calibrated_models(*this);
   }
   sms_gateway.attach_to(email_server);
+  if (options.bus_pending_bound != 0) {
+    bus.set_pending_bound(options.bus_pending_bound);
+  }
 
   if (options.faults) {
     Rng outage_rng = sim.make_rng("fleet.outages");
@@ -157,6 +177,10 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
         [checker = invariants.get()](const std::string& id,
                                      const std::string& channel,
                                      TimePoint at) {
+          // Digest alerts are synthesized by the coalescer, never
+          // submitted by a workload; feeding their sightings to the
+          // checker would fabricate tracks with no submission.
+          if (core::is_digest_alert_id(id)) return;
           checker->on_delivered(id, channel, at);
         });
   }
@@ -166,7 +190,9 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
   host_options.owner = options.user;
   host_options.trace = trace.get();
   host_options.config = fleet_config(options.user, user->sms_address(),
-                                     user->email_account());
+                                     user->email_account(),
+                                     options.storm_config);
+  host_options.mab_options.overload = options.overload;
   if (options.fidelity == ModelFidelity::kCalibrated) {
     host_options.mab_options.processing_delay = millis(900);
     host_options.mab_options.leak_mb_per_hour = 2.0;
@@ -190,6 +216,19 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
   }
   host = std::make_unique<core::MabHost>(sim, bus, im_server, email_server,
                                          std::move(host_options));
+  if (invariants) {
+    sim::InvariantChecker* checker = invariants.get();
+    host->set_shed_observer([checker](const std::string& id, TimePoint at) {
+      // An engine-lane shed of a digest delivery reports the digest's
+      // own "dg." id; only workload-submitted alerts have tracks.
+      if (core::is_digest_alert_id(id)) return;
+      checker->on_shed(id, at);
+    });
+    host->set_coalesce_observer(
+        [checker](const std::string& id, TimePoint at) {
+          checker->on_coalesced(id, at);
+        });
+  }
   host->start();
   if (chaos_plan) {
     // Process/machine triggers fire blindly at their scheduled times;

@@ -55,6 +55,18 @@ struct UserWorldOptions {
   /// alert log, and every MAB incarnation. Off by default: the portal
   /// scale bench opts in, the chaos workload traces always.
   bool trace = false;
+  /// Overload defenses (DESIGN.md §14): token-bucket admission,
+  /// semantic coalescing, priority lanes, bounded queues. The all-zero
+  /// default disables every defense, leaving pre-storm worlds (and
+  /// their golden traces) untouched.
+  core::OverloadOptions overload;
+  /// Bounds the bus in-flight pool; over-bound sends are shed with
+  /// accounting ("shed.pending_bound"). 0 = unbounded.
+  std::size_t bus_pending_bound = 0;
+  /// Adds the storm category plumbing (Motion → Aladdin/Urgent,
+  /// Poll → Portal/Casual) on top of the legacy fleet config. Purely
+  /// additive; off keeps the config identical to the pre-storm one.
+  bool storm_config = false;
 };
 
 struct UserWorld {

@@ -121,6 +121,16 @@ std::uint64_t MessageBus::send(Message message) {
                     "partition drop " + message.from + " -> " + message.to);
     return message.id;
   }
+  if (pending_bound_ != 0 && pending() >= pending_bound_) {
+    // Transport queue full: the message is shed before transmission,
+    // with explicit accounting. Not terminal for an alert — the sender
+    // side sees no ack and falls back, exactly as for a loss.
+    stats_.bump("shed.pending_bound");
+    trace_event(message, "shed", "pending bound");
+    SIMBA_LOG_DEBUG("net",
+                    "pending-bound shed " + message.from + " -> " + message.to);
+    return message.id;
+  }
   const LinkModel& link = link_for(message.from, message.to);
   if (rng_.chance(link.loss_probability)) {
     stats_.bump("dropped.loss");

@@ -103,6 +103,16 @@ class MessageBus {
   /// scheduled simulator event. Returns the assigned message id.
   std::uint64_t send(Message message);
 
+  /// Bounds the number of messages concurrently in flight; a send over
+  /// the bound is shed with explicit accounting ("shed.pending_bound")
+  /// instead of scheduled. 0 (default) = unbounded.
+  void set_pending_bound(std::size_t bound) { pending_bound_ = bound; }
+
+  /// Messages currently awaiting arrival.
+  std::size_t pending() const {
+    return inflight_pool_.size() - inflight_free_.size();
+  }
+
   const Counters& stats() const { return stats_; }
 
   /// In-flight pool introspection for tests and benches: slots ever
@@ -172,8 +182,10 @@ class MessageBus {
   /// a chaos duplicate occupies its own slot. Slots recycle after the
   /// handler returns, so the pool plateaus at the peak number of
   /// concurrently in-flight messages.
+  // simba-lint: bounded(pending_bound_, shed in send())
   std::deque<Message> inflight_pool_;
   std::vector<std::uint32_t> inflight_free_;
+  std::size_t pending_bound_ = 0;
 };
 
 }  // namespace simba::net

@@ -62,6 +62,18 @@ ChaosScenario ChaosScenario::crashy_daemon() {
   return s;
 }
 
+ChaosScenario ChaosScenario::storm_crash() {
+  // The overload companion: a MAB that keeps dying mid-storm. Kills
+  // land while admission control is coalescing and queues are full, so
+  // the recovery replay crosses shed/coalesce accounting — the
+  // regression proving no alert is double-counted across a crash.
+  ChaosScenario s;
+  s.name = "storm_crash";
+  s.add({ChaosKind::kMabKill, 9.0});
+  s.add({ChaosKind::kMabHang, 3.0});
+  return s;
+}
+
 ChaosScenario ChaosScenario::power_storms() {
   ChaosScenario s;
   s.name = "power_storms";
@@ -86,8 +98,8 @@ ChaosScenario ChaosScenario::everything() {
 }
 
 std::vector<ChaosScenario> ChaosScenario::presets() {
-  return {baseline(), flaky_network(), dup_storm(), crashy_daemon(),
-          power_storms(), everything()};
+  return {baseline(),    flaky_network(), dup_storm(),  crashy_daemon(),
+          storm_crash(), power_storms(),  everything()};
 }
 
 ChaosScenario ChaosScenario::preset(const std::string& name) {

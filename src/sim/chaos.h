@@ -75,6 +75,10 @@ struct ChaosScenario {
   /// (every MAB duplicate drop must trace back to a bus duplicate).
   static ChaosScenario dup_storm();
   static ChaosScenario crashy_daemon();
+  /// MAB kills/hangs at storm-grade frequency — pairs with the storm
+  /// workload to exercise shed/coalesce accounting across recovery
+  /// replays.
+  static ChaosScenario storm_crash();
   static ChaosScenario power_storms();
   static ChaosScenario everything();
   static std::vector<ChaosScenario> presets();

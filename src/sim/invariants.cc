@@ -36,6 +36,14 @@ void InvariantChecker::on_failed(const std::string& id, TimePoint) {
   track(id).failed = true;
 }
 
+void InvariantChecker::on_shed(const std::string& id, TimePoint) {
+  track(id).shed = true;
+}
+
+void InvariantChecker::on_coalesced(const std::string& id, TimePoint) {
+  ++track(id).coalesces;
+}
+
 void InvariantChecker::on_recoverable(const std::string& id) {
   track(id).recoverable = true;
 }
@@ -43,7 +51,10 @@ void InvariantChecker::on_recoverable(const std::string& id) {
 std::vector<std::string> InvariantChecker::unresolved() const {
   std::vector<std::string> out;
   for (const auto& [id, t] : tracks_) {
-    if (t.submitted && t.sightings == 0 && !t.failed) out.push_back(id);
+    if (t.submitted && t.sightings == 0 && !t.failed && !t.shed &&
+        t.coalesces == 0) {
+      out.push_back(id);
+    }
   }
   return out;
 }
@@ -93,11 +104,29 @@ InvariantChecker::Report InvariantChecker::check(
         violating(id);
       }
     }
-    // Disjoint terminal buckets, delivered > failed > in-flight.
+    // An alert landing in more than one outcome class (delivered and
+    // coalesced, shed and coalesced, coalesced twice) is accounted
+    // once by the disjoint buckets below, but the overlap itself is
+    // tracked — and, where duplicates are banned, a violation.
+    const int outcome_classes = (t.sightings > 0 ? 1 : 0) +
+                                (t.shed ? 1 : 0) + t.coalesces;
+    if (outcome_classes > 1) {
+      report.double_accounted += outcome_classes - 1;
+      if (!options_.duplicates_allowed) {
+        report.illegal_double_accounted += outcome_classes - 1;
+        violating(id);
+      }
+    }
+    // Disjoint terminal buckets,
+    // delivered > failed > shed > coalesced > in-flight.
     if (t.sightings > 0) {
       ++report.delivered;
     } else if (t.failed) {
       ++report.failed;
+    } else if (t.shed) {
+      ++report.shed;
+    } else if (t.coalesces > 0) {
+      ++report.coalesced;
     } else if (t.recoverable) {
       ++report.in_flight;
     } else {
@@ -106,8 +135,8 @@ InvariantChecker::Report InvariantChecker::check(
     }
   }
   report.conservation_gap = report.submitted - report.delivered -
-                            report.failed - report.in_flight -
-                            report.vanished;
+                            report.failed - report.shed - report.coalesced -
+                            report.in_flight - report.vanished;
   return report;
 }
 
@@ -116,8 +145,11 @@ void InvariantChecker::Report::export_to(Counters& counters,
   counters.bump(prefix + "submitted", submitted);
   counters.bump(prefix + "delivered", delivered);
   counters.bump(prefix + "failed", failed);
+  counters.bump(prefix + "shed", shed);
+  counters.bump(prefix + "coalesced", coalesced);
   counters.bump(prefix + "in_flight", in_flight);
   counters.bump(prefix + "duplicate_sightings", duplicate_sightings);
+  counters.bump(prefix + "double_accounted", double_accounted);
   counters.bump(prefix + "acked", acked);
   counters.bump(prefix + "logged", logged);
   counters.bump(prefix + "violations.phantom", phantom_deliveries);
@@ -125,27 +157,34 @@ void InvariantChecker::Report::export_to(Counters& counters,
   counters.bump(prefix + "violations.log_vanished", log_vanished);
   counters.bump(prefix + "violations.vanished", vanished);
   counters.bump(prefix + "violations.illegal_duplicates", illegal_duplicates);
+  counters.bump(prefix + "violations.double_accounted",
+                illegal_double_accounted);
   counters.bump(prefix + "violations.total", violations());
 }
 
 std::string InvariantChecker::Report::describe() const {
   std::string out = strformat(
       "conservation: %lld submitted = %lld delivered + %lld failed + %lld "
-      "in-flight (+%lld vanished), %lld duplicate sightings\n",
+      "shed + %lld coalesced + %lld in-flight (+%lld vanished), %lld "
+      "duplicate sightings, %lld double-accounted\n",
       static_cast<long long>(submitted), static_cast<long long>(delivered),
-      static_cast<long long>(failed), static_cast<long long>(in_flight),
+      static_cast<long long>(failed), static_cast<long long>(shed),
+      static_cast<long long>(coalesced), static_cast<long long>(in_flight),
       static_cast<long long>(vanished),
-      static_cast<long long>(duplicate_sightings));
+      static_cast<long long>(duplicate_sightings),
+      static_cast<long long>(double_accounted));
   if (ok()) {
     out += "invariants: OK\n";
   } else {
     out += strformat(
         "invariants: VIOLATED — phantom=%lld ack_unlogged=%lld "
-        "log_vanished=%lld vanished=%lld illegal_duplicates=%lld gap=%lld\n",
+        "log_vanished=%lld vanished=%lld illegal_duplicates=%lld "
+        "double_accounted=%lld gap=%lld\n",
         static_cast<long long>(phantom_deliveries),
         static_cast<long long>(ack_unlogged),
         static_cast<long long>(log_vanished), static_cast<long long>(vanished),
         static_cast<long long>(illegal_duplicates),
+        static_cast<long long>(illegal_double_accounted),
         static_cast<long long>(conservation_gap));
   }
   return out;

@@ -5,8 +5,11 @@
 // and, at the horizon, asserts the paper's dependability contract:
 //
 //   * conservation — submitted == delivered + explicitly-failed +
-//     in-flight; an alert still in flight must be *recoverable* (in
-//     the persistent log or an unread mailbox), never vanished;
+//     shed + coalesced + in-flight; an alert still in flight must be
+//     *recoverable* (in the persistent log or an unread mailbox),
+//     never vanished; shed (bounded-queue overflow) and coalesced
+//     (folded into a digest alert) are explicit, traced outcomes, not
+//     silent losses;
 //   * no phantom deliveries — the user never sees an alert nobody sent;
 //   * log-before-ack — an acknowledged primary-channel delivery was
 //     already persisted when the ack went out, and the record never
@@ -58,6 +61,12 @@ class InvariantChecker {
                     TimePoint at);
   /// The source was told delivery failed (all blocks exhausted).
   void on_failed(const std::string& id, TimePoint at);
+  /// A bounded queue dropped the alert with explicit accounting
+  /// (MAB inbox bound, delivery-lane bound).
+  void on_shed(const std::string& id, TimePoint at);
+  /// Admission control folded the alert into a digest instead of
+  /// delivering it individually.
+  void on_coalesced(const std::string& id, TimePoint at);
   /// Horizon-time mark: the alert is neither delivered nor failed but
   /// still held somewhere recovery can reach (persistent log, unread
   /// mailbox) — in flight, not lost.
@@ -68,12 +77,20 @@ class InvariantChecker {
   std::vector<std::string> unresolved() const;
 
   struct Report {
-    // Population, bucketed disjointly (delivered > failed > in-flight).
+    // Population, bucketed disjointly
+    // (delivered > failed > shed > coalesced > in-flight).
     std::int64_t submitted = 0;
     std::int64_t delivered = 0;
     std::int64_t failed = 0;
+    std::int64_t shed = 0;
+    std::int64_t coalesced = 0;
     std::int64_t in_flight = 0;
     std::int64_t duplicate_sightings = 0;
+    // Alerts recorded in more than one outcome class (e.g. delivered
+    // *and* coalesced). Legal only where duplicates are: a crash after
+    // routing but before the processed-mark can replay an alert into a
+    // different outcome, exactly like a duplicate sighting.
+    std::int64_t double_accounted = 0;
     std::int64_t acked = 0;
     std::int64_t logged = 0;
 
@@ -83,7 +100,8 @@ class InvariantChecker {
     std::int64_t log_vanished = 0;  // acked record later missing from log
     std::int64_t vanished = 0;      // no terminal state, not recoverable
     std::int64_t illegal_duplicates = 0;
-    std::int64_t conservation_gap = 0;  // submitted - (d + f + in-flight)
+    std::int64_t illegal_double_accounted = 0;
+    std::int64_t conservation_gap = 0;  // submitted minus bucket sum
 
     /// Ids of the alerts behind the per-alert violation classes above
     /// (sorted, deduplicated). The trace-aware describe() prints each
@@ -92,7 +110,8 @@ class InvariantChecker {
 
     std::int64_t violations() const {
       return phantom_deliveries + ack_unlogged + log_vanished + vanished +
-             illegal_duplicates + (conservation_gap != 0 ? 1 : 0);
+             illegal_duplicates + illegal_double_accounted +
+             (conservation_gap != 0 ? 1 : 0);
     }
     bool ok() const { return violations() == 0; }
 
@@ -120,6 +139,8 @@ class InvariantChecker {
     bool acked_logged = false;  // log held the alert when the ack left
     int ack_block = -1;
     bool failed = false;
+    bool shed = false;
+    int coalesces = 0;
     bool recoverable = false;
     int sightings = 0;
     TimePoint submitted_at{};

@@ -24,11 +24,13 @@ import os
 import sys
 
 # Keys worth comparing. Rates regress when the code slows down;
-# peak RSS regresses when something starts hoarding memory. Identity
-# and count keys (seed, users, alerts_sent, ...) are deterministic and
-# belong to correctness tests, not a perf smoke.
+# peak RSS regresses when something starts hoarding memory; the storm
+# bench's critical-p99 speedup regresses when the overload defenses
+# stop protecting the critical path. Identity and count keys (seed,
+# users, alerts_sent, ...) are deterministic and belong to correctness
+# tests, not a perf smoke.
 COMPARED_SUFFIXES = ("_per_sec",)
-COMPARED_KEYS = ("events_per_sec", "peak_rss_bytes")
+COMPARED_KEYS = ("events_per_sec", "peak_rss_bytes", "critical_p99_speedup_x")
 
 
 def compared(key):

@@ -110,6 +110,12 @@ constexpr std::array<std::string_view, 2> kWallClockSources{
 };
 
 constexpr std::string_view kOrderedWaiver = "simba-lint: ordered";
+constexpr std::string_view kBoundedWaiver = "simba-lint: bounded(";
+
+// Modules on the alert hot path where an unbounded queue member is an
+// overload hazard: a storm fills it without limit unless something
+// sheds (DESIGN.md §14).
+constexpr std::array<std::string_view, 2> kBoundedModules{"core", "net"};
 
 bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
@@ -394,6 +400,29 @@ std::vector<Diagnostic> lint_file(const std::string& rel_path,
                    "' is banned outside util/; use util::Mutex / "
                    "util::MutexLock (util/mutex.h) so Clang thread-safety "
                    "annotations cover it");
+        }
+      }
+    }
+
+    // [bounded] — queue containers on the alert path must name their
+    // bound. A raw std::deque/std::queue in core/ or net/ grows without
+    // limit under storm load unless something sheds; the waiver names
+    // the bound and the shed path so the claim is reviewable.
+    if (in_src && std::find(kBoundedModules.begin(), kBoundedModules.end(),
+                            module) != kBoundedModules.end()) {
+      const bool queue_use = contains_token(tokens, "std::deque") ||
+                             contains_token(tokens, "std::queue");
+      const bool is_include_line = code.find("#include") != std::string::npos;
+      if (queue_use && !is_include_line) {
+        const bool waived =
+            raw.find(kBoundedWaiver) != std::string::npos ||
+            prev_raw.find(kBoundedWaiver) != std::string::npos;
+        if (!waived) {
+          emit(line_no, "bounded",
+               "std::deque/std::queue on the alert path needs a "
+               "'// simba-lint: bounded(<bound, shed path>)' waiver (same "
+               "or previous line) naming the bound that keeps it from "
+               "growing without limit under storm load");
         }
       }
     }

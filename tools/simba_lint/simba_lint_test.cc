@@ -129,6 +129,33 @@ TEST(SimbaLint, RawSyncOutsideUtil) {
   EXPECT_EQ(result.diagnostics[2].line, 11);
 }
 
+TEST(SimbaLint, BoundedQueueWaivers) {
+  const LintResult result = lint_fixture("bounded");
+  EXPECT_EQ(result.files_scanned, 3);
+  // bad_queue.cc: unwaived deque member (8) and queue member (9). The
+  // include lines, both waived members in net/ok_queue.cc (same-line
+  // and previous-line waivers), and the fleet-module queue stay clean.
+  ASSERT_EQ(result.diagnostics.size(), 2u);
+  const Diagnostic& unbounded_deque = result.diagnostics[0];
+  EXPECT_EQ(unbounded_deque.file, "src/core/bad_queue.cc");
+  EXPECT_EQ(unbounded_deque.line, 8);
+  EXPECT_EQ(unbounded_deque.rule, "bounded");
+  EXPECT_EQ(format(unbounded_deque),
+            "src/core/bad_queue.cc:8: error: [bounded] "
+            "std::deque/std::queue on the alert path needs a "
+            "'// simba-lint: bounded(<bound, shed path>)' waiver (same or "
+            "previous line) naming the bound that keeps it from growing "
+            "without limit under storm load");
+  EXPECT_EQ(result.diagnostics[1].file, "src/core/bad_queue.cc");
+  EXPECT_EQ(result.diagnostics[1].line, 9);
+  EXPECT_EQ(result.diagnostics[1].rule, "bounded");
+
+  std::string out;
+  EXPECT_EQ(
+      cli({"--root", (std::string(kTestdata) + "/bounded").c_str()}, out), 1);
+  EXPECT_NE(out.find("2 violation(s)"), std::string::npos) << out;
+}
+
 TEST(SimbaLint, TraceSpansMustUseVirtualTime) {
   const LintResult result = lint_fixture("trace");
   EXPECT_EQ(result.files_scanned, 2);

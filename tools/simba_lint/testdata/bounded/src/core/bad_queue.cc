@@ -1,0 +1,11 @@
+// Bounded fixture: raw queue containers on the alert path (core/,
+// net/) must carry a waiver naming the bound and its shed path.
+#include <deque>
+#include <queue>
+
+namespace simba::core {
+struct Lanes {
+  std::deque<int> pending;
+  std::queue<int> backlog;
+};
+}  // namespace simba::core

@@ -1,0 +1,7 @@
+// Module scoping: queues outside core/ and net/ are not on the alert
+// hot path and need no waiver.
+#include <deque>
+
+namespace simba::fleet {
+std::deque<int> results;
+}  // namespace simba::fleet
