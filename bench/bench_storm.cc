@@ -37,7 +37,7 @@ fleet::StormWorkloadOptions storm_options(bool defended) {
   options.world.overload =
       defended ? fleet::storm_defenses() : fleet::storm_no_defenses();
   // The transport bound belongs to the defended posture; at this scale
-  // it is headroom, not a shedder — any "shed.pending_bound" activity
+  // it is headroom, not a shedder — any "pending.shed" activity
   // shows up in the accounting rows below.
   options.world.bus_pending_bound = defended ? 4096 : 0;
   // Dense criticals so the p99 is a real tail statistic, and cascades

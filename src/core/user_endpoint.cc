@@ -105,11 +105,11 @@ void UserEndpoint::maybe_ack(const im::ImMessage& message, TimePoint) {
         try {
           im_client_->send_im(from, "ACK " + alert_id, std::move(headers),
                               [this](Status status) {
-                                if (!status.ok()) stats_.bump("acks.failed");
+                                if (!status.ok()) stats_.bump("acks.send_failed");
                               });
           stats_.bump("acks.sent");
         } catch (const gui::AutomationError&) {
-          stats_.bump("acks.failed");
+          stats_.bump("acks.send_failed");
         }
       },
       "user.ack");

@@ -235,7 +235,7 @@ ShardResult run_storm_shard(const ShardTask& task,
   copy_counters_with_prefix(mab_totals, "coalesce.", result.counters);
   copy_counters_with_prefix(mab_totals, "inbox.", result.counters);
   copy_counters_with_prefix(mab_totals, "routing.shed", result.counters);
-  copy_counters_with_prefix(world.bus.stats(), "shed.", result.counters);
+  copy_counters_with_prefix(world.bus.stats(), "pending.shed", result.counters);
   copy_counters_with_prefix(world.bus.stats(), "chaos.", result.counters);
   copy_counters_with_prefix(world.host->stats(), "chaos.", result.counters);
 

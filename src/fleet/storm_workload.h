@@ -71,7 +71,7 @@ struct StormWorkloadOptions {
 ///   invariant.shed/coalesced  — terminal overload outcomes
 ///   admission.* / coalesce.* / inbox.* / routing.* — MAB-side
 ///     overload accounting, aggregated across incarnations
-///   shed.pending_bound        — bus transport sheds
+///   pending.shed        — bus transport sheds
 /// and fills ShardResult::critical_latency alongside the usual
 /// delivery statistics.
 ShardResult run_storm_shard(const ShardTask& task,

@@ -61,7 +61,7 @@ struct UserWorldOptions {
   /// their golden traces) untouched.
   core::OverloadOptions overload;
   /// Bounds the bus in-flight pool; over-bound sends are shed with
-  /// accounting ("shed.pending_bound"). 0 = unbounded.
+  /// accounting ("pending.shed"). 0 = unbounded.
   std::size_t bus_pending_bound = 0;
   /// Adds the storm category plumbing (Motion → Aladdin/Urgent,
   /// Poll → Portal/Casual) on top of the legacy fleet config. Purely

@@ -125,7 +125,7 @@ std::uint64_t MessageBus::send(Message message) {
     // Transport queue full: the message is shed before transmission,
     // with explicit accounting. Not terminal for an alert — the sender
     // side sees no ack and falls back, exactly as for a loss.
-    stats_.bump("shed.pending_bound");
+    stats_.bump("pending.shed");
     trace_event(message, "shed", "pending bound");
     SIMBA_LOG_DEBUG("net",
                     "pending-bound shed " + message.from + " -> " + message.to);

@@ -104,7 +104,7 @@ class MessageBus {
   std::uint64_t send(Message message);
 
   /// Bounds the number of messages concurrently in flight; a send over
-  /// the bound is shed with explicit accounting ("shed.pending_bound")
+  /// the bound is shed with explicit accounting ("pending.shed")
   /// instead of scheduled. 0 (default) = unbounded.
   void set_pending_bound(std::size_t bound) { pending_bound_ = bound; }
 

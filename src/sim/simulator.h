@@ -270,7 +270,6 @@ class Simulator {
   std::array<std::uint32_t, kSlots> head0_{};
   /// Calendar-queue overflow: 2^32-tick buckets keyed by tick >> 32,
   /// demoted into the wheel when the cursor enters their block.
-  /// simba-lint: ordered
   std::map<Tick, std::vector<QueueEntry>> overflow_;
   /// Entries currently filed (live + cancelled-but-unreleased), for
   /// queue_empty() diagnostics.

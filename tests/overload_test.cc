@@ -253,7 +253,7 @@ TEST(BusBoundTest, PendingBoundShedsWithExplicitAccounting) {
     message.type = "t";
     bus.send(std::move(message));
   }
-  EXPECT_EQ(bus.stats().get("shed.pending_bound"), 2);
+  EXPECT_EQ(bus.stats().get("pending.shed"), 2);
   sim.run_for(seconds(5));
   EXPECT_EQ(received, 1);
 }

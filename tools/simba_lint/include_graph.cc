@@ -1,0 +1,322 @@
+#include "include_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace simba::lint {
+namespace {
+
+std::string dir_of(const std::string& rel_path) {
+  const std::size_t slash = rel_path.rfind('/');
+  return slash == std::string::npos ? "" : rel_path.substr(0, slash);
+}
+
+std::string stem_of(const std::string& rel_path) {
+  const std::size_t slash = rel_path.rfind('/');
+  std::string base =
+      slash == std::string::npos ? rel_path : rel_path.substr(slash + 1);
+  const std::size_t dot = base.rfind('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+// Names a header offers an includer. Deliberately generous (member
+// and parameter names count as exports): over-exporting can only
+// silence an [include] warning, never invent one.
+std::set<std::string> header_exports(const LexedFile& lex) {
+  static const std::set<std::string> kTypeKeywords{"class", "struct", "enum",
+                                                   "union"};
+  std::set<std::string> exports;
+  const std::vector<Token>& ts = lex.tokens;
+  auto punct = [&](std::size_t i, const char* text) {
+    return i < ts.size() && ts[i].kind == Token::Kind::kPunct &&
+           ts[i].text == text;
+  };
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i].kind != Token::Kind::kIdent) continue;
+    const Token* prev = i > 0 ? &ts[i - 1] : nullptr;
+    const Token* next = i + 1 < ts.size() ? &ts[i + 1] : nullptr;
+    const bool prev_ident = prev && prev->kind == Token::Kind::kIdent;
+    if (prev_ident && kTypeKeywords.count(prev->text) != 0) {
+      exports.insert(ts[i].text);  // class/struct/enum/union name
+      continue;
+    }
+    if (prev_ident && prev->text == "define" && i >= 2 && punct(i - 2, "#")) {
+      exports.insert(ts[i].text);  // macro name
+      continue;
+    }
+    if (prev_ident && prev->text == "using" && punct(i + 1, "=")) {
+      exports.insert(ts[i].text);  // type alias
+      continue;
+    }
+    // Declaration-shaped: an identifier a type expression precedes
+    // and a declarator delimiter follows ("double wall_seconds(",
+    // "Bus bus;", "int kMax = ").
+    const bool declaratorish =
+        next && next->kind == Token::Kind::kPunct &&
+        (next->text == "(" || next->text == "=" || next->text == ";" ||
+         next->text == "," || next->text == "{" || next->text == "[");
+    const bool typed =
+        prev && (prev->kind == Token::Kind::kIdent ||
+                 (prev->kind == Token::Kind::kPunct &&
+                  (prev->text == "*" || prev->text == "&" ||
+                   prev->text == ">" || prev->text == ",")));
+    if (declaratorish && typed) exports.insert(ts[i].text);
+  }
+  return exports;
+}
+
+std::set<std::string> file_idents(const LexedFile& lex) {
+  std::set<std::string> idents;
+  for (const Token& t : lex.tokens) {
+    if (t.kind == Token::Kind::kIdent) idents.insert(t.text);
+  }
+  return idents;
+}
+
+}  // namespace
+
+void run_include_graph(const std::vector<FileAnalysis>& files,
+                       std::vector<Diagnostic>& diags) {
+  std::map<std::string, int> index;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    index[files[i].rel_path] = static_cast<int>(i);
+  }
+  // Resolves a quoted include the way the build does: repo includes
+  // are rooted at src/ (-Isrc), tool-local ones at the repo root or
+  // next to the includer.
+  auto resolve = [&](const std::string& includer,
+                     const std::string& target) -> int {
+    for (const std::string& candidate :
+         {"src/" + target, target, dir_of(includer) + "/" + target}) {
+      const auto it = index.find(candidate);
+      if (it != index.end()) return it->second;
+    }
+    return -1;
+  };
+
+  const int n = static_cast<int>(files.size());
+  std::vector<std::vector<std::pair<int, int>>> edges(n);  // (target, line)
+
+  for (int i = 0; i < n; ++i) {
+    const FileAnalysis& fa = files[i];
+
+    // Direct [layer] checks — byte-identical to lint_file's, plus the
+    // unregistered-directory check, so tree runs and single-file runs
+    // never disagree about an include.
+    if (fa.tree == Tree::kSrc && fa.rank < 0) {
+      diags.push_back(Diagnostic{
+          fa.rel_path, 1, "layer",
+          "directory 'src/" + fa.module +
+              "' is not registered in the layering DAG (tools/simba_lint)",
+          Severity::kError});
+    }
+    for (const IncludeDirective& inc : fa.includes) {
+      if (fa.tree != Tree::kTools) {
+        const std::size_t slash = inc.target.find('/');
+        const std::string target =
+            slash == std::string::npos ? "" : inc.target.substr(0, slash);
+        if (!target.empty() && target != fa.module) {
+          const int target_rank = layer_rank(target);
+          if (target_rank < 0) {
+            diags.push_back(Diagnostic{
+                fa.rel_path, inc.line, "layer",
+                "include of unknown module '" + target +
+                    "/' — register it in the layering DAG or fix the path",
+                Severity::kError});
+          } else if (fa.rank >= 0 && target_rank >= fa.rank) {
+            diags.push_back(Diagnostic{
+                fa.rel_path, inc.line, "layer",
+                "layer '" + fa.module + "' (rank " +
+                    std::to_string(fa.rank) + ") may not include '" + target +
+                    "/' (rank " + std::to_string(target_rank) +
+                    "): includes must point strictly down the layering DAG",
+                Severity::kError});
+          }
+        }
+      }
+      const int target_index = resolve(fa.rel_path, inc.target);
+      if (target_index >= 0 && target_index != i) {
+        edges[i].push_back({target_index, inc.line});
+      }
+    }
+    std::sort(edges[i].begin(), edges[i].end());
+  }
+
+  // File-level cycle detection. Rank checks are per-edge and per-
+  // module; a cycle through unranked trees (tools/, fixtures) or
+  // within one module would pass every edge check and still deadlock
+  // the build's mental model, so cycles are their own error.
+  {
+    std::vector<int> color(n, 0);  // 0 white, 1 on stack, 2 done
+    std::vector<int> stack;
+    std::set<std::string> reported;
+    // Iterative DFS; each frame is (node, next edge to try).
+    std::vector<std::pair<int, std::size_t>> frames;
+    for (int start = 0; start < n; ++start) {
+      if (color[start] != 0) continue;
+      frames.push_back({start, 0});
+      color[start] = 1;
+      stack.push_back(start);
+      while (!frames.empty()) {
+        auto& [node, edge_i] = frames.back();
+        if (edge_i >= edges[node].size()) {
+          color[node] = 2;
+          stack.pop_back();
+          frames.pop_back();
+          continue;
+        }
+        const auto [target, line] = edges[node][edge_i++];
+        if (color[target] == 0) {
+          color[target] = 1;
+          stack.push_back(target);
+          frames.push_back({target, 0});
+        } else if (color[target] == 1) {
+          // Back edge: the cycle is `target .. node` on the stack.
+          const auto cycle_begin =
+              std::find(stack.begin(), stack.end(), target);
+          std::vector<int> cycle(cycle_begin, stack.end());
+          // Rotate so the lexicographically-first file leads: one
+          // canonical spelling per cycle, stable across DFS order.
+          const auto first = std::min_element(
+              cycle.begin(), cycle.end(), [&](int a, int b) {
+                return files[a].rel_path < files[b].rel_path;
+              });
+          std::rotate(cycle.begin(), first, cycle.end());
+          std::string text = files[cycle[0]].rel_path;
+          for (std::size_t k = 1; k < cycle.size(); ++k) {
+            text += " -> " + files[cycle[k]].rel_path;
+          }
+          text += " -> " + files[cycle[0]].rel_path;
+          if (reported.insert(text).second) {
+            // Attribute the cycle to the directive in the leading
+            // file that continues it.
+            int at_line = 1;
+            const int next_node = cycle.size() > 1 ? cycle[1] : cycle[0];
+            for (const auto& [t, l] : edges[cycle[0]]) {
+              if (t == next_node) at_line = l;
+            }
+            diags.push_back(Diagnostic{
+                files[cycle[0]].rel_path, at_line, "layer",
+                "include cycle: " + text, Severity::kError});
+          }
+        }
+      }
+    }
+  }
+
+  // Transitive module-DAG verification: walk module-level reachability
+  // and require every reachable module to sit strictly below the
+  // origin. Direct edges are already checked above, so this only adds
+  // violations that need at least one intermediate hop (which a chain
+  // of strictly-down direct edges cannot produce — so any hit here
+  // means an unranked or cyclic hop smuggled an upward path in).
+  {
+    // module -> module -> (example includer, example line)
+    std::map<std::string, std::map<std::string, std::pair<int, int>>> mgraph;
+    for (int i = 0; i < n; ++i) {
+      if (files[i].tree != Tree::kSrc) continue;
+      for (const auto& [target, line] : edges[i]) {
+        if (files[target].tree != Tree::kSrc) continue;
+        const std::string& from = files[i].module;
+        const std::string& to = files[target].module;
+        if (from == to) continue;
+        mgraph[from].emplace(to, std::make_pair(i, line));
+      }
+    }
+    for (const auto& [origin, direct] : mgraph) {
+      const int origin_rank = layer_rank(origin);
+      if (origin_rank < 0) continue;
+      // BFS from origin, remembering one step of provenance.
+      std::map<std::string, std::string> parent;
+      std::vector<std::string> queue;
+      for (const auto& [to, via] : direct) {
+        (void)via;
+        if (parent.emplace(to, origin).second) queue.push_back(to);
+      }
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const std::string at = queue[head];
+        const int at_rank = layer_rank(at);
+        const bool direct_edge = direct.count(at) != 0;
+        if (!direct_edge && at != origin &&
+            (at_rank < 0 || at_rank >= origin_rank)) {
+          // Reconstruct the module path for the message.
+          std::vector<std::string> path{at};
+          for (std::string p = parent[at]; p != origin; p = parent[p]) {
+            path.push_back(p);
+          }
+          path.push_back(origin);
+          std::reverse(path.begin(), path.end());
+          std::string text = path[0];
+          for (std::size_t k = 1; k < path.size(); ++k) {
+            text += " -> " + path[k];
+          }
+          const auto& [via_file, via_line] = direct.at(path[1]);
+          diags.push_back(Diagnostic{
+              files[via_file].rel_path, via_line, "layer",
+              "module '" + origin + "' (rank " +
+                  std::to_string(origin_rank) +
+                  ") transitively includes '" + at + "' (rank " +
+                  std::to_string(at_rank) + ") via " + text +
+                  ": the layering DAG must hold transitively",
+              Severity::kError});
+        }
+        const auto next = mgraph.find(at);
+        if (next == mgraph.end()) continue;
+        for (const auto& [to, via] : next->second) {
+          (void)via;
+          if (parent.emplace(to, at).second) queue.push_back(to);
+        }
+      }
+    }
+  }
+
+  // IWYU-lite [include] warnings, src/ and tools/ only.
+  std::vector<std::set<std::string>> exports_cache(n);
+  std::vector<char> exports_ready(n, 0);
+  for (int i = 0; i < n; ++i) {
+    const FileAnalysis& fa = files[i];
+    if (fa.tree != Tree::kSrc && fa.tree != Tree::kTools) continue;
+    std::set<std::string> idents;
+    bool idents_ready = false;
+    for (const IncludeDirective& inc : fa.includes) {
+      const int target_index = resolve(fa.rel_path, inc.target);
+      if (target_index < 0 || target_index == i) continue;
+      const FileAnalysis& target = files[target_index];
+      // A .cc's own header is included for the definition-matches-
+      // declaration check, not for names.
+      if (stem_of(target.rel_path) == stem_of(fa.rel_path) &&
+          dir_of(target.rel_path) == dir_of(fa.rel_path)) {
+        continue;
+      }
+      if (!exports_ready[target_index]) {
+        exports_cache[target_index] = header_exports(target.lex);
+        exports_ready[target_index] = 1;
+      }
+      const std::set<std::string>& exports = exports_cache[target_index];
+      if (exports.empty()) continue;  // umbrella/no-decl header: no basis
+      if (!idents_ready) {
+        idents = file_idents(fa.lex);
+        idents_ready = true;
+      }
+      bool used = false;
+      for (const std::string& name : exports) {
+        if (idents.count(name) != 0) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) {
+        diags.push_back(Diagnostic{
+            fa.rel_path, inc.line, "include",
+            "included header \"" + inc.target +
+                "\" exports no name this file mentions; drop the include "
+                "or include what you use directly",
+            Severity::kWarning});
+      }
+    }
+  }
+}
+
+}  // namespace simba::lint

@@ -1,0 +1,32 @@
+// The repo-wide include-graph pass behind [layer] (tree mode) and
+// [include]. Built once per lint_tree run from the include directives
+// every FileAnalysis already extracted:
+//
+//   * the direct [layer] checks (same diagnostics lint_file emits, so
+//     single-file and tree runs agree),
+//   * file-level include-cycle detection (a cycle is a [layer] error
+//     no per-edge rank check can see when unranked trees are
+//     involved),
+//   * transitive DAG verification at module level — every module the
+//     includes can reach must still sit strictly below the includer,
+//     even through intermediate hops,
+//   * IWYU-lite [include] warnings: a resolved repo include whose
+//     header exports no name the including file mentions is dead
+//     weight (src/ and tools/ only — tests and benches include
+//     subject headers for linkage, not names).
+#pragma once
+
+#include <vector>
+
+#include "rules.h"
+
+namespace simba::lint {
+
+/// Runs every include-graph check over the analyzed tree, appending
+/// to `diags`. `files` must hold the whole walk (resolution only sees
+/// files in it; includes that resolve to nothing are skipped, not
+/// guessed at).
+void run_include_graph(const std::vector<FileAnalysis>& files,
+                       std::vector<Diagnostic>& diags);
+
+}  // namespace simba::lint

@@ -1,0 +1,139 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace simba::lint {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+namespace {
+
+// Punctuation pairs kept as one token.
+bool is_two_char_punct(char a, char b) {
+  return (a == ':' && b == ':') || (a == '-' && b == '>');
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& content) {
+  LexedFile file;
+  std::istringstream in(content);
+  std::string raw;
+  enum class State { kCode, kString, kChar, kBlock };
+  State state = State::kCode;  // block comments carry across lines
+  for (int line_no = 1; std::getline(in, raw); ++line_no) {
+    LexedLine lexed;
+    lexed.raw = raw;
+    lexed.code.assign(raw.size(), ' ');
+    lexed.tokens.assign(raw.size(), ' ');
+    // Strings and char literals do not span lines in this codebase;
+    // an unterminated one resets at the newline rather than eating
+    // the rest of the file.
+    if (state == State::kString || state == State::kChar) {
+      state = State::kCode;
+    }
+    std::string ident;   // word token being accumulated
+    int ident_line = line_no;
+    std::string literal;  // string-literal contents being accumulated
+    auto flush_ident = [&] {
+      if (ident.empty()) return;
+      file.tokens.push_back({Token::Kind::kIdent, ident_line, ident});
+      ident.clear();
+    };
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const char c = raw[i];
+      const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            flush_ident();
+            lexed.comment.append(raw.substr(i + 2));
+            i = raw.size();  // rest of the line is comment
+            break;
+          }
+          if (c == '/' && next == '*') {
+            flush_ident();
+            state = State::kBlock;
+            ++i;
+            break;
+          }
+          if (c == '"') {
+            flush_ident();
+            state = State::kString;
+            lexed.code[i] = c;
+            literal.clear();
+            break;
+          }
+          if (c == '\'') {
+            flush_ident();
+            state = State::kChar;
+            lexed.code[i] = c;
+            break;
+          }
+          lexed.code[i] = c;
+          lexed.tokens[i] = c;
+          if (is_ident_char(c)) {
+            if (ident.empty()) ident_line = line_no;
+            ident.push_back(c);
+          } else {
+            flush_ident();
+            if (!std::isspace(static_cast<unsigned char>(c))) {
+              if (is_two_char_punct(c, next)) {
+                file.tokens.push_back(
+                    {Token::Kind::kPunct, line_no, std::string{c, next}});
+                lexed.code[i + 1] = next;
+                lexed.tokens[i + 1] = next;
+                ++i;
+              } else {
+                file.tokens.push_back(
+                    {Token::Kind::kPunct, line_no, std::string(1, c)});
+              }
+            }
+          }
+          break;
+        case State::kString:
+          lexed.code[i] = c;
+          if (c == '\\') {
+            if (i + 1 < raw.size()) {
+              lexed.code[i + 1] = next;
+              literal.push_back(c);
+              literal.push_back(next);
+            }
+            ++i;
+          } else if (c == '"') {
+            state = State::kCode;
+            file.tokens.push_back({Token::Kind::kString, line_no, literal});
+            literal.clear();
+          } else {
+            literal.push_back(c);
+          }
+          break;
+        case State::kChar:
+          lexed.code[i] = c;
+          if (c == '\\') {
+            if (i + 1 < raw.size()) lexed.code[i + 1] = next;
+            ++i;
+          } else if (c == '\'') {
+            state = State::kCode;
+          }
+          break;
+        case State::kBlock:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          } else {
+            lexed.comment.push_back(c);
+          }
+          break;
+      }
+    }
+    flush_ident();
+    file.lines.push_back(std::move(lexed));
+  }
+  return file;
+}
+
+}  // namespace simba::lint

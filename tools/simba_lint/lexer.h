@@ -1,0 +1,49 @@
+// simba-lint's shared tokenizer. Every rule pass reads one lex of each
+// file instead of re-stripping lines itself: the per-line views keep
+// the original column positions (rules report against real source),
+// and the cross-line token stream lets symbol-aware rules (the
+// [counters] registry check, the include-graph IWYU pass) see string
+// literal *values* and identifier adjacency even when a call spans
+// lines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace simba::lint {
+
+/// One token. Only the granularity the rules need: word tokens
+/// (identifiers and numbers), string literals (inner text, quotes
+/// dropped), and punctuation. "::" and "->" are single tokens so
+/// member access and scope qualification stay recognisable.
+struct Token {
+  enum class Kind { kIdent, kString, kPunct };
+  Kind kind = Kind::kIdent;
+  int line = 0;      // 1-based source line
+  std::string text;  // identifier, string contents, or punctuation
+};
+
+/// One source line, four ways. `code` and `tokens` blank the stripped
+/// regions with spaces so columns survive (the historical strip()
+/// behaviour the line rules were written against).
+struct LexedLine {
+  std::string raw;      // verbatim
+  std::string code;     // comments blanked; string/char literals kept
+  std::string tokens;   // comments and string/char literals blanked
+  std::string comment;  // the line's comment text (// and /* */ both),
+                        // concatenated when a line holds several
+};
+
+struct LexedFile {
+  std::vector<LexedLine> lines;  // lines[i] is source line i+1
+  std::vector<Token> tokens;     // whole-file stream, line-tagged
+};
+
+/// Tokenizes one file. Handles // and /* */ comments (including block
+/// comments spanning lines), string and char literals with escapes.
+LexedFile lex(const std::string& content);
+
+/// True for characters that may appear in an identifier.
+bool is_ident_char(char c);
+
+}  // namespace simba::lint

@@ -1,12 +1,21 @@
+// Orchestrator: per-file analysis (lexer + line rules + site
+// extraction) and the tree driver that layers the repo-wide passes
+// (counter registry, include graph) on top. Everything is built in
+// one pass: each file is read and lexed exactly once, the registry
+// and include graph exactly once per run.
 #include "lint.h"
 
 #include <algorithm>
 #include <array>
-#include <cctype>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string_view>
+
+#include "include_graph.h"
+#include "registry.h"
+#include "rules.h"
+#include "sarif.h"
 
 namespace simba::lint {
 namespace {
@@ -40,245 +49,8 @@ constexpr std::array<std::pair<std::string_view, int>, 19> kLayerRanks{{
     {"examples", 8},
 }};
 
-int layer_rank(std::string_view module) {
-  for (const auto& [name, rank] : kLayerRanks) {
-    if (name == module) return rank;
-  }
-  return -1;
-}
-
-// Files allowed to read real clocks: the one shim everything else
-// must route timing through.
-constexpr std::array<std::string_view, 1> kDeterminismAllowlist{
-    "src/util/wall_clock.cc",
-};
-
-// Nondeterministic calls: identifier immediately followed by '(' and
-// not reached through member access ('.x(' / '->x(').
-constexpr std::array<std::string_view, 8> kBannedCalls{
-    "time",   "rand",          "srand",        "getenv",
-    "clock",  "gettimeofday",  "clock_gettime", "timespec_get",
-};
-
-// Nondeterministic types/clocks, matched as whole identifiers.
-constexpr std::array<std::string_view, 4> kBannedTokens{
-    "system_clock",
-    "steady_clock",
-    "high_resolution_clock",
-    "random_device",
-};
-
-// Raw synchronisation primitives banned outside util/ (util/mutex.h
-// wraps them with Clang thread-safety annotations).
-constexpr std::array<std::string_view, 12> kBannedSync{
-    "std::mutex",
-    "std::timed_mutex",
-    "std::recursive_mutex",
-    "std::recursive_timed_mutex",
-    "std::shared_mutex",
-    "std::shared_timed_mutex",
-    "std::lock_guard",
-    "std::unique_lock",
-    "std::scoped_lock",
-    "std::shared_lock",
-    "std::condition_variable",
-    "std::condition_variable_any",
-};
-
-// Logging calls whose message argument must not be built eagerly:
-// below the threshold they discard the string they just allocated.
-// SIMBA_LOG_DEBUG/SIMBA_LOG_TRACE (util/log.h) evaluate the message
-// expression only when the level is enabled.
-constexpr std::array<std::string_view, 2> kLazyLogCalls{
-    "log_debug",
-    "log_trace",
-};
-
-// Argument patterns that mean "this line allocates to build the
-// message": concatenation, formatting, number-to-string conversion.
-constexpr std::array<std::string_view, 2> kAllocCalls{
-    "strformat",
-    "to_string",
-};
-
-// Wall-clock sources that must never stamp a lifecycle-trace span:
-// merged traces are compared bit-for-bit across runs and thread
-// counts, so spans carry virtual time only (util/trace.h).
-constexpr std::array<std::string_view, 2> kWallClockSources{
-    "WallTimer",
-    "wall_seconds",
-};
-
-constexpr std::string_view kOrderedWaiver = "simba-lint: ordered";
-constexpr std::string_view kBoundedWaiver = "simba-lint: bounded(";
-
-// Modules on the alert hot path where an unbounded queue member is an
-// overload hazard: a storm fills it without limit unless something
-// sheds (DESIGN.md §14).
-constexpr std::array<std::string_view, 2> kBoundedModules{"core", "net"};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// Strips comments (and optionally string/char literals) from one line,
-// preserving column positions by blanking with spaces. `in_block`
-// carries /* ... */ state across lines.
-std::string strip(const std::string& line, bool strip_strings,
-                  bool& in_block) {
-  std::string out(line.size(), ' ');
-  enum class State { kCode, kString, kChar, kBlock } state =
-      in_block ? State::kBlock : State::kCode;
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
-    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          in_block = false;
-          return out;  // rest of the line is comment
-        }
-        if (c == '/' && next == '*') {
-          state = State::kBlock;
-          ++i;
-          break;
-        }
-        if (c == '"') {
-          state = State::kString;
-          if (!strip_strings) out[i] = c;
-          break;
-        }
-        if (c == '\'') {
-          state = State::kChar;
-          if (!strip_strings) out[i] = c;
-          break;
-        }
-        out[i] = c;
-        break;
-      case State::kString:
-        if (!strip_strings) out[i] = c;
-        if (c == '\\') {
-          if (!strip_strings && i + 1 < line.size()) out[i + 1] = next;
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (!strip_strings) out[i] = c;
-        if (c == '\\') {
-          if (!strip_strings && i + 1 < line.size()) out[i + 1] = next;
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        }
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          ++i;
-        }
-        break;
-    }
-  }
-  in_block = state == State::kBlock;
-  return out;
-}
-
-// Extracts `dir` from an `#include "dir/..."` directive, or "" if the
-// line is not a quoted include with a path separator.
-std::string include_module(const std::string& line) {
-  std::size_t i = line.find_first_not_of(" \t");
-  if (i == std::string::npos || line[i] != '#') return "";
-  i = line.find_first_not_of(" \t", i + 1);
-  if (i == std::string::npos || line.compare(i, 7, "include") != 0) return "";
-  i = line.find('"', i + 7);
-  if (i == std::string::npos) return "";
-  const std::size_t end = line.find('"', i + 1);
-  const std::size_t slash = line.find('/', i + 1);
-  if (end == std::string::npos || slash == std::string::npos || slash > end) {
-    return "";
-  }
-  return line.substr(i + 1, slash - i - 1);
-}
-
-// True when `token` appears in `text` as a whole word (no identifier
-// character on either side).
-bool contains_token(const std::string& text, std::string_view token,
-                    std::size_t* pos_out = nullptr) {
-  std::size_t pos = 0;
-  while ((pos = text.find(token, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
-    const std::size_t after = pos + token.size();
-    const bool right_ok = after >= text.size() || !is_ident_char(text[after]);
-    if (left_ok && right_ok) {
-      if (pos_out) *pos_out = pos;
-      return true;
-    }
-    ++pos;
-  }
-  return false;
-}
-
-// True when `name` appears as a free-function call: whole identifier,
-// followed by '(', not reached via '.' or '->'.
-bool contains_call(const std::string& text, std::string_view name) {
-  std::size_t pos = 0;
-  while ((pos = text.find(name, pos)) != std::string::npos) {
-    const std::size_t after = pos + name.size();
-    const bool word = (pos == 0 || !is_ident_char(text[pos - 1])) &&
-                      (after < text.size() && !is_ident_char(text[after]));
-    if (word) {
-      std::size_t paren = text.find_first_not_of(" \t", after);
-      const bool calls = paren != std::string::npos && text[paren] == '(';
-      const bool member =
-          (pos >= 1 && text[pos - 1] == '.') ||
-          (pos >= 2 && text[pos - 2] == '-' && text[pos - 1] == '>');
-      if (calls && !member) return true;
-    }
-    ++pos;
-  }
-  return false;
-}
-
-// Position just past the '(' of a free-function call of `name` (see
-// contains_call), or npos when the line has no such call.
-std::size_t find_call_args(const std::string& text, std::string_view name) {
-  std::size_t pos = 0;
-  while ((pos = text.find(name, pos)) != std::string::npos) {
-    const std::size_t after = pos + name.size();
-    const bool word = (pos == 0 || !is_ident_char(text[pos - 1])) &&
-                      (after < text.size() && !is_ident_char(text[after]));
-    if (word) {
-      const std::size_t paren = text.find_first_not_of(" \t", after);
-      const bool calls = paren != std::string::npos && text[paren] == '(';
-      const bool member =
-          (pos >= 1 && text[pos - 1] == '.') ||
-          (pos >= 2 && text[pos - 2] == '-' && text[pos - 1] == '>');
-      if (calls && !member) return paren + 1;
-    }
-    ++pos;
-  }
-  return std::string::npos;
-}
-
-// True when `name` appears as a call, member or free: whole identifier
-// followed by '('. Trace::emit is normally reached as `trace_->emit(`,
-// which contains_call deliberately skips.
-bool contains_any_call(const std::string& text, std::string_view name) {
-  std::size_t pos = 0;
-  while ((pos = text.find(name, pos)) != std::string::npos) {
-    const std::size_t after = pos + name.size();
-    const bool word = (pos == 0 || !is_ident_char(text[pos - 1])) &&
-                      (after < text.size() && !is_ident_char(text[after]));
-    if (word) {
-      const std::size_t paren = text.find_first_not_of(" \t", after);
-      if (paren != std::string::npos && text[paren] == '(') return true;
-    }
-    ++pos;
-  }
-  return false;
-}
+// Where the [counters] registry lives, relative to the lint root.
+constexpr std::string_view kRegistryPath = "src/util/counter_registry.def";
 
 std::string file_module(const std::string& rel_path) {
   if (rel_path.rfind("src/", 0) == 0) {
@@ -290,245 +62,197 @@ std::string file_module(const std::string& rel_path) {
   return slash == std::string::npos ? "" : rel_path.substr(0, slash);
 }
 
-bool in_allowlist(const std::string& rel_path) {
-  return std::find(kDeterminismAllowlist.begin(), kDeterminismAllowlist.end(),
-                   rel_path) != kDeterminismAllowlist.end();
+Tree file_tree(const std::string& rel_path) {
+  if (rel_path.rfind("src/", 0) == 0) return Tree::kSrc;
+  if (rel_path.rfind("tests/", 0) == 0) return Tree::kTests;
+  if (rel_path.rfind("bench/", 0) == 0) return Tree::kBench;
+  if (rel_path.rfind("tools/", 0) == 0) return Tree::kTools;
+  // examples/ and anything unrecognised: top of the DAG, no src-only
+  // rule families.
+  return Tree::kExamples;
+}
+
+bool diag_order(const Diagnostic& a, const Diagnostic& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  return a.rule < b.rule;
 }
 
 }  // namespace
 
+int layer_rank(std::string_view module) {
+  for (const auto& [name, rank] : kLayerRanks) {
+    if (name == module) return rank;
+  }
+  return -1;
+}
+
 std::string format(const Diagnostic& d) {
   std::ostringstream os;
-  os << d.file << ":" << d.line << ": error: [" << d.rule << "] " << d.message;
+  os << d.file << ":" << d.line << ": "
+     << (d.severity == Severity::kError ? "error" : "warning") << ": ["
+     << d.rule << "] " << d.message;
   return os.str();
+}
+
+FileAnalysis analyze_file(std::string rel_path, const std::string& content,
+                          bool with_layer) {
+  FileAnalysis fa;
+  fa.rel_path = std::move(rel_path);
+  fa.tree = file_tree(fa.rel_path);
+  fa.module = file_module(fa.rel_path);
+  fa.rank = layer_rank(fa.module);
+  fa.lex = lex(content);
+  run_line_rules(fa, with_layer);
+  collect_counter_sites(fa);
+  return fa;
 }
 
 std::vector<Diagnostic> lint_file(const std::string& rel_path,
                                   const std::string& content) {
-  std::vector<Diagnostic> diags;
-  const std::string module = file_module(rel_path);
-  const int rank = layer_rank(module);
-  const bool in_src = rel_path.rfind("src/", 0) == 0;
-  const bool determinism_applies = in_src && !in_allowlist(rel_path);
-  const bool sync_applies = in_src && module != "util";
-
-  auto emit = [&](int line, const char* rule, std::string message) {
-    diags.push_back(Diagnostic{rel_path, line, rule, std::move(message)});
-  };
-
-  if (in_src && rank < 0) {
-    emit(1, "layer",
-         "directory 'src/" + module +
-             "' is not registered in the layering DAG (tools/simba_lint)");
-  }
-
-  std::istringstream in(content);
-  std::string raw;
-  std::string prev_raw;
-  bool in_block = false;
-  for (int line_no = 1; std::getline(in, raw); ++line_no) {
-    bool block_for_code = in_block;
-    const std::string code = strip(raw, /*strip_strings=*/false,
-                                   block_for_code);
-    bool block_for_tokens = in_block;
-    const std::string tokens =
-        strip(raw, /*strip_strings=*/true, block_for_tokens);
-    in_block = block_for_code;
-
-    // [layer] — includes must point down the DAG.
-    const std::string target = include_module(code);
-    if (!target.empty() && target != module) {
-      const int target_rank = layer_rank(target);
-      if (target_rank < 0) {
-        emit(line_no, "layer",
-             "include of unknown module '" + target +
-                 "/' — register it in the layering DAG or fix the path");
-      } else if (rank >= 0 && target_rank >= rank) {
-        emit(line_no, "layer",
-             "layer '" + module + "' (rank " + std::to_string(rank) +
-                 ") may not include '" + target + "/' (rank " +
-                 std::to_string(target_rank) +
-                 "): includes must point strictly down the layering DAG");
-      }
-    }
-
-    // [determinism] — bans in simulation code (src/ outside allowlist).
-    if (determinism_applies) {
-      for (const std::string_view name : kBannedCalls) {
-        if (contains_call(tokens, name)) {
-          emit(line_no, "determinism",
-               "banned nondeterministic call '" + std::string(name) +
-                   "(' in simulation code; use util/rng.h for randomness "
-                   "and util/wall_clock.h for timing-only wall clocks");
-        }
-      }
-      for (const std::string_view token : kBannedTokens) {
-        if (contains_token(tokens, token)) {
-          emit(line_no, "determinism",
-               "banned real-clock/entropy source '" + std::string(token) +
-                   "' in simulation code; virtual time comes from the "
-                   "Simulator, wall timing from util/wall_clock.h");
-        }
-      }
-      const bool unordered_use = contains_token(tokens, "unordered_map") ||
-                                 contains_token(tokens, "unordered_set") ||
-                                 contains_token(tokens, "unordered_multimap") ||
-                                 contains_token(tokens, "unordered_multiset");
-      // Usage, not the <unordered_map> include line itself.
-      const bool is_include_line =
-          code.find("#include") != std::string::npos;
-      if (unordered_use && !is_include_line) {
-        const bool waived =
-            raw.find(kOrderedWaiver) != std::string::npos ||
-            prev_raw.find(kOrderedWaiver) != std::string::npos;
-        if (!waived) {
-          emit(line_no, "determinism",
-               "std::unordered_{map,set} use needs a '// simba-lint: "
-               "ordered' waiver (same or previous line) asserting its "
-               "iteration order is never observed; otherwise use "
-               "std::map/std::set so merged reports stay deterministic");
-        }
-      }
-    }
-
-    // [sync] — raw synchronisation outside util/.
-    if (sync_applies) {
-      for (const std::string_view token : kBannedSync) {
-        if (contains_token(tokens, token)) {
-          emit(line_no, "sync",
-               "raw '" + std::string(token) +
-                   "' is banned outside util/; use util::Mutex / "
-                   "util::MutexLock (util/mutex.h) so Clang thread-safety "
-                   "annotations cover it");
-        }
-      }
-    }
-
-    // [bounded] — queue containers on the alert path must name their
-    // bound. A raw std::deque/std::queue in core/ or net/ grows without
-    // limit under storm load unless something sheds; the waiver names
-    // the bound and the shed path so the claim is reviewable.
-    if (in_src && std::find(kBoundedModules.begin(), kBoundedModules.end(),
-                            module) != kBoundedModules.end()) {
-      const bool queue_use = contains_token(tokens, "std::deque") ||
-                             contains_token(tokens, "std::queue");
-      const bool is_include_line = code.find("#include") != std::string::npos;
-      if (queue_use && !is_include_line) {
-        const bool waived =
-            raw.find(kBoundedWaiver) != std::string::npos ||
-            prev_raw.find(kBoundedWaiver) != std::string::npos;
-        if (!waived) {
-          emit(line_no, "bounded",
-               "std::deque/std::queue on the alert path needs a "
-               "'// simba-lint: bounded(<bound, shed path>)' waiver (same "
-               "or previous line) naming the bound that keeps it from "
-               "growing without limit under storm load");
-        }
-      }
-    }
-
-    // [alloc] — debug/trace log messages must not be built eagerly.
-    // A log_debug/log_trace call whose argument text (same line)
-    // concatenates, formats, or stringifies allocates the message even
-    // when the level is off; the SIMBA_LOG_* macros defer that work.
-    if (in_src) {
-      for (const std::string_view name : kLazyLogCalls) {
-        const std::size_t args = find_call_args(tokens, name);
-        if (args == std::string::npos) continue;
-        const std::string rest = tokens.substr(args);
-        bool allocates = rest.find('+') != std::string::npos;
-        for (const std::string_view call : kAllocCalls) {
-          allocates = allocates || contains_any_call(rest, call);
-        }
-        if (allocates) {
-          emit(line_no, "alloc",
-               "message for '" + std::string(name) +
-                   "(' is built eagerly (+/strformat/to_string in the "
-                   "argument list) and allocates even when the level is "
-                   "disabled; use " +
-                   (name == "log_trace" ? "SIMBA_LOG_TRACE"
-                                        : "SIMBA_LOG_DEBUG") +
-                   " (util/log.h) so the message is only built when it "
-                   "will be written");
-        }
-      }
-    }
-
-    // [trace] — span timestamps must come from the sim clock. A line
-    // that touches the trace API (an emit(...) call or the Span type)
-    // may not also mention a wall-clock source.
-    if (in_src) {
-      const bool span_line = contains_token(tokens, "Span") ||
-                             contains_any_call(tokens, "emit");
-      if (span_line) {
-        for (const std::string_view token : kWallClockSources) {
-          if (contains_token(tokens, token)) {
-            emit(line_no, "trace",
-                 "trace span stamped from wall-clock source '" +
-                     std::string(token) +
-                     "'; spans carry virtual time only "
-                     "(sim::Simulator::now) so merged traces stay "
-                     "bit-identical across runs and thread counts");
-          }
-        }
-      }
-    }
-
-    prev_raw = raw;
-  }
-  return diags;
+  return analyze_file(rel_path, content, /*with_layer=*/true).diags;
 }
 
 LintResult lint_tree(const std::filesystem::path& root) {
   namespace fs = std::filesystem;
   LintResult result;
-  std::vector<fs::path> files;
-  for (const char* top : {"src", "bench", "tests", "examples"}) {
+  std::vector<std::string> rel_paths;
+  for (const char* top : {"src", "bench", "tests", "examples", "tools"}) {
     const fs::path dir = root / top;
     if (!fs::is_directory(dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      // Fixture trees hold deliberate violations; they are linted by
+      // their own tests, not as part of the repo.
+      if (it->is_directory() && it->path().filename() == "testdata") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+        rel_paths.push_back(fs::relative(it->path(), root).generic_string());
+      }
     }
   }
-  std::vector<std::string> rel_paths;
-  rel_paths.reserve(files.size());
-  for (const fs::path& p : files) {
-    rel_paths.push_back(fs::relative(p, root).generic_string());
-  }
   std::sort(rel_paths.begin(), rel_paths.end());
+
+  std::vector<FileAnalysis> files;
+  files.reserve(rel_paths.size());
   for (const std::string& rel : rel_paths) {
     std::ifstream in(root / rel, std::ios::binary);
     if (!in) continue;
     std::ostringstream buf;
     buf << in.rdbuf();
     ++result.files_scanned;
-    std::vector<Diagnostic> diags = lint_file(rel, buf.str());
-    result.diagnostics.insert(result.diagnostics.end(),
-                              std::make_move_iterator(diags.begin()),
-                              std::make_move_iterator(diags.end()));
+    files.push_back(analyze_file(rel, buf.str(), /*with_layer=*/false));
+  }
+
+  for (const FileAnalysis& fa : files) {
+    result.diagnostics.insert(result.diagnostics.end(), fa.diags.begin(),
+                              fa.diags.end());
+  }
+
+  // [counters]: only when the tree ships a registry (fixture trees for
+  // the other rules don't, and their counter-free sources stay clean).
+  const fs::path def_path = root / kRegistryPath;
+  if (fs::is_regular_file(def_path)) {
+    std::ifstream in(def_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const CounterRegistry registry = CounterRegistry::parse(
+        buf.str(), std::string(kRegistryPath), result.diagnostics);
+    check_counters(registry, std::string(kRegistryPath), files,
+                   result.diagnostics);
+  }
+
+  run_include_graph(files, result.diagnostics);
+
+  std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                   diag_order);
+  for (const Diagnostic& d : result.diagnostics) {
+    ++(d.severity == Severity::kError ? result.error_count
+                                      : result.warning_count);
   }
   return result;
 }
 
 int run_cli(int argc, const char* const* argv, std::string& out) {
   std::filesystem::path root = ".";
+  std::string sarif_path;
   bool quiet = false;
+  bool dump_counters = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--dump-counters") {
+      dump_counters = true;
     } else if (arg == "--help" || arg == "-h") {
-      out += "usage: simba_lint [--root DIR] [--quiet]\n";
+      out += "usage: simba_lint [--root DIR] [--quiet] [--sarif FILE] "
+             "[--dump-counters]\n";
       return 0;
     } else {
       out += "simba_lint: unknown argument '" + std::string(arg) + "'\n";
       return 2;
     }
   }
+
+  if (dump_counters) {
+    // Registry-authoring aid: every distinct counter literal with its
+    // site counts, "name bump=N get=M [prefix]" sorted by name.
+    namespace fs = std::filesystem;
+    struct Tally {
+      int bumps = 0;
+      int gets = 0;
+      bool prefix = false;
+    };
+    std::map<std::string, Tally> tallies;
+    int files_seen = 0;
+    for (const char* top : {"src", "bench", "tests", "examples", "tools"}) {
+      const fs::path dir = root / top;
+      if (!fs::is_directory(dir)) continue;
+      for (auto it = fs::recursive_directory_iterator(dir);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory() && it->path().filename() == "testdata") {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (!it->is_regular_file()) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+        std::ifstream in(it->path(), std::ios::binary);
+        if (!in) continue;
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        ++files_seen;
+        const FileAnalysis fa =
+            analyze_file(fs::relative(it->path(), root).generic_string(),
+                         buf.str(), /*with_layer=*/false);
+        for (const CounterSite& site : fa.counter_sites) {
+          Tally& tally = tallies[site.name];
+          ++(site.is_bump ? tally.bumps : tally.gets);
+          tally.prefix = tally.prefix || site.is_prefix;
+        }
+      }
+    }
+    if (files_seen == 0) {
+      out += "simba_lint: no .h/.cc files under '" + root.string() +
+             "' (wrong --root?)\n";
+      return 2;
+    }
+    for (const auto& [name, tally] : tallies) {
+      out += name + " bump=" + std::to_string(tally.bumps) +
+             " get=" + std::to_string(tally.gets) +
+             (tally.prefix ? " prefix" : "") + "\n";
+    }
+    return 0;
+  }
+
   const LintResult result = lint_tree(root);
   if (result.files_scanned == 0) {
     out += "simba_lint: no .h/.cc files under '" + root.string() +
@@ -539,12 +263,24 @@ int run_cli(int argc, const char* const* argv, std::string& out) {
     out += format(d);
     out += '\n';
   }
+  if (!sarif_path.empty()) {
+    std::ofstream sarif_out(sarif_path, std::ios::binary);
+    if (!sarif_out) {
+      out += "simba_lint: cannot write SARIF to '" + sarif_path + "'\n";
+      return 2;
+    }
+    sarif_out << to_sarif(result.diagnostics);
+  }
   if (!quiet) {
     out += "simba-lint: " + std::to_string(result.files_scanned) +
-           " files scanned, " + std::to_string(result.diagnostics.size()) +
-           " violation(s)\n";
+           " files scanned, " + std::to_string(result.error_count) +
+           " violation(s)";
+    if (result.warning_count > 0) {
+      out += ", " + std::to_string(result.warning_count) + " warning(s)";
+    }
+    out += "\n";
   }
-  return result.diagnostics.empty() ? 0 : 1;
+  return result.error_count == 0 ? 0 : 1;
 }
 
 }  // namespace simba::lint

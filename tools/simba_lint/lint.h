@@ -1,13 +1,22 @@
-// simba-lint: the repo's custom static-analysis pass.
-//
-// Three rule families, all motivated by the fleet/chaos determinism
-// invariant (merged reports must be bit-identical across seeds and
-// thread counts) and by the layered architecture DESIGN.md documents:
+// simba-lint — the repo's custom static-analysis pass: a multi-pass
+// repo analyzer built on one shared tokenizer (lexer.h). Files are
+// lexed once; line-oriented rules read the per-line stripped views,
+// and the repo-wide passes (counter registry, include graph, waiver
+// audit) read the cross-line token stream, all motivated by the
+// fleet/chaos determinism invariant (merged reports must be
+// bit-identical across seeds and thread counts), the layered
+// architecture, and the extended conservation identity DESIGN.md
+// documents:
 //
 //   [layer]       src/ directories form a DAG (util at the bottom,
 //                 fleet at the top, bench/tests/examples above
 //                 everything); an #include that points up or sideways
-//                 across the DAG is an error.
+//                 across the DAG is an error. The repo-wide include
+//                 graph additionally verifies the DAG transitively
+//                 and reports file-level include cycles.
+//   [include]     IWYU-lite: a quoted repo include whose header
+//                 exports no name the including file ever mentions is
+//                 a warning (the include is dead weight).
 //   [determinism] real clocks, ambient randomness, and environment
 //                 reads are banned in src/ outside the allowlisted
 //                 util/wall_clock.cc shim; std::unordered_{map,set}
@@ -17,6 +26,9 @@
 //                 banned outside util/ — use util::Mutex/MutexLock
 //                 (util/mutex.h), which carry Clang thread-safety
 //                 annotations.
+//   [bounded]     queue containers on the alert hot path (core/,
+//                 net/) must carry a "// simba-lint: bounded(...)"
+//                 waiver naming the bound and its shed path.
 //   [trace]       lifecycle-trace spans carry virtual time only: a
 //                 src/ line that emits or builds a util::Trace span
 //                 (an emit(...) call or the Span type) may not
@@ -30,9 +42,41 @@
 //                 when the level is disabled — use SIMBA_LOG_DEBUG /
 //                 SIMBA_LOG_TRACE (util/log.h), which evaluate the
 //                 message expression only when it will be written.
+//   [counters]    every Counters::bump("...") / ::get("...") literal
+//                 must resolve to an entry in the checked-in registry
+//                 src/util/counter_registry.def (name, owning
+//                 subsystem, conservation-identity role, one-line
+//                 doc). Unregistered names are errors with an
+//                 edit-distance hint; a registered name with no bump
+//                 site anywhere (and no 'dynamic' mark) is an error
+//                 too, so the registry cannot rot.
+//   [waiver]      a waiver comment that no longer suppresses any
+//                 diagnostic is itself an error — waivers cannot
+//                 outlive their reason.
 //
-// The checks are line-based over comment- and string-stripped source,
-// so they are fast, dependency-free, and deterministic; anything that
+// Per-tree rule applicability. The tree walk covers src/, tests/,
+// bench/, examples/, and tools/ (skipping any testdata/ fixture
+// directory); rules apply per top-level tree:
+//
+//   rule          src/                tests/ bench/ examples/  tools/
+//   [layer]       yes                 yes (rank 8: anything)   —
+//   [include]     yes                 —                        yes
+//   [determinism] yes (allowlist)     —                        —
+//   [sync]        yes (outside util/) —                        —
+//   [bounded]     core/ + net/        —                        —
+//   [trace]       yes                 —                        —
+//   [alloc]       yes                 —                        —
+//   [counters]    yes                 yes                      yes
+//   [waiver]      yes                 yes                      yes
+//
+// Tests, benches, and examples exercise nondeterminism and raw
+// primitives on purpose (seeded storms, wall-clock bench timing), so
+// only the whole-tree passes follow them; tools/ is outside the
+// layering DAG but its sources still carry counters and waivers.
+// Include cycles are reported in every tree.
+//
+// The checks are lexical (comment/string-aware, not semantic), so
+// they are fast, dependency-free, and deterministic; anything that
 // needs real semantic analysis is clang-tidy's job (.clang-tidy).
 #pragma once
 
@@ -42,34 +86,55 @@
 
 namespace simba::lint {
 
+enum class Severity { kError, kWarning };
+
 struct Diagnostic {
   std::string file;  // path relative to the lint root, '/' separators
   int line = 0;      // 1-based
-  std::string rule;  // "layer", "determinism", "sync", "trace", "alloc"
+  std::string rule;  // "layer", "include", "determinism", "sync",
+                     // "bounded", "trace", "alloc", "counters", "waiver"
   std::string message;
+  Severity severity = Severity::kError;
 };
 
 /// "file:line: error: [rule] message" — the format editors parse.
 std::string format(const Diagnostic& d);
 
-/// Lints one file's contents. `rel_path` is the root-relative path
-/// (e.g. "src/core/alert.h"); it selects which rule families apply.
+/// Lints one file's contents with the per-file rules (everything
+/// except the repo-wide counter-registry, include-graph, and
+/// unused-include passes, which need the whole tree). `rel_path` is
+/// the root-relative path (e.g. "src/core/alert.h"); it selects which
+/// rule families apply.
 std::vector<Diagnostic> lint_file(const std::string& rel_path,
                                   const std::string& content);
 
 struct LintResult {
-  std::vector<Diagnostic> diagnostics;
+  std::vector<Diagnostic> diagnostics;  // sorted by (path, line, rule)
   int files_scanned = 0;
+  int error_count = 0;
+  int warning_count = 0;
 };
 
-/// Walks src/, bench/, tests/, and examples/ under `root` (the .h and
-/// .cc files) and lints each. Diagnostics come back sorted by path
-/// then line, so output is stable across filesystems.
+/// Walks src/, bench/, tests/, examples/, and tools/ under `root`
+/// (the .h, .cc, and .cpp files, skipping testdata/ fixtures), lints
+/// each file, then runs the repo-wide passes: the [counters] registry
+/// check against src/util/counter_registry.def (skipped when the tree
+/// has no registry file), the include-graph DAG/cycle/unused-include
+/// analysis, and the [waiver] audit. Everything is built in one pass
+/// over the tree — files are read and lexed once, the registry and
+/// include graph once per run, never per file. Diagnostics come back
+/// stable-sorted by (path, line, rule), so output is byte-identical
+/// across platforms and directory-iteration orders.
 LintResult lint_tree(const std::filesystem::path& root);
 
-/// CLI driver: `simba_lint [--root DIR] [--quiet]`. Prints one
-/// formatted diagnostic per line plus a summary to `out`; returns the
-/// process exit code (0 clean, 1 violations, 2 usage/IO error).
+/// CLI driver:
+///   simba_lint [--root DIR] [--quiet] [--sarif FILE] [--dump-counters]
+/// Prints one formatted diagnostic per line plus a summary to `out`;
+/// --sarif additionally writes the diagnostics as SARIF 2.1.0 (the
+/// format GitHub code scanning ingests); --dump-counters lists every
+/// distinct counter-literal site instead of linting (registry
+/// authoring aid). Returns the process exit code (0 clean or
+/// warnings only, 1 errors, 2 usage/IO error).
 int run_cli(int argc, const char* const* argv, std::string& out);
 
 }  // namespace simba::lint

@@ -1,0 +1,195 @@
+#include "registry.h"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+namespace simba::lint {
+namespace {
+
+// Subsystems a counter may belong to: the src/ layering modules plus
+// the two non-production owners. A typo'd subsystem is as corrosive
+// as a typo'd name, so membership is checked.
+constexpr std::array<std::string_view, 18> kSubsystems{
+    "util", "xml",  "sim",       "net",   "gui",   "im",
+    "email", "sms", "automation", "sss",  "core",  "aladdin",
+    "wish", "assistant", "proxy", "fleet", "test",  "bench",
+};
+
+bool known_subsystem(std::string_view s) {
+  return std::find(kSubsystems.begin(), kSubsystems.end(), s) !=
+         kSubsystems.end();
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b,
+                          std::size_t cap) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (b.size() - a.size() > cap) return cap + 1;
+  std::vector<std::size_t> row(a.size() + 1);
+  for (std::size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (std::size_t j = 1; j <= b.size(); ++j) {
+    std::size_t prev_diag = row[0];
+    row[0] = j;
+    std::size_t best = row[0];
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      const std::size_t subst = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev_diag = row[i];
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, subst});
+      best = std::min(best, row[i]);
+    }
+    if (best > cap) return cap + 1;  // row can only grow from here
+  }
+  return row[a.size()];
+}
+
+}  // namespace
+
+CounterRegistry CounterRegistry::parse(const std::string& content,
+                                       const std::string& def_rel_path,
+                                       std::vector<Diagnostic>& diags) {
+  CounterRegistry registry;
+  registry.loaded_ = true;
+  auto error = [&](int line, std::string message) {
+    diags.push_back(Diagnostic{def_rel_path, line, "counters",
+                               std::move(message), Severity::kError});
+  };
+  std::istringstream in(content);
+  std::string raw;
+  for (int line_no = 1; std::getline(in, raw); ++line_no) {
+    const std::size_t hash = raw.find('#');
+    std::string line = hash == std::string::npos ? raw : raw.substr(0, hash);
+    const std::size_t doc_sep = line.find("--");
+    std::string head = doc_sep == std::string::npos ? line
+                                                    : line.substr(0, doc_sep);
+    std::istringstream fields(head);
+    std::string name, subsystem, role_text, flag, extra;
+    fields >> name >> subsystem >> role_text >> flag >> extra;
+    if (name.empty()) {
+      if (!subsystem.empty() || doc_sep != std::string::npos) {
+        error(line_no, "malformed registry line: expected '<name> "
+                       "<subsystem> <source|sink|neutral> [dynamic] -- doc'");
+      }
+      continue;  // blank or comment-only line
+    }
+    CounterEntry entry;
+    entry.line = line_no;
+    entry.name = name;
+    if (!entry.name.empty() && entry.name.back() == '*') {
+      entry.name.pop_back();
+      entry.prefix = true;
+      entry.dynamic = true;  // a pattern has no single literal bump site
+      if (entry.name.empty()) {
+        error(line_no, "prefix pattern '*' would match every counter");
+        continue;
+      }
+    }
+    entry.subsystem = subsystem;
+    if (subsystem.empty() || role_text.empty() ||
+        doc_sep == std::string::npos) {
+      error(line_no,
+            "malformed registry line for '" + name +
+                "': expected '<name> <subsystem> <source|sink|neutral> "
+                "[dynamic] -- doc'");
+      continue;
+    }
+    if (!known_subsystem(subsystem)) {
+      error(line_no, "unknown subsystem '" + subsystem + "' for counter '" +
+                         name + "'");
+      continue;
+    }
+    if (role_text == "source") {
+      entry.role = CounterEntry::Role::kSource;
+    } else if (role_text == "sink") {
+      entry.role = CounterEntry::Role::kSink;
+    } else if (role_text == "neutral") {
+      entry.role = CounterEntry::Role::kNeutral;
+    } else {
+      error(line_no, "unknown conservation role '" + role_text +
+                         "' for counter '" + name +
+                         "' (want source, sink, or neutral)");
+      continue;
+    }
+    if (!flag.empty()) {
+      if (flag == "dynamic") {
+        entry.dynamic = true;
+      } else {
+        error(line_no, "unknown flag '" + flag + "' for counter '" + name +
+                           "' (only 'dynamic' is recognised)");
+        continue;
+      }
+    }
+    if (!extra.empty()) {
+      error(line_no, "trailing field '" + extra + "' for counter '" + name +
+                         "' before the '--' doc separator");
+      continue;
+    }
+    std::string doc = line.substr(doc_sep + 2);
+    const std::size_t first = doc.find_first_not_of(" \t");
+    doc = first == std::string::npos ? "" : doc.substr(first);
+    if (doc.empty()) {
+      error(line_no, "counter '" + name + "' is missing its one-line doc");
+      continue;
+    }
+    entry.doc = std::move(doc);
+    registry.entries_.push_back(std::move(entry));
+  }
+  std::sort(registry.entries_.begin(), registry.entries_.end(),
+            [](const CounterEntry& a, const CounterEntry& b) {
+              return a.name < b.name;
+            });
+  for (std::size_t i = 1; i < registry.entries_.size(); ++i) {
+    if (registry.entries_[i].name == registry.entries_[i - 1].name) {
+      error(registry.entries_[i].line,
+            "duplicate registry entry '" + registry.entries_[i].name +
+                "' (first declared on line " +
+                std::to_string(registry.entries_[i - 1].line) + ")");
+    }
+  }
+  return registry;
+}
+
+const CounterEntry* CounterRegistry::resolve(std::string_view name) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const CounterEntry& e, std::string_view n) { return e.name < n; });
+  if (it != entries_.end() && it->name == name && !it->prefix) return &*it;
+  for (const CounterEntry& entry : entries_) {
+    if (entry.prefix && name.size() >= entry.name.size() &&
+        name.compare(0, entry.name.size(), entry.name) == 0) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+bool CounterRegistry::resolve_prefix(std::string_view literal) const {
+  for (const CounterEntry& entry : entries_) {
+    // A registered name that extends the literal ("seen_via_im" for
+    // literal "seen_via_"), or a pattern the literal extends or
+    // equals ("lanes.shed." against pattern "lanes.shed.*").
+    if (entry.name.size() >= literal.size()) {
+      if (entry.name.compare(0, literal.size(), literal) == 0) return true;
+    } else if (entry.prefix &&
+               literal.compare(0, entry.name.size(), entry.name) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string CounterRegistry::nearest(std::string_view name,
+                                     std::size_t max_distance) const {
+  std::string best;
+  std::size_t best_distance = max_distance + 1;
+  for (const CounterEntry& entry : entries_) {
+    if (entry.prefix) continue;
+    const std::size_t d = edit_distance(name, entry.name, max_distance);
+    if (d < best_distance) {
+      best_distance = d;
+      best = entry.name;
+    }
+  }
+  return best;
+}
+
+}  // namespace simba::lint

@@ -1,0 +1,30 @@
+// SARIF 2.1.0 output for simba-lint — the machine-readable result
+// format GitHub code scanning ingests, so lint findings annotate PRs
+// instead of living in a CI log. Emission is deliberately minimal
+// (one run, one tool, results with ruleId/level/message/location);
+// validate_sarif() structurally checks that minimum against the
+// SARIF 2.1.0 schema so the fixture test catches emission drift
+// without a JSON-schema dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace simba::lint {
+
+/// Serializes diagnostics as a SARIF 2.1.0 log (pretty-printed JSON,
+/// trailing newline). Deterministic: results keep their input order,
+/// rule metadata is sorted by rule id.
+std::string to_sarif(const std::vector<Diagnostic>& diagnostics);
+
+/// Structural SARIF 2.1.0 check: parses `json` (full JSON grammar)
+/// and verifies the shape GitHub requires — $schema/version 2.1.0,
+/// runs[].tool.driver.name, every result's ruleId, level, message
+/// text, and physical location with uri + positive startLine, and
+/// that every ruleId is declared in the driver's rules. Returns ""
+/// when valid, else a one-line description of the first problem.
+std::string validate_sarif(const std::string& json);
+
+}  // namespace simba::lint

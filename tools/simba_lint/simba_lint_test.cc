@@ -3,10 +3,15 @@
 // line, rule, formatted text) and the CLI exit codes.
 #include "lint.h"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "sarif.h"
 
 namespace simba::lint {
 namespace {
@@ -230,6 +235,175 @@ TEST(SimbaLint, MemberCallsAreNotBannedCalls) {
       "src/core/x.cc",
       "void f(Sim& s) { s.time(); s.clock(); sim->time(); my_time(1); }\n");
   EXPECT_TRUE(diags.empty()) << format(diags.front());
+}
+
+TEST(SimbaLint, CounterRegistryChecksEverySite) {
+  const LintResult result = lint_fixture("counters");
+  EXPECT_EQ(result.files_scanned, 3);
+  // good.cc (exact, glued, ternary, prefix-into-pattern sites) and the
+  // get()-only probe of the dynamic entry stay clean; bad.cc's three
+  // sites and the never-bumped registry entry are errors.
+  ASSERT_EQ(result.diagnostics.size(), 4u);
+  for (const Diagnostic& d : result.diagnostics) {
+    EXPECT_EQ(d.rule, "counters");
+    EXPECT_EQ(d.severity, Severity::kError);
+  }
+  EXPECT_EQ(format(result.diagnostics[0]),
+            "src/core/bad.cc:3: error: [counters] counter \"alert_sent\" is "
+            "not registered in src/util/counter_registry.def — did you mean "
+            "\"alerts_sent\"?");
+  EXPECT_EQ(format(result.diagnostics[1]),
+            "src/core/bad.cc:4: error: [counters] counter \"totally_unknown\" "
+            "is not registered in src/util/counter_registry.def — add it "
+            "(name, subsystem, role, doc) or fix the name");
+  EXPECT_EQ(format(result.diagnostics[2]),
+            "src/core/bad.cc:5: error: [counters] counter-name prefix \"zz.\" "
+            "matches no registered counter or pattern; register the dynamic "
+            "names it produces in src/util/counter_registry.def");
+  EXPECT_EQ(format(result.diagnostics[3]),
+            "src/util/counter_registry.def:6: error: [counters] registered "
+            "counter 'stale_counter' has no bump(\"...\") site anywhere in "
+            "the tree; delete the entry or mark it 'dynamic' if it is bumped "
+            "through a computed key");
+
+  std::string out;
+  EXPECT_EQ(
+      cli({"--root", (std::string(kTestdata) + "/counters").c_str()}, out), 1);
+  EXPECT_NE(out.find("4 violation(s)"), std::string::npos) << out;
+}
+
+TEST(SimbaLint, RegistryParseErrors) {
+  const LintResult result = lint_fixture("registry_errors");
+  // One diagnostic per malformed line plus the duplicate-name check;
+  // the well-formed entry is bumped by use.cc, so nothing else fires.
+  ASSERT_EQ(result.diagnostics.size(), 9u);
+  std::string all;
+  for (const Diagnostic& d : result.diagnostics) {
+    EXPECT_EQ(d.rule, "counters");
+    EXPECT_EQ(d.file, "src/util/counter_registry.def");
+    all += format(d);
+    all += '\n';
+  }
+  EXPECT_NE(all.find(":2: error: [counters] malformed registry line: "
+                     "expected '<name> <subsystem> <source|sink|neutral> "
+                     "[dynamic] -- doc'"),
+            std::string::npos)
+      << all;
+  EXPECT_NE(all.find(":4: error: [counters] malformed registry line for "
+                     "'short_line'"),
+            std::string::npos)
+      << all;
+  EXPECT_NE(all.find(":5: error: [counters] unknown subsystem 'nowhere' for "
+                     "counter 'bad_subsystem'"),
+            std::string::npos)
+      << all;
+  EXPECT_NE(all.find(":6: error: [counters] unknown conservation role "
+                     "'upward' for counter 'bad_role' (want source, sink, or "
+                     "neutral)"),
+            std::string::npos)
+      << all;
+  EXPECT_NE(all.find(":7: error: [counters] unknown flag 'sticky' for "
+                     "counter 'bad_flag' (only 'dynamic' is recognised)"),
+            std::string::npos)
+      << all;
+  EXPECT_NE(all.find(":8: error: [counters] trailing field 'surplus' for "
+                     "counter 'extra_field' before the '--' doc separator"),
+            std::string::npos)
+      << all;
+  EXPECT_NE(all.find(":9: error: [counters] counter 'no_doc' is missing its "
+                     "one-line doc"),
+            std::string::npos)
+      << all;
+  EXPECT_NE(all.find(":10: error: [counters] prefix pattern '*' would match "
+                     "every counter"),
+            std::string::npos)
+      << all;
+  // The duplicate pair sorts by name only, so which of lines 3/11 is
+  // "first" is unspecified — assert the message, not the line.
+  EXPECT_NE(all.find("duplicate registry entry 'ok_counter' (first declared "
+                     "on line "),
+            std::string::npos)
+      << all;
+}
+
+TEST(SimbaLint, IncludeCycleAndUnusedInclude) {
+  const LintResult result = lint_fixture("include");
+  EXPECT_EQ(result.files_scanned, 4);
+  // user.cc pulls in a.h without mentioning anything it exports
+  // (warning); a.h and b.h include each other (error, reported once,
+  // spelled from the lexicographically-first file).
+  ASSERT_EQ(result.diagnostics.size(), 2u);
+  EXPECT_EQ(format(result.diagnostics[0]),
+            "src/core/user.cc:1: warning: [include] included header "
+            "\"util/a.h\" exports no name this file mentions; drop the "
+            "include or include what you use directly");
+  EXPECT_EQ(format(result.diagnostics[1]),
+            "src/util/a.h:2: error: [layer] include cycle: src/util/a.h -> "
+            "src/util/b.h -> src/util/a.h");
+
+  // Warnings alone would exit 0; the cycle error makes it 1.
+  std::string out;
+  EXPECT_EQ(
+      cli({"--root", (std::string(kTestdata) + "/include").c_str()}, out), 1);
+  EXPECT_NE(out.find("4 files scanned, 1 violation(s), 1 warning(s)"),
+            std::string::npos)
+      << out;
+}
+
+TEST(SimbaLint, WaiverAuditEdgeCases) {
+  const LintResult result = lint_fixture("waiver");
+  EXPECT_EQ(result.files_scanned, 1);
+  // The previous-line waiver with trailing prose and the two-markers-
+  // on-one-line comment all suppress something; the stale waiver over
+  // a std::map and the unknown kind are the only findings.
+  ASSERT_EQ(result.diagnostics.size(), 2u);
+  EXPECT_EQ(format(result.diagnostics[0]),
+            "src/core/waivers.cc:8: error: [waiver] waiver '// simba-lint: "
+            "ordered' does not suppress any diagnostic on this or the next "
+            "line; remove it — waivers must not outlive their reason");
+  EXPECT_EQ(format(result.diagnostics[1]),
+            "src/core/waivers.cc:10: error: [waiver] unknown waiver kind "
+            "'frobnicate' (recognised: 'ordered', 'bounded(...)')");
+}
+
+TEST(SimbaLint, SarifRoundTripValidates) {
+  const LintResult result = lint_fixture("counters");
+  ASSERT_FALSE(result.diagnostics.empty());
+  const std::string sarif = to_sarif(result.diagnostics);
+  EXPECT_EQ(validate_sarif(sarif), "");
+  // Spot-check the payload carries the findings.
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"counters\""), std::string::npos);
+  EXPECT_NE(sarif.find("src/core/bad.cc"), std::string::npos);
+
+  // An empty run is still a valid SARIF log.
+  EXPECT_EQ(validate_sarif(to_sarif({})), "");
+
+  // Corrupted logs are rejected with a reason.
+  EXPECT_NE(validate_sarif("{}"), "");
+  EXPECT_NE(validate_sarif("not json"), "");
+  std::string wrong_version = sarif;
+  const std::size_t at = wrong_version.find("\"2.1.0\"");
+  ASSERT_NE(at, std::string::npos);
+  wrong_version.replace(at, 7, "\"9.9.9\"");
+  EXPECT_NE(validate_sarif(wrong_version), "");
+}
+
+TEST(SimbaLint, CliWritesSarif) {
+  const std::string sarif_path =
+      testing::TempDir() + "/simba_lint_cli_test.sarif";
+  std::string out;
+  EXPECT_EQ(cli({"--root", (std::string(kTestdata) + "/waiver").c_str(),
+                 "--sarif", sarif_path.c_str()},
+                out),
+            1);
+  std::ifstream in(sarif_path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(validate_sarif(buf.str()), "");
+  EXPECT_NE(buf.str().find("\"ruleId\": \"waiver\""), std::string::npos);
+  std::remove(sarif_path.c_str());
 }
 
 TEST(SimbaLint, CliErrors) {

@@ -8,4 +8,5 @@
 namespace simba {
 const char* motto() { return "no rand() calls, no steady_clock here"; }
 int format_time(int t) { return t; }  // suffix 'time(' must not match
+int use(util::Ok ok) { return ok.value; }  // uses util/ok.h: no IWYU warning
 }  // namespace simba

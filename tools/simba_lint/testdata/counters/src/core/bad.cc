@@ -1,0 +1,6 @@
+// Near-miss, unknown, and unresolvable-prefix counter sites.
+void record(Counters& c, const std::string& k) {
+  c.bump("alert_sent");
+  c.bump("totally_unknown");
+  c.bump("zz." + k);
+}

@@ -1,0 +1,10 @@
+// Counter sites the registry covers: exact, glued across lines,
+// ternary-selected, and a prefix that a pattern entry matches.
+void record(Counters& c, bool seen, const std::string& lane) {
+  c.bump("alerts_sent");
+  c.bump(
+      "alerts_"
+      "seen");
+  c.bump(seen ? "alerts_seen" : "alerts_sent");
+  c.bump("lanes." + lane);
+}

@@ -1,0 +1,3 @@
+// A get()-only probe of a 'dynamic' registry entry is fine in any
+// tree — the reverse (never-bumped) check skips dynamic entries.
+int probe(const Counters& c) { return c.get("probe"); }

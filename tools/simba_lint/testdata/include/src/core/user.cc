@@ -1,0 +1,3 @@
+#include "util/a.h"
+#include "util/used.h"
+int consume(Used u) { return u.z; }

@@ -1,0 +1,5 @@
+#pragma once
+#include "util/b.h"
+struct A {
+  B b;
+};

@@ -1,0 +1,5 @@
+#pragma once
+#include "util/a.h"
+struct B {
+  A* a;
+};

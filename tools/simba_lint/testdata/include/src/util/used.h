@@ -1,0 +1,4 @@
+#pragma once
+struct Used {
+  int z = 0;
+};

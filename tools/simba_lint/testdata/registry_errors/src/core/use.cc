@@ -1,0 +1,3 @@
+// Keeps the one well-formed entry bumped so the only diagnostics in
+// this fixture are the registry-parse errors themselves.
+void f(Counters& c) { c.bump("ok_counter"); }

@@ -1,0 +1,12 @@
+// Waiver audit edge cases: used waivers stay silent (previous-line
+// placement, trailing prose, two markers in one comment); a stale or
+// unknown-kind waiver is its own error.
+struct W {
+  // simba-lint: ordered -- iteration order is folded into a sorted report
+  std::unordered_map<int, int> by_id;
+  std::unordered_map<int, std::deque<int>> q;  // simba-lint: ordered  simba-lint: bounded(8 per key, oldest dropped)
+  // simba-lint: ordered
+  std::map<int, int> sorted;
+  // simba-lint: frobnicate
+  int x = 0;
+};
