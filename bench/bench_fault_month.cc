@@ -20,6 +20,8 @@
 #include <map>
 
 #include "common.h"
+#include "resumable.h"
+#include "sim/chaos.h"
 #include "util/log.h"
 
 using namespace simba;
@@ -226,6 +228,25 @@ void print_month(const char* label, const MonthResult& r) {
 
 int main(int argc, char** argv) {
   const Options options = Options::parse(argc, argv);
+
+  // --epochs / --checkpoint-every / --resume-from: a resumable month —
+  // the chaos fleet over a 30-day horizon with daily epoch boundaries,
+  // each boundary a planned crash-restart (the simulator sibling of
+  // the paper's nightly rejuvenation). The bespoke month replay below
+  // is untouched when no checkpoint flag is given.
+  if (resumable_mode(options)) {
+    fleet::ResumableOptions resumable;
+    resumable.kind = fleet::ResumeKind::kChaos;
+    resumable.world.fidelity = fleet::ModelFidelity::kFast;
+    resumable.world.email_check_interval = minutes(15);
+    resumable.scenario = sim::ChaosScenario::preset("flaky_network");
+    resumable.fleet.shards = 2;
+    resumable.horizon = hours(24 * 30);
+    resumable.drain = hours(6);
+    resumable.epochs = 30;  // one boundary per simulated night
+    resumable.alerts_per_user_day = 24.0;
+    return run_resumable_bench("fault_month", options, resumable);
+  }
 
   print_header("E6: one-month fault-injection log",
                "5 IM downtimes (4-103 min), 9 re-logons, 9 client "

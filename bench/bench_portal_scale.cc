@@ -16,12 +16,29 @@
 
 #include "common.h"
 #include "fleet/portal_workload.h"
+#include "resumable.h"
 
 using namespace simba;
 using namespace simba::bench;
 
 int main(int argc, char** argv) {
   const Options options = Options::parse(argc, argv);
+
+  // --epochs / --checkpoint-every / --resume-from: the resumable
+  // portal fleet (fleet/resume.h) instead of the one-shot replay.
+  // Fast loss-free models keep the cross-process round-trip ctest
+  // (tools/resume_roundtrip.py) sub-second; the legacy calibrated
+  // path below is untouched when no checkpoint flag is given.
+  if (resumable_mode(options)) {
+    fleet::ResumableOptions resumable;
+    resumable.kind = fleet::ResumeKind::kPortal;
+    resumable.world.fidelity = fleet::ModelFidelity::kFast;
+    resumable.world.email_check_interval = minutes(15);
+    resumable.world.trace = true;
+    resumable.fleet.shards = 4;
+    return run_resumable_bench("portal_scale", options, resumable);
+  }
+
   const int users =
       options.users > 0 ? options.users : (options.n > 0 ? options.n : 64);
   const int threads = std::max(1, options.threads);

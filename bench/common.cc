@@ -35,6 +35,16 @@ Options Options::parse(int argc, char** argv) {
       options.trace_jsonl = v;
     } else if (const char* v = value_of(arg, "--json", i)) {
       options.json = v;
+    } else if (const char* v = value_of(arg, "--epochs", i)) {
+      options.epochs = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value_of(arg, "--checkpoint-every", i)) {
+      options.checkpoint_every = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = value_of(arg, "--checkpoint-path", i)) {
+      options.checkpoint_path = v;
+    } else if (const char* v = value_of(arg, "--resume-from", i)) {
+      options.resume_from = v;
+    } else if (std::strcmp(arg, "--stop-at-checkpoint") == 0) {
+      options.stop_at_checkpoint = true;
     }
   }
   return options;

@@ -34,7 +34,10 @@ namespace simba::bench {
 /// Command-line: --seed, --n (workload size), --users, --threads,
 /// --trace-jsonl, and --json, each accepted as "--flag=V" or
 /// "--flag V", in any order; unknown flags are ignored so harness
-/// wrappers can pass extras.
+/// wrappers can pass extras. The checkpoint/resume flags switch the
+/// benches that support them (bench_portal_scale, bench_fault_month)
+/// into the resumable fleet driver (fleet/resume.h); without any of
+/// them the legacy single-run output is byte-identical to before.
 struct Options {
   std::uint64_t seed = 42;
   int n = 0;        // 0 = bench-specific default
@@ -46,6 +49,23 @@ struct Options {
   /// Non-empty: also write the machine-readable metrics (the
   /// JsonReport the bench builds) to this path.
   std::string json;
+
+  // --- Checkpoint / resume (resumable benches only) -------------------------
+  /// > 0: run the resumable driver with this many epochs instead of
+  /// the bench's legacy single run.
+  int epochs = 0;
+  /// > 0: cut a checkpoint image once this many epochs have completed
+  /// (fleet::ResumeControl::checkpoint_after_epoch).
+  int checkpoint_every = 0;
+  /// Die at the checkpoint instead of continuing — the "B" leg of the
+  /// cross-process round-trip (tools/resume_roundtrip.py).
+  bool stop_at_checkpoint = false;
+  /// Non-empty: write the cut checkpoint image to this path.
+  std::string checkpoint_path;
+  /// Non-empty: decode this image and run the remaining epochs — the
+  /// "C" leg of the round-trip.
+  std::string resume_from;
+
   static Options parse(int argc, char** argv);
 };
 

@@ -90,4 +90,28 @@ std::vector<Alert> AlertLog::unprocessed() const {
   return out;
 }
 
+AlertLog::State AlertLog::save_state() const {
+  State state;
+  state.records.reserve(records_.size());
+  for (const Record& record : records_) {
+    state.records.push_back(SavedRecord{record.alert, record.received_at,
+                                        record.processed_at,
+                                        record.processed});
+  }
+  state.stats = stats_;
+  return state;
+}
+
+void AlertLog::restore_state(State state) {
+  records_.clear();
+  index_.clear();
+  records_.reserve(state.records.size());
+  for (SavedRecord& saved : state.records) {
+    index_[saved.alert.id] = records_.size();
+    records_.push_back(Record{std::move(saved.alert), saved.received_at,
+                              saved.processed_at, saved.processed});
+  }
+  stats_.restore_state(std::move(state.stats));
+}
+
 }  // namespace simba::core

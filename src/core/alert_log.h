@@ -66,6 +66,23 @@ class AlertLog {
   /// marks, and torn records emit instant events.
   void set_trace(util::Trace* trace) { trace_ = trace; }
 
+  /// Checkpoint state (sim/snapshot.h). The log *is* the paper's
+  /// persistence story, so it is carried verbatim across a
+  /// crash-restart: records in arrival order plus the counter bag; the
+  /// id index is rebuilt on restore.
+  struct SavedRecord {
+    Alert alert;
+    TimePoint received_at{};
+    TimePoint processed_at{};
+    bool processed = false;
+  };
+  struct State {
+    std::vector<SavedRecord> records;
+    Counters stats;
+  };
+  State save_state() const;
+  void restore_state(State state);
+
  private:
   struct Record {
     Alert alert;

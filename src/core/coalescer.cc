@@ -93,4 +93,35 @@ AlertCoalescer::Digest AlertCoalescer::flush_window(const std::string& category,
   return digest;
 }
 
+AlertCoalescer::State AlertCoalescer::save_state() const {
+  State state;
+  state.windows.reserve(windows_.size());
+  for (const auto& [category, window] : windows_) {
+    WindowState w;
+    w.category = category;
+    w.count = window.count;
+    w.representative_ids = window.representative_ids;
+    w.folded_ids.assign(window.folded_ids.begin(), window.folded_ids.end());
+    w.opened_at = window.opened_at;
+    w.deadline = window.deadline;
+    state.windows.push_back(std::move(w));
+  }
+  state.next_sequence = next_sequence_;
+  return state;
+}
+
+void AlertCoalescer::restore_state(const State& state) {
+  windows_.clear();
+  for (const WindowState& w : state.windows) {
+    Window window;
+    window.count = w.count;
+    window.representative_ids = w.representative_ids;
+    window.folded_ids.insert(w.folded_ids.begin(), w.folded_ids.end());
+    window.opened_at = w.opened_at;
+    window.deadline = w.deadline;
+    windows_.emplace(w.category, std::move(window));
+  }
+  next_sequence_ = state.next_sequence;
+}
+
 }  // namespace simba::core

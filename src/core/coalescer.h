@@ -85,6 +85,25 @@ class AlertCoalescer {
   std::size_t open_windows() const { return windows_.size(); }
   std::size_t pending_alerts() const;
 
+  /// Checkpoint state (sim/snapshot.h): open windows survive a
+  /// crash-restart exactly as they survive a MAB crash — the next
+  /// incarnation flushes them on start. The digest sequence carries
+  /// over so digest ids never repeat after a restore.
+  struct WindowState {
+    std::string category;
+    std::size_t count = 0;
+    std::vector<std::string> representative_ids;
+    std::vector<std::string> folded_ids;  // sorted (set order)
+    TimePoint opened_at{};
+    TimePoint deadline{};
+  };
+  struct State {
+    std::vector<WindowState> windows;  // sorted by category (map order)
+    std::uint64_t next_sequence = 1;
+  };
+  State save_state() const;
+  void restore_state(const State& state);
+
  private:
   struct Window {
     std::size_t count = 0;

@@ -41,6 +41,18 @@ class DigestStore {
 
   const Counters& stats() const { return stats_; }
 
+  /// Checkpoint state (sim/snapshot.h): like the alert log, the store
+  /// models a disk file and is carried verbatim across a crash-restart.
+  struct State {
+    std::vector<Entry> entries;
+    Counters stats;
+  };
+  State save_state() const { return State{entries_, stats_}; }
+  void restore_state(State state) {
+    entries_ = std::move(state.entries);
+    stats_.restore_state(std::move(state.stats));
+  }
+
  private:
   std::vector<Entry> entries_;
   Counters stats_;

@@ -215,4 +215,24 @@ void MabHost::power_up() {
   }, "host.boot");
 }
 
+MabHost::State MabHost::save_state() const {
+  State state;
+  state.log = alert_log_.save_state();
+  state.digest = digest_.save_state();
+  state.coalescer = coalescer_.save_state();
+  state.mab_incarnations = mab_incarnations_;
+  state.stats = stats_;
+  state.mab_totals = mab_stats_total();  // live incarnation folded in
+  return state;
+}
+
+void MabHost::restore_state(State state) {
+  alert_log_.restore_state(std::move(state.log));
+  digest_.restore_state(std::move(state.digest));
+  coalescer_.restore_state(state.coalescer);
+  mab_incarnations_ = state.mab_incarnations;
+  stats_.restore_state(std::move(state.stats));
+  mab_totals_.restore_state(std::move(state.mab_totals));
+}
+
 }  // namespace simba::core

@@ -138,6 +138,27 @@ class MabHost {
     if (mab_) mab_->set_alert_observer(alert_observer_);
   }
 
+  /// Checkpoint state (sim/snapshot.h): everything the paper keeps on
+  /// the host machine's disk or in machine-lifetime state — the
+  /// pessimistic log, the digest store, open coalescing windows, the
+  /// incarnation counter (MAB rng streams are named per incarnation, so
+  /// a restored host never reuses a consumed stream), and the counter
+  /// bags. The live MAB incarnation itself dies with the process image;
+  /// save_state() folds its counters into the retired totals, exactly
+  /// like retirement, and the incarnation spawned after restore replays
+  /// unprocessed log records — the paper's restart recovery.
+  struct State {
+    AlertLog::State log;
+    DigestStore::State digest;
+    AlertCoalescer::State coalescer;
+    std::uint64_t mab_incarnations = 0;
+    Counters stats;
+    Counters mab_totals;  // includes the final live incarnation
+  };
+  State save_state() const;
+  /// Call on a freshly constructed host, before start().
+  void restore_state(State state);
+
   /// Conservation hooks, persistent across MAB incarnations: every
   /// accounted shed / coalesce in the alert path.
   void set_shed_observer(

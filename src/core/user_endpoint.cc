@@ -165,4 +165,26 @@ int UserEndpoint::sightings(const std::string& alert_id) const {
   return it == seen_.end() ? 0 : it->second.count;
 }
 
+UserEndpoint::State UserEndpoint::save_state() const {
+  State state;
+  state.sightings.reserve(seen_.size());
+  for (const auto& [alert_id, sighting] : seen_) {
+    state.sightings.push_back(
+        SightingState{alert_id, sighting.first, sighting.channel,
+                      sighting.count});
+  }
+  state.email_cursor = email_cursor_;
+  state.stats = stats_;
+  return state;
+}
+
+void UserEndpoint::restore_state(State state) {
+  seen_.clear();
+  for (SightingState& s : state.sightings) {
+    seen_[s.alert_id] = Sighting{s.first, std::move(s.channel), s.count};
+  }
+  email_cursor_ = static_cast<std::size_t>(state.email_cursor);
+  stats_.restore_state(std::move(state.stats));
+}
+
 }  // namespace simba::core

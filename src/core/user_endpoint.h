@@ -8,11 +8,13 @@
 // experiment E7 scores strategies against.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "email/email_server.h"
 #include "gui/client_app.h"
@@ -90,6 +92,25 @@ class UserEndpoint {
   void set_sighting_observer(SightingObserver observer) {
     sighting_observer_ = std::move(observer);
   }
+
+  /// Checkpoint state (sim/snapshot.h): what the user has already seen
+  /// (drives duplicate detection and delivery scoring) plus the mailbox
+  /// read cursor, which must travel with the email server's mailboxes
+  /// so a restored user neither re-reads nor skips mail.
+  struct SightingState {
+    std::string alert_id;
+    TimePoint first{};
+    std::string channel;
+    int count = 0;
+  };
+  struct State {
+    std::vector<SightingState> sightings;  // sorted by alert id (map order)
+    std::uint64_t email_cursor = 0;
+    Counters stats;
+  };
+  State save_state() const;
+  /// Call on a freshly constructed endpoint, before start().
+  void restore_state(State state);
 
  private:
   struct Sighting {

@@ -88,4 +88,24 @@ const std::vector<Email>& EmailServer::mailbox(
   return it == mailboxes_.end() ? kEmpty : it->second;
 }
 
+EmailServer::State EmailServer::save_state() const {
+  State state;
+  state.mailboxes.reserve(mailboxes_.size());
+  for (const auto& [address, mail] : mailboxes_) {
+    state.mailboxes.push_back(MailboxState{address, mail});
+  }
+  state.next_id = next_id_;
+  state.stats = stats_;
+  return state;
+}
+
+void EmailServer::restore_state(State state) {
+  mailboxes_.clear();
+  for (MailboxState& box : state.mailboxes) {
+    mailboxes_[box.address] = std::move(box.mail);
+  }
+  next_id_ = state.next_id;
+  stats_.restore_state(std::move(state.stats));
+}
+
 }  // namespace simba::email

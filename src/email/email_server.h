@@ -87,6 +87,26 @@ class EmailServer {
 
   const Counters& stats() const { return stats_; }
 
+  /// Checkpoint state (sim/snapshot.h): mailbox contents are long-lived
+  /// server state (unread fallback mail must survive a crash-restart so
+  /// the user's next mailbox check still finds it), so they carry over
+  /// together with the id counter and stats. Mail still in transit —
+  /// submitted but not yet delivered — dies with the process image,
+  /// like any in-flight message.
+  struct MailboxState {
+    std::string address;
+    std::vector<Email> mail;
+  };
+  struct State {
+    std::vector<MailboxState> mailboxes;  // sorted by address (map order)
+    std::uint64_t next_id = 1;
+    Counters stats;
+  };
+  State save_state() const;
+  /// Call on a freshly constructed server, before any mailbox exists;
+  /// later create_mailbox() calls keep restored contents (try_emplace).
+  void restore_state(State state);
+
  private:
   void deliver(Email email);
 

@@ -1,11 +1,28 @@
 #include "fleet/user_world.h"
 
+#include <utility>
+
 #include "core/coalescer.h"
+#include "fleet/world_state.h"
 #include "sim/fault.h"
 
 namespace simba::fleet {
 
 namespace {
+
+// Drops fault windows that closed before the restore instant: their
+// sim.at() triggers would otherwise clamp to the restored clock and
+// re-fire long-finished outages at epoch start. Windows straddling the
+// boundary stay — their down edge clamps to now, which is exactly the
+// state the resource was in when the checkpoint was cut.
+sim::OutagePlan drop_finished(const sim::OutagePlan& plan, TimePoint now) {
+  sim::OutagePlan filtered;
+  for (const sim::Outage& outage : plan.outages()) {
+    if (outage.end <= now) continue;
+    filtered.add(outage.start, outage.length());
+  }
+  return filtered;
+}
 
 // Mirrors tests/test_world.h: fast, loss-free channels for unit tests.
 void apply_fast_models(UserWorld& world) {
@@ -126,8 +143,26 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
       im_server(sim, bus),
       email_server(sim),
       sms_gateway(sim, "sms.example.net") {
+  if (options.resume != nullptr) {
+    // Re-align the fresh kernel and restore the server-side state that
+    // survives a machine restart, before any component is built on top
+    // of it (the host and user endpoints create their mailboxes in
+    // their constructors; EmailServer keeps restored contents).
+    sim.restore_clock(options.resume->now, options.resume->events_processed,
+                      options.resume->sequence_counter);
+    email_server.restore_state(options.resume->email);
+    bus.restore_stats(options.resume->bus_stats);
+  }
   if (options.trace) {
     trace = std::make_unique<util::Trace>();
+    if (options.resume != nullptr) {
+      // Replay the pre-checkpoint span history so the full-run trace
+      // is one contiguous, byte-identical stream.
+      for (const CarriedSpan& span : options.resume->trace) {
+        trace->emit_owned(span.alert_id, span.component, span.stage,
+                          span.start, span.end, span.detail);
+      }
+    }
     bus.set_trace(trace.get());
   }
   if (options.fidelity == ModelFidelity::kFast) {
@@ -142,8 +177,12 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
 
   if (options.faults) {
     Rng outage_rng = sim.make_rng("fleet.outages");
-    im_server.set_outage_plan(sim::OutagePlan::generate(
-        outage_rng, options.fault_horizon, days(1.5), minutes(10), 1.0));
+    sim::OutagePlan im_plan = sim::OutagePlan::generate(
+        outage_rng, options.fault_horizon, days(1.5), minutes(10), 1.0);
+    if (options.resume != nullptr) {
+      im_plan = drop_finished(im_plan, options.resume->now);
+    }
+    im_server.set_outage_plan(std::move(im_plan));
     im_server.set_session_reset_mtbf(days(1));
   }
 
@@ -156,9 +195,14 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
       bus.set_chaos(chaos_plan->net(), sim.make_rng("chaos.net"));
     }
   }
-  if (options.track_invariants) {
+  if (options.shared_invariants == nullptr && options.track_invariants) {
     invariants = std::make_unique<sim::InvariantChecker>();
   }
+  // Conservation sink for this world's observers: a caller-owned
+  // checker that spans epoch rebuilds, or this world's own.
+  sim::InvariantChecker* checker = options.shared_invariants != nullptr
+                                       ? options.shared_invariants
+                                       : invariants.get();
 
   core::UserEndpointOptions user_options;
   user_options.name = options.user;
@@ -168,15 +212,18 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
     Rng away_rng(seed ^ 0x77);
     user_options.away_plan = sim::OutagePlan::generate(
         away_rng, options.fault_horizon, hours(5), hours(1), 0.8);
+    if (options.resume != nullptr) {
+      user_options.away_plan =
+          drop_finished(user_options.away_plan, options.resume->now);
+    }
   }
   user = std::make_unique<core::UserEndpoint>(sim, bus, im_server,
                                               email_server, sms_gateway,
                                               user_options);
-  if (invariants) {
+  if (checker != nullptr) {
     user->set_sighting_observer(
-        [checker = invariants.get()](const std::string& id,
-                                     const std::string& channel,
-                                     TimePoint at) {
+        [checker](const std::string& id, const std::string& channel,
+                  TimePoint at) {
           // Digest alerts are synthesized by the coalescer, never
           // submitted by a workload; feeding their sightings to the
           // checker would fabricate tracks with no submission.
@@ -184,6 +231,7 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
           checker->on_delivered(id, channel, at);
         });
   }
+  if (options.resume != nullptr) user->restore_state(options.resume->user);
   user->start();
 
   core::MabHostOptions host_options;
@@ -208,7 +256,12 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
   if (chaos_plan) {
     // Power outages and torn appends must be armed before the host is
     // built (the host schedules its power events in its constructor).
+    // On resume, outages that ended before the checkpoint are dropped
+    // like every other finished fault window.
     for (const sim::Outage& outage : chaos_plan->host().power_plan.outages()) {
+      if (options.resume != nullptr && outage.end <= options.resume->now) {
+        continue;
+      }
       host_options.power_plan.add(outage.start, outage.length());
     }
     host_options.torn_append_probability =
@@ -216,8 +269,7 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
   }
   host = std::make_unique<core::MabHost>(sim, bus, im_server, email_server,
                                          std::move(host_options));
-  if (invariants) {
-    sim::InvariantChecker* checker = invariants.get();
+  if (checker != nullptr) {
     host->set_shed_observer([checker](const std::string& id, TimePoint at) {
       // An engine-lane shed of a digest delivery reports the digest's
       // own "dg." id; only workload-submitted alerts have tracks.
@@ -229,17 +281,26 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
           checker->on_coalesced(id, at);
         });
   }
+  if (options.resume != nullptr) host->restore_state(options.resume->host);
   host->start();
   if (chaos_plan) {
     // Process/machine triggers fire blindly at their scheduled times;
-    // the host ignores any that land while the machine is down.
+    // the host ignores any that land while the machine is down. On
+    // resume, triggers at or before the checkpoint instant already
+    // fired in a previous epoch (run_until fires events with when <=
+    // boundary), so they are skipped rather than clamped to now.
+    const TimePoint fired_until =
+        options.resume != nullptr ? options.resume->now : TimePoint::min();
     for (TimePoint t : chaos_plan->host().mab_kills) {
+      if (t <= fired_until) continue;
       sim.at(t, [this] { host->inject_mab_crash(); }, "chaos.mab_kill");
     }
     for (TimePoint t : chaos_plan->host().mab_hangs) {
+      if (t <= fired_until) continue;
       sim.at(t, [this] { host->inject_mab_hang(); }, "chaos.mab_hang");
     }
     for (TimePoint t : chaos_plan->host().reboots) {
+      if (t <= fired_until) continue;
       sim.at(t, [this] { host->inject_reboot(); }, "chaos.reboot");
     }
   }
@@ -256,6 +317,26 @@ UserWorld::UserWorld(std::uint64_t seed, const UserWorldOptions& options)
     sim.run_for(seconds(10));
     source->set_target(host->im_address(), host->email_address());
   }
+}
+
+WorldState save_world_state(const UserWorld& world) {
+  WorldState state;
+  state.now = world.sim.now();
+  state.events_processed = world.sim.events_processed();
+  state.sequence_counter = world.sim.sequence_counter();
+  state.host = world.host->save_state();
+  state.user = world.user->save_state();
+  state.email = world.email_server.save_state();
+  state.bus_stats = world.bus.stats();
+  if (world.trace) {
+    state.trace.reserve(world.trace->size());
+    for (const util::Span& span : world.trace->spans()) {
+      state.trace.push_back(CarriedSpan{span.alert_id, span.component,
+                                        span.stage, span.start, span.end,
+                                        span.detail});
+    }
+  }
+  return state;
 }
 
 }  // namespace simba::fleet

@@ -24,6 +24,8 @@
 
 namespace simba::fleet {
 
+struct WorldState;
+
 /// Delay-model fidelity. Tests want the fast loss-free models of
 /// tests/test_world.h; benches want the Section-5-calibrated models of
 /// bench/common.cc. Both are reproduced here so src/fleet depends on
@@ -67,6 +69,19 @@ struct UserWorldOptions {
   /// Poll → Portal/Casual) on top of the legacy fleet config. Purely
   /// additive; off keeps the config identical to the pre-storm one.
   bool storm_config = false;
+  /// Crash-restart state (fleet/world_state.h) to rebuild this world
+  /// around, or null for a cold start. With resume set, construction
+  /// re-aligns the kernel clock, restores every persistent component
+  /// before its start(), replays the carried trace, and skips fault /
+  /// chaos triggers that already fired before the checkpoint (their
+  /// sim.at() times would otherwise clamp to the restored clock and
+  /// re-fire at epoch start). Must outlive the constructor call only.
+  const WorldState* resume = nullptr;
+  /// When set, the world's conservation observers feed this external
+  /// checker instead of building an own one, letting a multi-epoch
+  /// driver track alert conservation across world rebuilds. Overrides
+  /// track_invariants; the caller owns the checker's lifetime.
+  sim::InvariantChecker* shared_invariants = nullptr;
 };
 
 struct UserWorld {

@@ -115,6 +115,14 @@ class MessageBus {
 
   const Counters& stats() const { return stats_; }
 
+  /// Checkpoint restore (sim/snapshot.h): carries the transport counter
+  /// bag across a crash-restart. In-flight messages are deliberately
+  /// NOT carried — they die with the process image, and end-to-end
+  /// recovery flows through the pessimistic log, not the wire.
+  void restore_stats(Counters stats) {
+    stats_.restore_state(std::move(stats));
+  }
+
   /// In-flight pool introspection for tests and benches: slots ever
   /// created, and slots currently free. Steady-state traffic plateaus
   /// at the link's bandwidth-delay product and then recycles.

@@ -201,4 +201,28 @@ std::string InvariantChecker::Report::describe(
   return out;
 }
 
+InvariantChecker::State InvariantChecker::save_state() const {
+  State state;
+  state.duplicates_allowed = options_.duplicates_allowed;
+  state.tracks.reserve(tracks_.size());
+  for (const auto& [id, t] : tracks_) {
+    state.tracks.push_back(TrackState{
+        id, t.submitted, t.logged, t.acked, t.acked_logged, t.ack_block,
+        t.failed, t.shed, t.coalesces, t.recoverable, t.sightings,
+        t.submitted_at, t.first_seen});
+  }
+  return state;
+}
+
+void InvariantChecker::restore_state(const State& state) {
+  options_.duplicates_allowed = state.duplicates_allowed;
+  tracks_.clear();
+  for (const TrackState& s : state.tracks) {
+    tracks_[s.id] =
+        Track{s.submitted, s.logged,      s.acked,     s.acked_logged,
+              s.ack_block, s.failed,      s.shed,      s.coalesces,
+              s.recoverable, s.sightings, s.submitted_at, s.first_seen};
+  }
+}
+
 }  // namespace simba::sim

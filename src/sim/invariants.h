@@ -131,6 +131,31 @@ class InvariantChecker {
   /// nullptr to skip that probe (no log in the world).
   Report check(const std::map<std::string, bool>* logged_now = nullptr) const;
 
+  /// Checkpoint state (sim/snapshot.h): the full per-alert bookkeeping,
+  /// so a resumed run's horizon sweep sees exactly the history the
+  /// uninterrupted run would.
+  struct TrackState {
+    std::string id;
+    bool submitted = false;
+    bool logged = false;
+    bool acked = false;
+    bool acked_logged = false;
+    int ack_block = -1;
+    bool failed = false;
+    bool shed = false;
+    int coalesces = 0;
+    bool recoverable = false;
+    int sightings = 0;
+    TimePoint submitted_at{};
+    TimePoint first_seen{};
+  };
+  struct State {
+    bool duplicates_allowed = true;
+    std::vector<TrackState> tracks;  // sorted by id (map order)
+  };
+  State save_state() const;
+  void restore_state(const State& state);
+
  private:
   struct Track {
     bool submitted = false;

@@ -351,6 +351,18 @@ bool Simulator::queue_empty() const {
   return entry_count_ == 0;
 }
 
+void Simulator::restore_clock(TimePoint now, std::uint64_t events_processed,
+                              std::uint64_t sequence_counter) {
+  // Only a kernel that has never scheduled or fired anything can be
+  // re-aligned: the wheel cursor jumps forward, and any entry placed
+  // before the jump would sit in a slot the cursor will never revisit.
+  assert(entry_count_ == 0 && processed_ == 0 && pool_.empty());
+  now_ = now;
+  cursor_ = tick_of(now);
+  processed_ = events_processed;
+  next_sequence_ = sequence_counter;
+}
+
 void Simulator::run() {
   stopped_ = false;
   while (!stopped_) {

@@ -157,6 +157,19 @@ class Simulator {
   std::uint64_t events_processed() const { return processed_; }
   bool queue_empty() const;
 
+  /// Next tie-break sequence number; carried across crash-restarts so
+  /// a resumed run's FIFO ordering stays monotonic with its past.
+  std::uint64_t sequence_counter() const { return next_sequence_; }
+
+  /// Crash-restart support (sim/snapshot.h): re-aligns a *fresh* kernel
+  /// (nothing scheduled, nothing fired yet — asserted) to a
+  /// checkpointed clock. Pending events are deliberately NOT carried: a
+  /// checkpoint models a process image that died, so components re-arm
+  /// their own timers when they start, and the pessimistic log replays
+  /// whatever the crash dropped — the paper's own restart path.
+  void restore_clock(TimePoint now, std::uint64_t events_processed,
+                     std::uint64_t sequence_counter);
+
   /// Pool introspection for tests and bench_kernel: total slots ever
   /// created, and slots currently on the free list.
   std::size_t pool_slots() const { return pool_.size(); }

@@ -63,8 +63,21 @@ void Trace::emit(std::string alert_id, const char* component,
                         std::move(detail)});
 }
 
+void Trace::emit_owned(std::string alert_id, std::string_view component,
+                       std::string_view stage, TimePoint start, TimePoint end,
+                       std::string detail) {
+  spans_.push_back(Span{std::move(alert_id), owned_labels_.intern(component),
+                        owned_labels_.intern(stage), start, end,
+                        std::move(detail)});
+}
+
 void Trace::merge(const Trace& other) {
-  spans_.insert(spans_.end(), other.spans_.begin(), other.spans_.end());
+  spans_.reserve(spans_.size() + other.spans_.size());
+  for (const Span& span : other.spans_) {
+    spans_.push_back(Span{span.alert_id, owned_labels_.intern(span.component),
+                          owned_labels_.intern(span.stage), span.start,
+                          span.end, span.detail});
+  }
 }
 
 std::vector<Span> Trace::sorted_spans() const {

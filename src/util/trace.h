@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "util/interner.h"
 #include "util/stats.h"
 #include "util/time.h"
 
@@ -53,13 +54,24 @@ class Trace {
   void emit(std::string alert_id, const char* component, const char* stage,
             TimePoint start, TimePoint end, std::string detail = {});
 
+  /// Emits a span whose component/stage labels are NOT string literals
+  /// (checkpoint decode, sim/snapshot.h): the labels are interned into
+  /// trace-owned storage first, preserving the static-lifetime contract
+  /// of Span for as long as this trace (or anything it is merged or
+  /// moved into) lives.
+  void emit_owned(std::string alert_id, std::string_view component,
+                  std::string_view stage, TimePoint start, TimePoint end,
+                  std::string detail = {});
+
   const std::vector<Span>& spans() const { return spans_; }
   std::size_t size() const { return spans_.size(); }
   bool empty() const { return spans_.empty(); }
 
   /// Appends `other`'s spans in order. Merging shard traces in shard
   /// order yields the same span sequence for any thread count, exactly
-  /// like Counters::merge / Summary::merge.
+  /// like Counters::merge / Summary::merge. Labels are re-interned into
+  /// this trace's own storage, so the merged trace stays valid after
+  /// `other` (which may own labels of checkpoint-restored spans) dies.
   void merge(const Trace& other);
 
   /// Spans in canonical order: (start, alert_id, component, stage,
@@ -96,6 +108,10 @@ class Trace {
 
  private:
   std::vector<Span> spans_;
+  /// Storage for non-literal labels (emit_owned / merge). Set nodes are
+  /// address-stable, so moving the trace keeps span pointers valid;
+  /// copying a Trace is safe only while the source outlives the copy.
+  StringInterner owned_labels_;
 };
 
 }  // namespace simba::util

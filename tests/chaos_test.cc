@@ -15,6 +15,7 @@
 #include "fleet/fleet.h"
 #include "fleet/storm_workload.h"
 #include "sim/invariants.h"
+#include "test_world.h"
 #include "util/trace.h"
 
 namespace simba::fleet {
@@ -24,8 +25,7 @@ constexpr std::uint64_t kSeeds[] = {101, 202, 303, 404};
 
 ChaosWorkloadOptions workload_for(const sim::ChaosScenario& scenario) {
   ChaosWorkloadOptions options;
-  options.world.fidelity = ModelFidelity::kFast;
-  options.world.email_check_interval = minutes(15);
+  options.world = testing::fast_fleet_world();
   options.scenario = scenario;
   return options;
 }
@@ -162,8 +162,7 @@ INSTANTIATE_TEST_SUITE_P(Scenarios, ChaosDeterminismTest,
 
 StormWorkloadOptions storm_crash_workload() {
   StormWorkloadOptions options;
-  options.world.fidelity = ModelFidelity::kFast;
-  options.world.email_check_interval = minutes(15);
+  options.world = testing::fast_fleet_world();
   options.world.overload = storm_defenses();
   options.scenario = sim::ChaosScenario::preset("storm_crash");
   return options;

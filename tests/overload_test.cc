@@ -17,6 +17,7 @@
 #include "net/bus.h"
 #include "sim/invariants.h"
 #include "sim/simulator.h"
+#include "test_world.h"
 #include "util/trace.h"
 
 namespace simba::fleet {
@@ -354,8 +355,7 @@ TEST(OverloadWorldTest, OpenWindowsFlushWhenTheMabReboots) {
 
 StormWorkloadOptions small_storm(bool defended) {
   StormWorkloadOptions options;
-  options.world.fidelity = ModelFidelity::kFast;
-  options.world.email_check_interval = minutes(15);
+  options.world = testing::fast_fleet_world();
   options.world.overload = defended ? storm_defenses() : storm_no_defenses();
   options.horizon = hours(2);
   options.drain = hours(1);

@@ -1,0 +1,227 @@
+// Resume-equivalence matrix (DESIGN.md §15, experiment E13): a fleet
+// run that checkpoints at epoch k, dies, and resumes from the decoded
+// image in fresh worlds must be indistinguishable from the run that
+// never died — byte-identical correctness_json() and byte-identical
+// JSONL lifecycle traces — across seeds × checkpoint epochs ×
+// {portal, chaos, storm} workloads, serial == threaded.
+//
+// The fast tier-1 cases prove one cell per workload kind; the full
+// matrix runs under `ctest -L slow`. tools/resume_roundtrip.py drives
+// the same proof across two *processes* (checkpoint written by one,
+// resumed by another), closing the in-process loophole.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "fleet/resume.h"
+#include "fleet/storm_workload.h"
+#include "sim/chaos.h"
+#include "test_world.h"
+#include "util/stats.h"
+
+namespace simba::fleet {
+namespace {
+
+ResumableOptions options_for(ResumeKind kind, std::uint64_t seed,
+                             int epochs = 3) {
+  ResumableOptions options;
+  options.kind = kind;
+  options.world = testing::fast_fleet_world();
+  options.fleet.shards = 2;
+  options.fleet.threads = 1;
+  options.fleet.base_seed = seed;
+  options.epochs = epochs;
+  options.horizon = hours(6);
+  options.drain = hours(1);
+  if (kind != ResumeKind::kPortal) {
+    // Faults across the whole horizon, so some straddle or follow the
+    // checkpoint boundary — the interesting restore cases.
+    options.scenario = sim::ChaosScenario::preset("flaky_network");
+  }
+  if (kind == ResumeKind::kStorm) {
+    // Defenses on: open coalescing windows and token-bucket effects
+    // must survive the checkpoint inside MabHost::State.
+    options.world.overload = storm_defenses();
+    options.background_per_day = 24.0;
+    options.critical_per_day = 48.0;
+    options.sensor_cascades = 2;
+    options.cascade_size = 15;
+    options.poll_bursts = 2;
+    options.burst_size = 20;
+  }
+  return options;
+}
+
+/// The A == B+C proof for one cell: A runs uninterrupted, B checkpoints
+/// after epoch k and dies, C decodes B's image into fresh worlds and
+/// finishes. A and C must agree byte for byte.
+void expect_resume_equivalent(const ResumableOptions& options, int k,
+                              const std::string& context) {
+  const ResumableRun a = run_resumable_fleet(options);
+  ASSERT_TRUE(a.completed) << context;
+  ASSERT_GT(a.report.counters.get("alerts.sent"), 0) << context;
+  ASSERT_GT(a.report.counters.get("alerts.delivered"), 0) << context;
+
+  Counters ckpt;
+  ResumeControl cut;
+  cut.checkpoint_after_epoch = k;
+  cut.stop_at_checkpoint = true;
+  const ResumableRun b = run_resumable_fleet(options, cut, &ckpt);
+  ASSERT_FALSE(b.completed) << context;
+  ASSERT_FALSE(b.checkpoint.empty()) << context;
+  EXPECT_EQ(ckpt.get("ckpt.saved"),
+            static_cast<std::int64_t>(options.fleet.shards))
+      << context;
+  EXPECT_EQ(ckpt.get("ckpt.bytes"),
+            static_cast<std::int64_t>(b.checkpoint.size()))
+      << context;
+
+  const Result<ResumableRun> c = resume_fleet(options, b.checkpoint, {}, &ckpt);
+  ASSERT_TRUE(c.ok()) << context << ": " << c.error();
+  ASSERT_TRUE(c.value().completed) << context;
+  EXPECT_EQ(ckpt.get("ckpt.restored"),
+            static_cast<std::int64_t>(options.fleet.shards))
+      << context;
+  EXPECT_EQ(ckpt.get("ckpt.decode_failed"), 0) << context;
+
+  EXPECT_EQ(a.report.correctness_json(), c.value().report.correctness_json())
+      << context << ": resumed run diverged from the uninterrupted one";
+  EXPECT_EQ(a.report.trace.to_jsonl(), c.value().report.trace.to_jsonl())
+      << context << ": resumed trace diverged";
+}
+
+// --- One tier-1 cell per workload kind -------------------------------------
+
+TEST(ResumeEquivalenceTest, ChaosCheckpointRestoresExactly) {
+  expect_resume_equivalent(options_for(ResumeKind::kChaos, 11), 1, "chaos");
+}
+
+TEST(ResumeEquivalenceTest, PortalCheckpointRestoresExactly) {
+  expect_resume_equivalent(options_for(ResumeKind::kPortal, 11), 2, "portal");
+}
+
+TEST(ResumeEquivalenceTest, StormCheckpointRestoresExactly) {
+  expect_resume_equivalent(options_for(ResumeKind::kStorm, 11), 1, "storm");
+}
+
+TEST(ResumeEquivalenceTest, CheckpointingIsObservationOnly) {
+  // Cutting an image without stopping must not perturb the run: the
+  // encoder only reads the boundary state.
+  const ResumableOptions options = options_for(ResumeKind::kChaos, 23);
+  const ResumableRun plain = run_resumable_fleet(options);
+  ResumeControl cut;
+  cut.checkpoint_after_epoch = 1;
+  const ResumableRun observed = run_resumable_fleet(options, cut);
+  ASSERT_TRUE(observed.completed);
+  ASSERT_FALSE(observed.checkpoint.empty());
+  EXPECT_EQ(plain.report.correctness_json(),
+            observed.report.correctness_json());
+}
+
+TEST(ResumeEquivalenceTest, ThreadedResumeMatchesSerial) {
+  ResumableOptions serial = options_for(ResumeKind::kChaos, 31);
+  serial.fleet.shards = 4;
+  ResumableOptions threaded = serial;
+  threaded.fleet.threads = 4;
+
+  const ResumableRun a = run_resumable_fleet(serial);
+  const ResumableRun a_threaded = run_resumable_fleet(threaded);
+  EXPECT_EQ(a.report.correctness_json(), a_threaded.report.correctness_json());
+
+  ResumeControl cut;
+  cut.checkpoint_after_epoch = 2;
+  cut.stop_at_checkpoint = true;
+  const ResumableRun b = run_resumable_fleet(serial, cut);
+  const ResumableRun b_threaded = run_resumable_fleet(threaded, cut);
+  // The checkpoint image itself is thread-count-invariant.
+  EXPECT_EQ(b.checkpoint, b_threaded.checkpoint);
+
+  const Result<ResumableRun> c = resume_fleet(threaded, b.checkpoint);
+  ASSERT_TRUE(c.ok()) << c.error();
+  EXPECT_EQ(a.report.correctness_json(), c.value().report.correctness_json());
+}
+
+// --- Malformed / mismatched images -----------------------------------------
+
+std::string cut_checkpoint(const ResumableOptions& options, int k) {
+  ResumeControl cut;
+  cut.checkpoint_after_epoch = k;
+  cut.stop_at_checkpoint = true;
+  return run_resumable_fleet(options, cut).checkpoint;
+}
+
+TEST(ResumeDecodeTest, TruncatedImageFailsCleanly) {
+  const ResumableOptions options = options_for(ResumeKind::kChaos, 5);
+  const std::string image = cut_checkpoint(options, 1);
+  Counters ckpt;
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{3}, image.size() / 2, image.size() - 1}) {
+    const auto result = resume_fleet(
+        options, std::string_view(image).substr(0, len), {}, &ckpt);
+    EXPECT_FALSE(result.ok()) << "truncation to " << len << " decoded";
+  }
+  EXPECT_EQ(ckpt.get("ckpt.decode_failed"), 4);
+  EXPECT_EQ(ckpt.get("ckpt.restored"), 0);
+}
+
+TEST(ResumeDecodeTest, BitFlippedImageFailsCleanly) {
+  const ResumableOptions options = options_for(ResumeKind::kChaos, 5);
+  const std::string image = cut_checkpoint(options, 1);
+  // A deterministic spread of single-bit flips across the image; every
+  // byte is either structural (self-checked) or CRC-covered.
+  for (std::size_t byte = 0; byte < image.size();
+       byte += 1 + image.size() / 97) {
+    std::string corrupt = image;
+    corrupt[byte] = static_cast<char>(corrupt[byte] ^ 0x20);
+    const auto result = resume_fleet(options, corrupt);
+    EXPECT_FALSE(result.ok()) << "flip at byte " << byte << " decoded";
+  }
+}
+
+TEST(ResumeDecodeTest, MismatchedOptionsAreRejected) {
+  const ResumableOptions options = options_for(ResumeKind::kChaos, 5);
+  const std::string image = cut_checkpoint(options, 1);
+
+  ResumableOptions wrong_kind = options;
+  wrong_kind.kind = ResumeKind::kStorm;
+  EXPECT_FALSE(resume_fleet(wrong_kind, image).ok());
+
+  ResumableOptions wrong_seed = options;
+  wrong_seed.fleet.base_seed = 6;
+  EXPECT_FALSE(resume_fleet(wrong_seed, image).ok());
+
+  ResumableOptions wrong_shape = options;
+  wrong_shape.alerts_per_user_day = 10.0;
+  const auto result = resume_fleet(wrong_shape, image);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("mismatch"), std::string::npos)
+      << result.error();
+}
+
+// --- The full matrix (ctest -L slow) ---------------------------------------
+
+class ResumeMatrixTest : public ::testing::TestWithParam<ResumeKind> {};
+
+TEST_P(ResumeMatrixTest, SeedsTimesCheckpointEpochs) {
+  const ResumeKind kind = GetParam();
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const int k : {1, 2, 3}) {
+      expect_resume_equivalent(
+          options_for(kind, seed, /*epochs=*/4), k,
+          std::string(to_string(kind)) + "/seed " + std::to_string(seed) +
+              "/checkpoint after epoch " + std::to_string(k));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ResumeMatrixTest,
+                         ::testing::Values(ResumeKind::kPortal,
+                                           ResumeKind::kChaos,
+                                           ResumeKind::kStorm),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace simba::fleet

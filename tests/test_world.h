@@ -4,12 +4,23 @@
 #pragma once
 
 #include "email/email_server.h"
+#include "fleet/user_world.h"
 #include "im/im_server.h"
 #include "net/bus.h"
 #include "sim/simulator.h"
 #include "sms/sms.h"
 
 namespace simba::testing {
+
+/// The fast loss-free fleet-world knobs the fleet-level suites (trace,
+/// chaos, overload, resume) all share: quick delay models and frequent
+/// email polling, so a simulated day stays sub-second of wall time.
+inline fleet::UserWorldOptions fast_fleet_world() {
+  fleet::UserWorldOptions options;
+  options.fidelity = fleet::ModelFidelity::kFast;
+  options.email_check_interval = minutes(15);
+  return options;
+}
 
 struct World {
   explicit World(std::uint64_t seed = 1)

@@ -16,6 +16,7 @@
 
 #include "fleet/fleet.h"
 #include "fleet/portal_workload.h"
+#include "test_world.h"
 #include "util/trace.h"
 
 namespace simba::fleet {
@@ -31,8 +32,7 @@ const char* const kTestdata = SIMBA_TRACE_TESTDATA;
 PortalWorkloadOptions golden_workload() {
   PortalWorkloadOptions workload;
   workload.traffic = Traffic::kSourceIm;
-  workload.world.fidelity = ModelFidelity::kFast;
-  workload.world.email_check_interval = minutes(15);
+  workload.world = testing::fast_fleet_world();
   workload.world.trace = true;
   workload.alerts_per_user_day = 48.0;
   workload.horizon = hours(2);

@@ -7,4 +7,5 @@ void record(Counters& c, bool seen, const std::string& lane) {
       "seen");
   c.bump(seen ? "alerts_seen" : "alerts_sent");
   c.bump("lanes." + lane);
+  c.bump("ckpt.saved");
 }
