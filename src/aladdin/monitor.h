@@ -55,7 +55,9 @@ class PowerlineMonitor {
   sim::Simulator& sim_;
   HomeNetwork& network_;
   sss::SssServer& store_;
-  std::map<std::string, DeviceConfig> devices_;
+  // Stays ordered (poll() walks devices in id order); std::less<> lets
+  // string_view probes avoid a key allocation.
+  std::map<std::string, DeviceConfig, std::less<>> devices_;
   std::vector<HomeSignal> buffer_;
   HomeNetwork::ListenerId listener_;
   sim::TaskHandle poll_task_;

@@ -156,7 +156,7 @@ void ImManager::sanity_check(std::function<void(SanityReport)> done) {
 }
 
 void ImManager::send_im(const std::string& to_user, const std::string& body,
-                        std::map<std::string, std::string> headers,
+                        util::FlatMap<std::string, std::string> headers,
                         std::function<void(Status)> done) {
   try {
     // `done` is passed by copy: if the client throws mid-call we still

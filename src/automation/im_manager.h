@@ -37,7 +37,7 @@ class ImManager : public CommunicationManager {
   /// and retrying once. Success means the IM service accepted delivery
   /// to an online recipient.
   void send_im(const std::string& to_user, const std::string& body,
-               std::map<std::string, std::string> headers,
+               util::FlatMap<std::string, std::string> headers,
                std::function<void(Status)> done);
 
   /// Unread sweep for self-stabilization ("unprocessed ... IMs due to

@@ -2,8 +2,8 @@
 
 namespace simba::core {
 
-std::map<std::string, std::string> alert_headers(const Alert& alert) {
-  std::map<std::string, std::string> h;
+util::FlatMap<std::string, std::string> alert_headers(const Alert& alert) {
+  util::FlatMap<std::string, std::string> h;
   h["alert_id"] = alert.id;
   h["alert_source"] = alert.source;
   h["alert_category"] = alert.native_category;
@@ -15,7 +15,7 @@ std::map<std::string, std::string> alert_headers(const Alert& alert) {
   return h;
 }
 
-Alert alert_from_headers(const std::map<std::string, std::string>& headers,
+Alert alert_from_headers(const util::FlatMap<std::string, std::string>& headers,
                          const std::string& body) {
   Alert a;
   auto get = [&](const char* key) {

@@ -10,6 +10,7 @@
 #include <map>
 #include <string>
 
+#include "util/flat_map.h"
 #include "util/time.h"
 
 namespace simba::core {
@@ -30,16 +31,20 @@ struct Alert {
   /// headers / email headers so experiments can trace delivery latency
   /// and detect duplicates.
   std::string id;
+  /// Ordered: attributes serialise into wire headers in sorted order.
+  // simba-lint: ordered
   std::map<std::string, std::string> attributes;
 };
 
 using AlertSink = std::function<void(const Alert&)>;
 
-/// Builds the wire header map an alert travels with.
-std::map<std::string, std::string> alert_headers(const Alert& alert);
+/// Builds the wire header map an alert travels with. The snapshot
+/// codec serialises it via sorted_items(), so the golden wire bytes
+/// match the old ordered map's image.
+util::FlatMap<std::string, std::string> alert_headers(const Alert& alert);
 
 /// Reconstructs an alert from wire headers + body (best effort).
-Alert alert_from_headers(const std::map<std::string, std::string>& headers,
+Alert alert_from_headers(const util::FlatMap<std::string, std::string>& headers,
                          const std::string& body);
 
 }  // namespace simba::core

@@ -13,11 +13,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "core/alert.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/time.h"
@@ -92,8 +92,10 @@ class AlertLog {
   };
 
   Duration write_latency_;
-  std::vector<Record> records_;            // arrival order
-  std::map<std::string, std::size_t> index_;  // alert id -> records_ slot
+  std::vector<Record> records_;  // arrival order
+  /// alert id -> records_ slot. Lookup-only (rebuilt on truncation and
+  /// restore); the per-alert dedup probe is a flat-map hash hit.
+  util::FlatMap<std::string, std::size_t> index_;
   Counters stats_;
   util::Trace* trace_ = nullptr;
 };

@@ -43,18 +43,26 @@ class CategoryMap {
   /// The category's delivery window, if one is set.
   std::optional<DailyWindow> window_for(const std::string& category) const;
 
-  // Persistence accessors (core/config_xml.h).
+  // Persistence accessors (core/config_xml.h): config serialises by
+  // iterating these, so the sorted order is part of the config bytes.
+  // simba-lint: ordered
   const std::map<std::string, std::string>& mappings() const {
     return keyword_to_category_;
   }
   std::vector<std::string> disabled_categories() const;
+  // simba-lint: ordered
   const std::map<std::string, DailyWindow>& windows() const {
     return windows_;
   }
 
  private:
+  // Config-time state, iterated for config dumps and disabled-category
+  // listings — sorted order is observed, lookups are cold.
+  // simba-lint: ordered
   std::map<std::string, std::string> keyword_to_category_;  // lowercase key
+  // simba-lint: ordered
   std::map<std::string, bool> disabled_;
+  // simba-lint: ordered
   std::map<std::string, DailyWindow> windows_;
 };
 

@@ -53,22 +53,33 @@ AlertCoalescer::FoldResult AlertCoalescer::add(const Alert& alert,
 }
 
 std::vector<AlertCoalescer::Digest> AlertCoalescer::flush_due(TimePoint now) {
+  // Windows flush in category order: the flush sequence assigns digest
+  // ids ("dg.<seq>"), so the order must match the old sorted-map walk.
+  std::vector<std::string> due;
+  for (const auto& [category, window] : windows_.sorted_items()) {
+    if (window.deadline <= now) due.push_back(category);
+  }
   std::vector<Digest> digests;
-  for (auto it = windows_.begin(); it != windows_.end();) {
-    if (it->second.deadline <= now) {
-      digests.push_back(flush_window(it->first, it->second, now));
-      it = windows_.erase(it);
-    } else {
-      ++it;
-    }
+  digests.reserve(due.size());
+  for (const std::string& category : due) {
+    const auto it = windows_.find(category);
+    digests.push_back(flush_window(category, it->second, now));
+    windows_.erase(it);
   }
   return digests;
 }
 
 std::vector<AlertCoalescer::Digest> AlertCoalescer::flush_all(TimePoint now) {
+  // Same category-ordered flush as flush_due (digest ids depend on it).
+  std::vector<std::string> categories;
+  categories.reserve(windows_.size());
+  for (const auto& [category, window] : windows_.sorted_items()) {
+    categories.push_back(category);
+  }
   std::vector<Digest> digests;
-  for (auto& [category, window] : windows_) {
-    digests.push_back(flush_window(category, window, now));
+  digests.reserve(categories.size());
+  for (const std::string& category : categories) {
+    digests.push_back(flush_window(category, windows_.find(category)->second, now));
   }
   windows_.clear();
   return digests;
@@ -96,12 +107,15 @@ AlertCoalescer::Digest AlertCoalescer::flush_window(const std::string& category,
 AlertCoalescer::State AlertCoalescer::save_state() const {
   State state;
   state.windows.reserve(windows_.size());
-  for (const auto& [category, window] : windows_) {
+  for (const auto& [category, window] : windows_.sorted_items()) {
     WindowState w;
     w.category = category;
     w.count = window.count;
     w.representative_ids = window.representative_ids;
-    w.folded_ids.assign(window.folded_ids.begin(), window.folded_ids.end());
+    w.folded_ids.reserve(window.folded_ids.size());
+    for (const std::string& id : window.folded_ids.sorted_items()) {
+      w.folded_ids.push_back(id);
+    }
     w.opened_at = window.opened_at;
     w.deadline = window.deadline;
     state.windows.push_back(std::move(w));
@@ -116,7 +130,7 @@ void AlertCoalescer::restore_state(const State& state) {
     Window window;
     window.count = w.count;
     window.representative_ids = w.representative_ids;
-    window.folded_ids.insert(w.folded_ids.begin(), w.folded_ids.end());
+    for (const std::string& id : w.folded_ids) window.folded_ids.insert(id);
     window.opened_at = w.opened_at;
     window.deadline = w.deadline;
     windows_.emplace(w.category, std::move(window));

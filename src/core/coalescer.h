@@ -10,12 +10,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "core/alert.h"
+#include "util/flat_map.h"
 #include "util/time.h"
 
 namespace simba::core {
@@ -93,12 +92,12 @@ class AlertCoalescer {
     std::string category;
     std::size_t count = 0;
     std::vector<std::string> representative_ids;
-    std::vector<std::string> folded_ids;  // sorted (set order)
+    std::vector<std::string> folded_ids;  // sorted (sorted_items order)
     TimePoint opened_at{};
     TimePoint deadline{};
   };
   struct State {
-    std::vector<WindowState> windows;  // sorted by category (map order)
+    std::vector<WindowState> windows;  // sorted by category
     std::uint64_t next_sequence = 1;
   };
   State save_state() const;
@@ -108,7 +107,7 @@ class AlertCoalescer {
   struct Window {
     std::size_t count = 0;
     std::vector<std::string> representative_ids;
-    std::set<std::string> folded_ids;
+    util::FlatSet<std::string> folded_ids;
     TimePoint opened_at{};
     TimePoint deadline{};
   };
@@ -117,7 +116,12 @@ class AlertCoalescer {
                       TimePoint now);
 
   CoalescerOptions options_;
-  std::map<std::string, Window> windows_;
+  /// Per-category open windows. The add() path is a single hash probe;
+  /// everything order-sensitive (flush order assigns digest sequence
+  /// numbers, save_state feeds snapshot images) iterates through
+  /// sorted_items() so digest ids and checkpoint bytes stay identical
+  /// to the old std::map behaviour.
+  util::FlatMap<std::string, Window> windows_;
   // Monotonic across MAB incarnations: the coalescer outlives crashes,
   // so digest ids never repeat after a restart.
   std::uint64_t next_sequence_ = 1;

@@ -27,7 +27,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 
@@ -37,6 +36,7 @@
 #include "core/alert.h"
 #include "core/delivery_mode.h"
 #include "sim/simulator.h"
+#include "util/flat_map.h"
 #include "util/stats.h"
 #include "util/trace.h"
 
@@ -171,9 +171,12 @@ class DeliveryEngine {
   /// still be in flight; every async callback holds this token and
   /// bails out once the engine is gone.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  std::map<std::uint64_t, Delivery> deliveries_;
-  /// alert_id -> delivery id waiting for that ack.
-  std::map<std::string, std::uint64_t> ack_waiters_;
+  /// In-flight deliveries and ack waiters are lookup-only flat maps:
+  /// nothing observes their iteration order (the cancel sweeps erase by
+  /// value predicate), and find/erase run per message on the hot path.
+  util::FlatMap<std::uint64_t, Delivery> deliveries_;
+  /// "<alert_id>|<address>" -> delivery id waiting for that ack.
+  util::FlatMap<std::string, std::uint64_t> ack_waiters_;
   std::uint64_t next_delivery_ = 1;
   /// Priority lanes awaiting a dispatch slot (kCritical/kNormal/
   /// kDigest; only index 0 is used when priority_lanes is off).

@@ -20,6 +20,7 @@ std::vector<DigestStore::Entry> DigestStore::drain() {
 }
 
 std::string DigestStore::render_body() const {
+  // simba-lint: ordered (digest body lists categories sorted)
   std::map<std::string, std::vector<const Entry*>> by_category;
   for (const auto& entry : entries_) {
     by_category[entry.category].push_back(&entry);

@@ -308,7 +308,7 @@ void MyAlertBuddy::handle_alert_im(const im::ImMessage& message) {
 
 void MyAlertBuddy::send_ack(const std::string& to_user,
                             const std::string& alert_id) {
-  std::map<std::string, std::string> headers;
+  util::FlatMap<std::string, std::string> headers;
   headers[wire::kKind] = wire::kKindAck;
   headers[wire::kAckFor] = alert_id;
   im_.send_im(to_user, "ACK " + alert_id, std::move(headers),

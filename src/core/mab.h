@@ -41,6 +41,7 @@ struct MabConfig {
   UserProfile profile;
   /// Additional profiles for shared categories ("supports multiple
   /// subscribers per category to allow alert sharing").
+  // simba-lint: ordered (config state; shared-category sweeps sorted)
   std::map<std::string, UserProfile> shared_profiles;
   SubscriptionRegistry subscriptions;
   AlertClassifier classifier;

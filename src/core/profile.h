@@ -32,6 +32,7 @@ class UserProfile {
  private:
   std::string user_;
   AddressBook addresses_;
+  // simba-lint: ordered (mode_names() lists modes sorted; config-time)
   std::map<std::string, DeliveryMode> modes_;
 };
 

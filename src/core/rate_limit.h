@@ -1,8 +1,8 @@
 #pragma once
 
-#include <map>
 #include <string>
 
+#include "util/flat_map.h"
 #include "util/time.h"
 
 namespace simba::core {
@@ -47,8 +47,7 @@ class TokenBucket {
 
 // Keyed bucket set: one bucket per alert source, lazily created on
 // first sight with a shared config. Iteration order never matters
-// (lookup only), but std::map keeps the structure deterministic
-// anyway.
+// (lookup only), so the per-admission probe is a flat-map hash hit.
 class KeyedTokenBuckets {
  public:
   KeyedTokenBuckets() = default;
@@ -68,7 +67,7 @@ class KeyedTokenBuckets {
   TokenBucket& bucket(const std::string& key, TimePoint now);
 
   TokenBucketConfig config_;
-  std::map<std::string, TokenBucket> buckets_;
+  util::FlatMap<std::string, TokenBucket> buckets_;
 };
 
 }  // namespace simba::core

@@ -99,7 +99,7 @@ void UserEndpoint::maybe_ack(const im::ImMessage& message, TimePoint) {
   sim_.after(
       reaction,
       [this, from = message.from_user, alert_id = id->second] {
-        std::map<std::string, std::string> headers;
+        util::FlatMap<std::string, std::string> headers;
         headers[wire::kKind] = wire::kKindAck;
         headers[wire::kAckFor] = alert_id;
         try {
@@ -168,7 +168,7 @@ int UserEndpoint::sightings(const std::string& alert_id) const {
 UserEndpoint::State UserEndpoint::save_state() const {
   State state;
   state.sightings.reserve(seen_.size());
-  for (const auto& [alert_id, sighting] : seen_) {
+  for (const auto& [alert_id, sighting] : seen_.sorted_items()) {
     state.sightings.push_back(
         SightingState{alert_id, sighting.first, sighting.channel,
                       sighting.count});

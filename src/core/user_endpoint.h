@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -25,6 +24,7 @@
 #include "sim/fault.h"
 #include "sim/simulator.h"
 #include "sms/sms.h"
+#include "util/flat_map.h"
 #include "util/stats.h"
 
 namespace simba::core {
@@ -104,7 +104,7 @@ class UserEndpoint {
     int count = 0;
   };
   struct State {
-    std::vector<SightingState> sightings;  // sorted by alert id (map order)
+    std::vector<SightingState> sightings;  // sorted by alert id
     std::uint64_t email_cursor = 0;
     Counters stats;
   };
@@ -136,7 +136,10 @@ class UserEndpoint {
   std::unique_ptr<im::ImClientApp> im_client_;
   std::unique_ptr<sms::Phone> phone_;
   std::size_t email_cursor_ = 0;
-  std::map<std::string, Sighting> seen_;
+  /// Per-alert sightings: record() is a hash probe; save_state
+  /// serialises through sorted_items() so snapshot images keep the
+  /// old sorted-map byte order.
+  util::FlatMap<std::string, Sighting> seen_;
   SightingObserver sighting_observer_;
   sim::TaskHandle email_task_;
   sim::TaskHandle presence_task_;

@@ -19,6 +19,7 @@
 
 #include "sim/fault.h"
 #include "sim/simulator.h"
+#include "util/flat_map.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -31,7 +32,7 @@ struct Email {
   std::string to;
   std::string subject;
   std::string body;
-  std::map<std::string, std::string> headers;
+  util::FlatMap<std::string, std::string> headers;
   bool high_importance = false;
   TimePoint submitted_at{};
   TimePoint delivered_at{};
@@ -113,8 +114,11 @@ class EmailServer {
   sim::Simulator& sim_;
   Rng rng_;
   EmailDelayModel delay_;
-  std::map<std::string, std::vector<Email>> mailboxes_;
-  std::map<std::string, std::function<void(const Email&)>> domain_handlers_;
+  // Stays ordered (save_state serialises mailboxes sorted); std::less<>
+  // lets string_view probes avoid a key allocation.
+  std::map<std::string, std::vector<Email>, std::less<>> mailboxes_;
+  std::map<std::string, std::function<void(const Email&)>, std::less<>>
+      domain_handlers_;
   sim::OutagePlan outages_;
   std::function<void(const std::string&, const Email&)> on_delivered_;
   std::uint64_t next_id_ = 1;

@@ -1,7 +1,6 @@
 #include "fleet/chaos_workload.h"
 
-#include <map>
-#include <set>
+#include "util/flat_map.h"
 #include <string>
 #include <string_view>
 
@@ -42,7 +41,7 @@ ShardResult run_chaos_shard(const ShardTask& task,
 
   // One alert day against the chaos schedule: Poisson arrivals,
   // pre-scheduled, every submission and outcome fed to the checker.
-  std::map<std::string, TimePoint> sent_at;
+  util::FlatMap<std::string, TimePoint> sent_at;
   Rng rng = world.sim.make_rng("chaos.load");
   const TimePoint end = kTimeZero + options.horizon;
   const Duration mean_gap{static_cast<std::int64_t>(
@@ -102,7 +101,7 @@ ShardResult run_chaos_shard(const ShardTask& task,
   // unread in the buddy's mailbox (the next email pump will). Anything
   // else has been silently lost — the violation the paper's whole
   // architecture exists to prevent.
-  std::set<std::string> mailbox_ids;
+  util::FlatSet<std::string> mailbox_ids;
   for (const email::Email& mail :
        world.email_server.mailbox(world.host->email_address())) {
     const auto it = mail.headers.find("alert_id");
@@ -115,7 +114,7 @@ ShardResult run_chaos_shard(const ShardTask& task,
   }
   // Acked-as-logged records must still be present now (a torn append
   // can only ever hit an unacked record).
-  std::map<std::string, bool> logged_now;
+  sim::InvariantChecker::LoggedNowMap logged_now;
   for (const auto& [id, submitted] : sent_at) {
     (void)submitted;
     logged_now[id] = world.host->alert_log().contains(id);
@@ -126,11 +125,11 @@ ShardResult run_chaos_shard(const ShardTask& task,
     result.violation_details = report.describe(world.trace.get());
   }
 
-  // Portal-style delivery scoring, same deterministic map order.
+  // Portal-style delivery scoring, same deterministic sorted order.
   result.counters.bump("alerts.sent", sent);
   std::int64_t delivered = 0;
   std::int64_t duplicates = 0;
-  for (const auto& [id, submitted] : sent_at) {
+  for (const auto& [id, submitted] : sent_at.sorted_items()) {
     const auto seen = world.user->first_seen(id);
     if (!seen) continue;
     ++delivered;

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <set>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -15,6 +14,7 @@
 #include "sim/invariants.h"
 #include "sim/snapshot.h"
 #include "util/arena.h"
+#include "util/flat_map.h"
 
 namespace simba::fleet {
 
@@ -111,8 +111,9 @@ struct ShardDriver {
   /// Conservation tracker spanning all epochs (kChaos / kStorm).
   sim::InvariantChecker checker;
   /// Portal only: MAB-assigned alert id -> submit time, fed by the
-  /// alert observer.
-  std::map<std::string, TimePoint> sent_at;
+  /// alert observer. Serialised through sorted_items() so checkpoint
+  /// images stay sorted and thread-invariant.
+  util::FlatMap<std::string, TimePoint> sent_at;
   /// Portal only: availability-probe counters.
   Counters health;
   /// Shard checkpoint image, filled at the boundary the control asked
@@ -141,6 +142,7 @@ std::vector<std::string> get_string_vector(sim::SnapshotReader& r) {
 }
 
 void put_string_map(sim::SnapshotWriter& w,
+                    // simba-lint: ordered (snapshot serialises sorted)
                     const std::map<std::string, std::string>& m) {
   w.u64(m.size());
   for (const auto& [key, value] : m) {
@@ -149,9 +151,34 @@ void put_string_map(sim::SnapshotWriter& w,
   }
 }
 
+// simba-lint: ordered
 std::map<std::string, std::string> get_string_map(sim::SnapshotReader& r) {
+  // simba-lint: ordered
   std::map<std::string, std::string> out;
   const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    std::string key = r.str();
+    out[std::move(key)] = r.str();
+  }
+  return out;
+}
+
+// Header maps are FlatMaps; serialising via sorted_items() keeps the
+// image byte-identical to the ordered-map encoding above.
+void put_string_map(sim::SnapshotWriter& w,
+                    const util::FlatMap<std::string, std::string>& m) {
+  w.u64(m.size());
+  for (const auto& [key, value] : m.sorted_items()) {
+    w.str(key);
+    w.str(value);
+  }
+}
+
+util::FlatMap<std::string, std::string> get_flat_string_map(
+    sim::SnapshotReader& r) {
+  util::FlatMap<std::string, std::string> out;
+  const std::uint64_t n = r.u64();
+  out.reserve(n);
   for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
     std::string key = r.str();
     out[std::move(key)] = r.str();
@@ -202,7 +229,7 @@ email::Email get_email(sim::SnapshotReader& r) {
   mail.to = r.str();
   mail.subject = r.str();
   mail.body = r.str();
-  mail.headers = get_string_map(r);
+  mail.headers = get_flat_string_map(r);
   mail.high_importance = r.boolean();
   mail.submitted_at = r.time_point();
   mail.delivered_at = r.time_point();
@@ -476,7 +503,7 @@ std::string encode_shard(const ResumableOptions& o, const ShardTask& task,
 
   w.begin_section(kSecDriver);
   w.u64(d.sent_at.size());
-  for (const auto& [id, t] : d.sent_at) {
+  for (const auto& [id, t] : d.sent_at.sorted_items()) {
     w.str(id);
     w.time_point(t);
   }
@@ -754,8 +781,8 @@ ShardResult score_shard(UserWorld& world, const ResumableOptions& o,
                         const ShardTask& task, ShardDriver& d) {
   ShardResult result;
 
-  std::map<std::string, TimePoint> sent_at;
-  std::set<std::string> critical_ids;
+  util::FlatMap<std::string, TimePoint> sent_at;
+  util::FlatSet<std::string> critical_ids;
   if (o.kind == ResumeKind::kPortal) {
     sent_at = d.sent_at;
   } else {
@@ -771,7 +798,7 @@ ShardResult score_shard(UserWorld& world, const ResumableOptions& o,
     // Horizon-time sweep (see chaos_workload.cc): an unresolved alert
     // must be recoverable — in the persistent log or unread in the
     // buddy's mailbox — never silently lost.
-    std::set<std::string> mailbox_ids;
+    util::FlatSet<std::string> mailbox_ids;
     for (const email::Email& mail :
          world.email_server.mailbox(world.host->email_address())) {
       const auto it = mail.headers.find("alert_id");
@@ -782,7 +809,7 @@ ShardResult score_shard(UserWorld& world, const ResumableOptions& o,
         d.checker.on_recoverable(id);
       }
     }
-    std::map<std::string, bool> logged_now;
+    sim::InvariantChecker::LoggedNowMap logged_now;
     for (const auto& [id, submitted] : sent_at) {
       (void)submitted;
       logged_now[id] = world.host->alert_log().contains(id);
@@ -803,7 +830,7 @@ ShardResult score_shard(UserWorld& world, const ResumableOptions& o,
   std::int64_t delivered = 0;
   std::int64_t critical_delivered = 0;
   std::int64_t duplicates = 0;
-  for (const auto& [id, submitted] : sent_at) {
+  for (const auto& [id, submitted] : sent_at.sorted_items()) {
     const auto seen = world.user->first_seen(id);
     if (!seen) continue;
     ++delivered;

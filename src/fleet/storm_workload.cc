@@ -1,8 +1,7 @@
 #include "fleet/storm_workload.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include "util/flat_map.h"
 #include <string>
 #include <string_view>
 
@@ -72,8 +71,8 @@ ShardResult run_storm_shard(const ShardTask& task,
   UserWorld world(task.seed, world_options);
   sim::InvariantChecker& checker = *world.invariants;
 
-  std::map<std::string, TimePoint> sent_at;
-  std::set<std::string> critical_ids;
+  util::FlatMap<std::string, TimePoint> sent_at;
+  util::FlatSet<std::string> critical_ids;
   Rng rng = world.sim.make_rng("storm.load");
   const TimePoint start = world.sim.now();
   const TimePoint end = kTimeZero + options.horizon;
@@ -180,7 +179,7 @@ ShardResult run_storm_shard(const ShardTask& task,
   // An unresolved alert must be recoverable: in the persistent log or
   // unread in the buddy's mailbox. Shed and coalesced alerts are
   // terminal and never reach this sweep.
-  std::set<std::string> mailbox_ids;
+  util::FlatSet<std::string> mailbox_ids;
   for (const email::Email& mail :
        world.email_server.mailbox(world.host->email_address())) {
     const auto it = mail.headers.find("alert_id");
@@ -191,7 +190,7 @@ ShardResult run_storm_shard(const ShardTask& task,
       checker.on_recoverable(id);
     }
   }
-  std::map<std::string, bool> logged_now;
+  sim::InvariantChecker::LoggedNowMap logged_now;
   for (const auto& [id, submitted] : sent_at) {
     (void)submitted;
     logged_now[id] = world.host->alert_log().contains(id);
@@ -203,14 +202,15 @@ ShardResult run_storm_shard(const ShardTask& task,
   }
 
   // Delivery scoring, plus the critical-alert latency the defenses
-  // protect. Deterministic map order, like the other workloads.
+  // protect. Deterministic sorted_items() order, like the other
+  // workloads.
   result.counters.bump("alerts.sent", sent);
   result.counters.bump("alerts.critical",
                        static_cast<std::int64_t>(critical_ids.size()));
   std::int64_t delivered = 0;
   std::int64_t critical_delivered = 0;
   std::int64_t duplicates = 0;
-  for (const auto& [id, submitted] : sent_at) {
+  for (const auto& [id, submitted] : sent_at.sorted_items()) {
     const auto seen = world.user->first_seen(id);
     if (!seen) continue;
     ++delivered;

@@ -31,7 +31,7 @@ void ImClientApp::on_kill() {
   // Pending automation calls observe the process's death.
   auto pending = std::move(pending_);
   pending_.clear();
-  for (auto& [id, rpc] : pending) {
+  for (const auto& [id, rpc] : pending.sorted_items()) {
     if (rpc.timeout_event != 0) sim().cancel(rpc.timeout_event);
     if (rpc.done) rpc.done(Status::failure(name() + ": client terminated"));
   }
@@ -45,7 +45,7 @@ bool ImClientApp::is_logged_in() {
 }
 
 std::uint64_t ImClientApp::send_rpc(const std::string& type,
-                                    std::map<std::string, std::string> headers,
+                                    util::FlatMap<std::string, std::string> headers,
                                     std::string body,
                                     std::function<void(Status)> done,
                                     const std::string& timeout_what) {
@@ -131,7 +131,7 @@ void ImClientApp::verify_connection(std::function<void(Status)> done) {
 }
 
 void ImClientApp::send_im(const std::string& to_user, const std::string& body,
-                          std::map<std::string, std::string> headers,
+                          util::FlatMap<std::string, std::string> headers,
                           std::function<void(Status)> done) {
   const Status gate = begin_operation("send_im");
   if (!gate.ok()) {

@@ -10,13 +10,13 @@
 
 #include <deque>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "gui/client_app.h"
 #include "im/im_server.h"
 #include "net/bus.h"
+#include "util/flat_map.h"
 
 namespace simba::im {
 
@@ -26,7 +26,7 @@ struct ImMessage {
   std::string to_user;
   std::string body;
   std::string seq;  // sender-assigned sequence tag (SIMBA uses these)
-  std::map<std::string, std::string> headers;
+  util::FlatMap<std::string, std::string> headers;
   TimePoint received_at{};
 };
 
@@ -69,7 +69,7 @@ class ImClientApp : public gui::ClientApp {
   /// to an online recipient (NOT that the human read it — SIMBA's
   /// application-level acks handle that).
   void send_im(const std::string& to_user, const std::string& body,
-               std::map<std::string, std::string> headers,
+               util::FlatMap<std::string, std::string> headers,
                std::function<void(Status)> done);
 
   /// Drains messages that arrived since the last fetch.
@@ -94,7 +94,7 @@ class ImClientApp : public gui::ClientApp {
   void handle_bus(const net::Message& m);
   void complete_rpc(std::uint64_t request_id, Status status);
   std::uint64_t send_rpc(const std::string& type,
-                         std::map<std::string, std::string> headers,
+                         util::FlatMap<std::string, std::string> headers,
                          std::string body, std::function<void(Status)> done,
                          const std::string& timeout_what);
 
@@ -109,7 +109,9 @@ class ImClientApp : public gui::ClientApp {
   bool logged_in_ = false;
   std::uint64_t epoch_ = 0;
   std::uint64_t next_seq_ = 1;
-  std::map<std::uint64_t, PendingRpc> pending_;
+  /// Drained via sorted_items() on kill so failure callbacks fire in
+  /// request-id order, matching the old ordered map's event sequence.
+  util::FlatMap<std::uint64_t, PendingRpc> pending_;
   std::deque<ImMessage> inbox_;
   std::function<void()> new_message_event_;
 };

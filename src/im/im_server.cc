@@ -14,11 +14,11 @@ ImServer::ImServer(sim::Simulator& sim, net::MessageBus& bus,
 }
 
 void ImServer::register_account(const std::string& user) {
-  accounts_[user] = true;
+  accounts_.insert(user);
 }
 
 bool ImServer::has_account(const std::string& user) const {
-  return accounts_.count(user) > 0;
+  return accounts_.contains(user);
 }
 
 bool ImServer::online(const std::string& user) const {
@@ -56,7 +56,7 @@ void ImServer::force_logout(const std::string& user) {
 void ImServer::drop_all_sessions() {
   if (sessions_.empty()) return;
   stats_.bump("session_drops", static_cast<std::int64_t>(sessions_.size()));
-  for (auto& [user, session] : sessions_) {
+  for (const auto& [user, session] : sessions_.sorted_items()) {
     if (session.reset_event != 0) sim_.cancel(session.reset_event);
   }
   sessions_.clear();
@@ -73,7 +73,7 @@ void ImServer::arm_session_reset(const std::string& user) {
 }
 
 void ImServer::reply(const net::Message& to_msg, const std::string& type,
-                     std::map<std::string, std::string> headers,
+                     util::FlatMap<std::string, std::string> headers,
                      std::string body) {
   net::Message m;
   m.from = address_;

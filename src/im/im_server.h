@@ -9,12 +9,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 
 #include "net/bus.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
+#include "util/flat_map.h"
 
 namespace simba::im {
 
@@ -80,7 +80,7 @@ class ImServer {
   void handle_login(const net::Message& m);
   void handle_send(const net::Message& m);
   void reply(const net::Message& to_msg, const std::string& type,
-             std::map<std::string, std::string> headers = {},
+             util::FlatMap<std::string, std::string> headers = {},
              std::string body = {});
   void drop_all_sessions();
   void arm_session_reset(const std::string& user);
@@ -89,8 +89,10 @@ class ImServer {
   net::MessageBus& bus_;
   std::string address_;
   Rng rng_;
-  std::map<std::string, bool> accounts_;
-  std::map<std::string, Session> sessions_;
+  util::FlatSet<std::string> accounts_;
+  /// Dropped via sorted_items() on outage so logged-out notices go out
+  /// in user order, matching the old ordered map's message sequence.
+  util::FlatMap<std::string, Session> sessions_;
   sim::OutagePlan outages_;
   bool was_down_ = false;  // edge detection for session drops
   Duration session_reset_mtbf_{};

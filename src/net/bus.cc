@@ -33,7 +33,7 @@ bool MessageBus::attached(const std::string& address) const {
 
 void MessageBus::set_link(const std::string& from, const std::string& to,
                           LinkModel model) {
-  links_[{from, to}] = model;
+  links_[AddressPair{from, to}] = model;
 }
 
 void MessageBus::partition(const std::string& a, const std::string& b) {
@@ -109,7 +109,7 @@ std::uint64_t MessageBus::send(Message message) {
   message.id = next_id_++;
   message.sent_at = sim_.now();
   stats_.bump("sent");
-  if (tracing()) {
+  if (traced(message)) {
     trace_event(message, "send",
                 message.type + " " + message.from + " -> " + message.to);
   }

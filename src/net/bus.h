@@ -13,15 +13,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
-#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sim/chaos.h"
 #include "sim/simulator.h"
+#include "util/flat_map.h"
 #include "util/interner.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -29,18 +29,11 @@
 
 namespace simba::net {
 
-/// Transparent ordering over (from, to) string pairs: lets the link
-/// and partition maps be probed with a pair of string_views, so the
-/// per-send partition check builds no temporary strings.
-struct AddressPairLess {
-  using is_transparent = void;
-  template <typename A, typename B>
-  bool operator()(const A& a, const B& b) const {
-    const int c = std::string_view(a.first).compare(b.first);
-    if (c != 0) return c < 0;
-    return std::string_view(a.second) < std::string_view(b.second);
-  }
-};
+/// (from, to) address-pair key for the link and partition maps. The
+/// composed util::PairStringHash/Eq are transparent, so the per-send
+/// partition check probes with a pair of string_views and builds no
+/// temporary strings.
+using AddressPair = std::pair<std::string, std::string>;
 
 /// An in-flight message. `type` is a protocol discriminator (e.g.
 /// "im.send", "smtp.mail"); `headers` carry protocol fields; `body`
@@ -50,7 +43,12 @@ struct Message {
   std::string to;
   std::string type;
   std::string body;
-  std::map<std::string, std::string> headers;
+  /// Header lookups (alert ids, wire kinds, acks) are the hottest
+  /// string probes on the submit→deliver path, and every message
+  /// construction used to pay one tree-node allocation per header.
+  /// The snapshot codec serialises headers via sorted_items(), so the
+  /// wire image stays byte-identical to the old ordered map's.
+  util::FlatMap<std::string, std::string> headers;
   TimePoint sent_at{};
   std::uint64_t id = 0;
 };
@@ -153,6 +151,15 @@ class MessageBus {
   /// detail string must check this first so disabled tracing costs
   /// nothing (ISSUE satellite: no detail construction when off).
   bool tracing() const { return trace_ != nullptr; }
+  /// True when this message would actually emit a span: tracing armed
+  /// AND alert-correlated. Keepalive traffic (pings, logins, presence)
+  /// dominates message volume, so call sites that concatenate a detail
+  /// string must gate on this — not just tracing() — or every ping
+  /// pays string-building for a span trace_event then discards.
+  bool traced(const Message& message) const {
+    return trace_ != nullptr && (message.headers.contains("alert_id") ||
+                                 message.headers.contains("simba_ack_for"));
+  }
   void trace_event(const Message& message, const char* stage,
                    std::string detail);
   /// Stable interned "net.deliver:<type>" label for the simulator
@@ -161,16 +168,17 @@ class MessageBus {
 
   sim::Simulator& sim_;
   Rng rng_;
-  std::map<std::string, Handler> endpoints_;
-  std::map<std::pair<std::string, std::string>, LinkModel, AddressPairLess>
-      links_;
-  std::map<std::pair<std::string, std::string>, int, AddressPairLess>
-      partitions_;
+  /// Lookup-only flat maps (DESIGN.md §16): nothing iterates these, so
+  /// insertion-order traversal is irrelevant and every per-send /
+  /// per-arrival probe is a single open-addressing hash lookup.
+  util::FlatMap<std::string, Handler> endpoints_;
+  util::FlatMap<AddressPair, LinkModel> links_;
+  util::FlatMap<AddressPair, int> partitions_;
   LinkModel default_link_;
   /// Addresses that were attached once and detached since; in-flight
   /// messages to them count under "dropped.undeliverable" rather than
   /// "dropped.unreachable" (never-attached).
-  std::set<std::string> detached_;
+  util::FlatSet<std::string> detached_;
   sim::NetChaosConfig chaos_;
   std::optional<Rng> chaos_rng_;
   std::uint64_t next_id_ = 1;
@@ -180,7 +188,7 @@ class MessageBus {
   /// the interner owns them, the cache makes the per-send lookup a
   /// single allocation-free transparent map probe.
   util::StringInterner label_interner_;
-  std::map<std::string, const char*, std::less<>> deliver_labels_;
+  util::FlatMap<std::string, const char*> deliver_labels_;
   /// In-flight message pool (DESIGN.md §13). A message awaiting
   /// arrival lives in a pooled slot so the delivery closure captures
   /// only (this, slot, late_loss) — small enough for std::function's

@@ -44,7 +44,9 @@ class WebDirectory {
 
  private:
   sim::Simulator& sim_;
-  std::map<std::string, std::string> pages_;
+  // Stays ordered; std::less<> lets string_view probes avoid a key
+  // allocation.
+  std::map<std::string, std::string, std::less<>> pages_;
   double fetch_failure_ = 0.01;
 };
 

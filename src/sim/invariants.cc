@@ -50,7 +50,7 @@ void InvariantChecker::on_recoverable(const std::string& id) {
 
 std::vector<std::string> InvariantChecker::unresolved() const {
   std::vector<std::string> out;
-  for (const auto& [id, t] : tracks_) {
+  for (const auto& [id, t] : tracks_.sorted_items()) {
     if (t.submitted && t.sightings == 0 && !t.failed && !t.shed &&
         t.coalesces == 0) {
       out.push_back(id);
@@ -60,16 +60,16 @@ std::vector<std::string> InvariantChecker::unresolved() const {
 }
 
 InvariantChecker::Report InvariantChecker::check(
-    const std::map<std::string, bool>* logged_now) const {
+    const LoggedNowMap* logged_now) const {
   Report report;
-  // tracks_ is an ordered map, so violating_ids comes out sorted; the
+  // The sorted_items() walk keeps violating_ids sorted; the
   // lambda dedupes an id hitting several violation classes.
   const auto violating = [&report](const std::string& id) {
     if (report.violating_ids.empty() || report.violating_ids.back() != id) {
       report.violating_ids.push_back(id);
     }
   };
-  for (const auto& [id, t] : tracks_) {
+  for (const auto& [id, t] : tracks_.sorted_items()) {
     if (!t.submitted) {
       // Someone saw, acked, or failed an alert nobody submitted.
       ++report.phantom_deliveries;
@@ -205,7 +205,7 @@ InvariantChecker::State InvariantChecker::save_state() const {
   State state;
   state.duplicates_allowed = options_.duplicates_allowed;
   state.tracks.reserve(tracks_.size());
-  for (const auto& [id, t] : tracks_) {
+  for (const auto& [id, t] : tracks_.sorted_items()) {
     state.tracks.push_back(TrackState{
         id, t.submitted, t.logged, t.acked, t.acked_logged, t.ack_block,
         t.failed, t.shed, t.coalesces, t.recoverable, t.sightings,

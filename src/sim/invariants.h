@@ -26,10 +26,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "util/flat_map.h"
 #include "util/stats.h"
 #include "util/time.h"
 #include "util/trace.h"
@@ -129,7 +129,8 @@ class InvariantChecker {
   /// results from a final log probe per acked id: an id acked as logged
   /// must still be present (pessimistic log records never vanish). Pass
   /// nullptr to skip that probe (no log in the world).
-  Report check(const std::map<std::string, bool>* logged_now = nullptr) const;
+  using LoggedNowMap = util::FlatMap<std::string, bool>;
+  Report check(const LoggedNowMap* logged_now = nullptr) const;
 
   /// Checkpoint state (sim/snapshot.h): the full per-alert bookkeeping,
   /// so a resumed run's horizon sweep sees exactly the history the
@@ -151,7 +152,7 @@ class InvariantChecker {
   };
   struct State {
     bool duplicates_allowed = true;
-    std::vector<TrackState> tracks;  // sorted by id (map order)
+    std::vector<TrackState> tracks;  // sorted by id
   };
   State save_state() const;
   void restore_state(const State& state);
@@ -175,7 +176,12 @@ class InvariantChecker {
   Track& track(const std::string& id) { return tracks_[id]; }
 
   Options options_;
-  std::map<std::string, Track> tracks_;  // ordered: deterministic sweeps
+  /// Per-alert bookkeeping. The per-event record path is a hash probe;
+  /// every sweep that observes order (check(), unresolved(),
+  /// save_state()) walks sorted_items() so violating-id dedup, horizon
+  /// sweeps, and snapshot images stay byte-identical to the old
+  /// sorted-map behaviour.
+  util::FlatMap<std::string, Track> tracks_;
 };
 
 }  // namespace simba::sim

@@ -297,8 +297,9 @@ Rng::State get_rng(SnapshotReader& r) {
 }
 
 void put_counters(SnapshotWriter& w, const Counters& counters) {
-  w.u64(counters.all().size());
-  for (const auto& [name, value] : counters.all()) {
+  const auto sorted = counters.all();
+  w.u64(sorted.size());
+  for (const auto& [name, value] : sorted) {
     w.str(name);
     w.i64(value);
   }

@@ -47,7 +47,7 @@ void SmsGateway::attach_to(email::EmailServer& server) {
 }
 
 Status SmsGateway::submit(const std::string& number, const std::string& text,
-                          std::map<std::string, std::string> headers) {
+                          util::FlatMap<std::string, std::string> headers) {
   const auto it = phones_.find(number);
   if (it == phones_.end()) {
     stats_.bump("rejected.unknown_number");

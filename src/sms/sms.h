@@ -17,6 +17,7 @@
 
 #include "email/email_server.h"
 #include "sim/fault.h"
+#include "util/flat_map.h"
 #include "sim/simulator.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -30,7 +31,7 @@ struct SmsMessage {
   std::string text;
   /// Carried metadata (not user-visible): the email-to-SMS bridge
   /// copies the mail headers so experiments can trace alert ids.
-  std::map<std::string, std::string> headers;
+  util::FlatMap<std::string, std::string> headers;
   TimePoint submitted_at{};
   TimePoint delivered_at{};
 };
@@ -103,7 +104,7 @@ class SmsGateway {
 
   /// Direct submission (the MSN-Mobile-style HTTP gateway).
   Status submit(const std::string& number, const std::string& text,
-                std::map<std::string, std::string> headers = {});
+                util::FlatMap<std::string, std::string> headers = {});
 
   const Counters& stats() const { return stats_; }
 

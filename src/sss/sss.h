@@ -130,8 +130,10 @@ class SssServer {
   sim::Simulator& sim_;
   std::string node_;
   std::set<std::string> types_;
-  std::map<std::string, Variable> variables_;
-  std::map<std::string, sim::EventId> timeout_events_;
+  // Stays ordered (subscription fan-out walks variables sorted);
+  // std::less<> lets string_view probes avoid a key allocation.
+  std::map<std::string, Variable, std::less<>> variables_;
+  std::map<std::string, sim::EventId, std::less<>> timeout_events_;
   /// Owns the per-variable "sss.timeout.<name>" event labels; the
   /// kernel stores only the pointer, so they must outlive the events.
   util::StringInterner label_interner_;

@@ -11,32 +11,40 @@
 // per-component interners need no locking and TSan stays quiet.
 #pragma once
 
-#include <set>
+#include <deque>
 #include <string>
 #include <string_view>
+
+#include "util/flat_map.h"
 
 namespace simba::util {
 
 /// Owns a deduplicated set of strings and hands out stable C-string
-/// pointers into them. Pointers stay valid for the interner's lifetime
-/// (std::set nodes never move). Not thread-safe; intended to be owned
-/// by a single-threaded component alongside its Simulator.
+/// pointers into them. The flat-map index is keyed by string_views
+/// into a std::deque backing store — the deque never moves a stored
+/// std::string (SSO would otherwise invalidate c_str() on short
+/// strings when a vector reallocates), so pointers stay valid for the
+/// interner's lifetime. Not thread-safe; intended to be owned by a
+/// single-threaded component alongside its Simulator.
 class StringInterner {
  public:
   /// Returns a stable NUL-terminated pointer to a string equal to
-  /// `text`, inserting it on first sight. O(log n) with no allocation
-  /// when `text` was seen before.
+  /// `text`, inserting it on first sight. One hash probe with no
+  /// allocation when `text` was seen before.
   const char* intern(std::string_view text) {
-    const auto it = strings_.find(text);
-    if (it != strings_.end()) return it->c_str();
-    return strings_.emplace(text).first->c_str();
+    const auto it = index_.find(text);
+    if (it != index_.end()) return it->second;
+    storage_.emplace_back(text);
+    const std::string& stored = storage_.back();
+    index_.emplace(std::string_view(stored), stored.c_str());
+    return stored.c_str();
   }
 
-  std::size_t size() const { return strings_.size(); }
+  std::size_t size() const { return storage_.size(); }
 
  private:
-  // std::less<> enables heterogeneous string_view lookups.
-  std::set<std::string, std::less<>> strings_;
+  std::deque<std::string> storage_;
+  FlatMap<std::string_view, const char*> index_;
 };
 
 }  // namespace simba::util

@@ -80,20 +80,24 @@ std::string Summary::report(const char* value_format) const {
 }
 
 void Counters::bump(std::string_view name, std::int64_t by) {
-  // Transparent find first: after a counter's first bump, subsequent
-  // bumps are allocation-free. The std::string key is built only on
-  // the insert path.
-  const auto it = counts_.find(name);
-  if (it != counts_.end()) {
-    it->second += by;
-    return;
-  }
-  counts_.emplace(std::string(name), by);
+  // Single transparent probe: after a counter's first bump, subsequent
+  // bumps are allocation-free flat-map hits. The std::string key is
+  // built only on the insert path (inside try_emplace).
+  counts_[name] += by;
 }
 
 std::int64_t Counters::get(std::string_view name) const {
   const auto it = counts_.find(name);
   return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Counters::all() const {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counts_.size());
+  for (const auto& [name, value] : counts_.sorted_items()) {
+    out.emplace_back(name, value);
+  }
+  return out;
 }
 
 void Counters::merge(const Counters& other) {
@@ -106,7 +110,7 @@ void Counters::merge(const Counters& other) {
 
 std::string Counters::report() const {
   std::string out;
-  for (const auto& [name, value] : counts_) {
+  for (const auto& [name, value] : counts_.sorted_items()) {
     out += "  " + name + " = " + std::to_string(value) + "\n";
   }
   return out;

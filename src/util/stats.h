@@ -5,11 +5,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "util/flat_map.h"
 #include "util/time.h"
 
 namespace simba {
@@ -87,16 +88,21 @@ class Summary {
 /// statistics (experiment E6 reports these directly).
 ///
 /// bump()/get() take string_view and look up through a transparent
-/// comparator, so the ubiquitous string-literal call sites
+/// hash, so the ubiquitous string-literal call sites
 /// (`stats_.bump("delivered")`) never materialise a std::string on the
-/// hot path — a key is copied once, on first insertion.
+/// hot path — a key is copied once, on first insertion. The bag is an
+/// open-addressing util::FlatMap (bump is the single hottest map op in
+/// the fleet); all() materialises the sorted view every report/
+/// snapshot/merge-comparison site relied on when this was a std::map.
 class Counters {
  public:
   void bump(std::string_view name, std::int64_t by = 1);
   std::int64_t get(std::string_view name) const;
-  const std::map<std::string, std::int64_t, std::less<>>& all() const {
-    return counts_;
-  }
+  /// Every counter, sorted by name. Returned by value: the underlying
+  /// flat map iterates in insertion order, and every caller (reports,
+  /// snapshot serialisation, merged-report JSON, test comparisons)
+  /// wants the deterministic sorted sequence.
+  std::vector<std::pair<std::string, std::int64_t>> all() const;
   /// Adds every counter from `other` into this bag (sums on key
   /// collision, inserts otherwise). Associative and commutative.
   void merge(const Counters& other);
@@ -105,7 +111,7 @@ class Counters {
   std::string report() const;
 
  private:
-  std::map<std::string, std::int64_t, std::less<>> counts_;
+  util::FlatMap<std::string, std::int64_t> counts_;
 };
 
 /// Fixed-boundary histogram for latency distributions.

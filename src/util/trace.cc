@@ -100,7 +100,9 @@ std::string Trace::to_jsonl() const {
   return out;
 }
 
+// simba-lint: ordered (report-time only; printed in sorted order)
 std::map<std::string, Summary> Trace::stage_latency() const {
+  // simba-lint: ordered
   std::map<std::string, Summary> stages;
   for (const Span& s : spans_) {
     stages[std::string(s.component) + "." + s.stage].add(s.duration());
@@ -108,8 +110,10 @@ std::map<std::string, Summary> Trace::stage_latency() const {
   return stages;
 }
 
+// simba-lint: ordered
 std::map<std::string, Histogram> Trace::stage_histograms(
     const std::vector<double>& boundaries) const {
+  // simba-lint: ordered
   std::map<std::string, Histogram> stages;
   for (const Span& s : spans_) {
     const std::string key = std::string(s.component) + "." + s.stage;

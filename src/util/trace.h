@@ -88,10 +88,12 @@ class Trace {
 
   /// Per-stage latency distributions keyed "component.stage", over
   /// span durations in seconds (instant spans contribute 0).
+  // simba-lint: ordered (report-time; callers print stages sorted)
   std::map<std::string, Summary> stage_latency() const;
 
   /// Per-stage latency histograms over span durations in seconds, all
   /// sharing `boundaries`. Keyed like stage_latency().
+  // simba-lint: ordered
   std::map<std::string, Histogram> stage_histograms(
       const std::vector<double>& boundaries) const;
 

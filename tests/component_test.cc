@@ -274,7 +274,7 @@ TEST(UserEndpointTest, AwayUserSeesImOnlyOnReturn) {
   sender.launch();
   sender.login(nullptr);
   world.sim.run_for(seconds(20));
-  std::map<std::string, std::string> headers;
+  util::FlatMap<std::string, std::string> headers;
   headers["alert_id"] = "away-1";
   sender.send_im("u", "hello", headers, nullptr);
   world.sim.run_for(minutes(10));

@@ -97,7 +97,7 @@ struct MabRig {
   }
 
   void send_rejuvenate_command() {
-    std::map<std::string, std::string> headers;
+    util::FlatMap<std::string, std::string> headers;
     headers[wire::kKind] = wire::kKindCommand;
     source->im_manager().send_im(host->im_address(), "SIMBA REJUVENATE",
                                  headers, nullptr);
@@ -255,7 +255,7 @@ TEST_F(MabTest, DigestOnDemandCommand) {
   rig_.source->send_alert(rig_.sensor_alert("muted3", "OFF"));
   rig_.world.sim.run_for(minutes(3));
   ASSERT_EQ(rig_.host->digest().size(), 1u);
-  std::map<std::string, std::string> headers;
+  util::FlatMap<std::string, std::string> headers;
   headers[wire::kKind] = wire::kKindCommand;
   rig_.source->im_manager().send_im(rig_.host->im_address(), "SIMBA DIGEST",
                                     headers, nullptr);
@@ -284,7 +284,7 @@ TEST_F(MabTest, SubCategorizationRoutesOnAndOffDifferently) {
 }
 
 TEST_F(MabTest, RemoteCommandDisablesSmsAddress) {
-  std::map<std::string, std::string> headers;
+  util::FlatMap<std::string, std::string> headers;
   headers[wire::kKind] = wire::kKindCommand;
   rig_.source->im_manager().send_im(rig_.host->im_address(),
                                     "SIMBA DISABLE ADDRESS Cell SMS", headers,

@@ -30,7 +30,12 @@ import sys
 # users, alerts_sent, ...) are deterministic and belong to correctness
 # tests, not a perf smoke.
 COMPARED_SUFFIXES = ("_per_sec",)
-COMPARED_KEYS = ("events_per_sec", "peak_rss_bytes", "critical_p99_speedup_x")
+COMPARED_KEYS = (
+    "events_per_sec",
+    "peak_rss_bytes",
+    "critical_p99_speedup_x",
+    "map_ops_per_sec",
+)
 
 
 def compared(key):

@@ -29,6 +29,13 @@
 //   [bounded]     queue containers on the alert hot path (core/,
 //                 net/) must carry a "// simba-lint: bounded(...)"
 //                 waiver naming the bound and its shed path.
+//   [flatmap]     string-keyed std::map in the hot directories
+//                 (core/, net/, util/, fleet/) is an error — use
+//                 util::FlatMap (util/flat_map.h) with sorted_items()
+//                 where order matters, or carry a "// simba-lint:
+//                 ordered" waiver asserting the sorted iteration
+//                 itself is load-bearing (wire framing, config dumps,
+//                 report order).
 //   [trace]       lifecycle-trace spans carry virtual time only: a
 //                 src/ line that emits or builds a util::Trace span
 //                 (an emit(...) call or the Span type) may not
@@ -64,6 +71,7 @@
 //   [determinism] yes (allowlist)     —                        —
 //   [sync]        yes (outside util/) —                        —
 //   [bounded]     core/ + net/        —                        —
+//   [flatmap]     core/ net/ util/ fleet/ —                     —
 //   [trace]       yes                 —                        —
 //   [alloc]       yes                 —                        —
 //   [counters]    yes                 yes                      yes
@@ -92,7 +100,8 @@ struct Diagnostic {
   std::string file;  // path relative to the lint root, '/' separators
   int line = 0;      // 1-based
   std::string rule;  // "layer", "include", "determinism", "sync",
-                     // "bounded", "trace", "alloc", "counters", "waiver"
+                     // "bounded", "flatmap", "trace", "alloc",
+                     // "counters", "waiver"
   std::string message;
   Severity severity = Severity::kError;
 };

@@ -75,6 +75,13 @@ constexpr std::array<std::string_view, 2> kWallClockSources{
 // overload hazard (DESIGN.md §14).
 constexpr std::array<std::string_view, 2> kBoundedModules{"core", "net"};
 
+// Hot directories (DESIGN.md §16): a string-keyed std::map here costs
+// a red-black node walk per lookup on the submit→deliver path; the
+// flat-map sweep replaced them with util::FlatMap, and new ones need
+// an 'ordered' waiver asserting their sorted iteration is load-bearing.
+constexpr std::array<std::string_view, 4> kFlatMapModules{"core", "net",
+                                                          "util", "fleet"};
+
 constexpr std::string_view kWaiverMarker = "simba-lint:";
 
 bool in_allowlist(const std::string& rel_path) {
@@ -163,6 +170,37 @@ void collect_waivers(const std::string& comment, int line_no,
   }
 }
 
+// True when the line declares a string-keyed std::map: "std::map"
+// followed (whitespace-insensitively) by "<std::string..." or
+// "<std::pair<std::string..." — the latter catches composed keys like
+// the bus address pairs. string_view keys match too (the "std::string"
+// prefix), which is intended: a view-keyed ordered map has the same
+// node-walk cost.
+bool string_keyed_map(const std::string& tokens) {
+  constexpr std::string_view kMap = "std::map";
+  constexpr std::string_view kPair = "std::pair";
+  constexpr std::string_view kString = "std::string";
+  std::size_t pos = 0;
+  const auto skip_ws = [&tokens](std::size_t i) {
+    while (i < tokens.size() && (tokens[i] == ' ' || tokens[i] == '\t')) ++i;
+    return i;
+  };
+  while ((pos = tokens.find(kMap, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(tokens[pos - 1]);
+    std::size_t i = skip_ws(pos + kMap.size());
+    if (left_ok && i < tokens.size() && tokens[i] == '<') {
+      i = skip_ws(i + 1);
+      if (tokens.compare(i, kPair.size(), kPair) == 0) {
+        i = skip_ws(i + kPair.size());
+        if (i < tokens.size() && tokens[i] == '<') i = skip_ws(i + 1);
+      }
+      if (tokens.compare(i, kString.size(), kString) == 0) return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
 }  // namespace
 
 bool contains_token(const std::string& text, std::string_view token) {
@@ -204,6 +242,10 @@ void run_line_rules(FileAnalysis& fa, bool with_layer) {
   bool bounded_applies = false;
   for (const std::string_view m : kBoundedModules) {
     bounded_applies = bounded_applies || (in_src && fa.module == m);
+  }
+  bool flatmap_applies = false;
+  for (const std::string_view m : kFlatMapModules) {
+    flatmap_applies = flatmap_applies || (in_src && fa.module == m);
   }
 
   auto emit = [&](int line, const char* rule, std::string message) {
@@ -330,6 +372,21 @@ void run_line_rules(FileAnalysis& fa, bool with_layer) {
              "or previous line) naming the bound that keeps it from "
              "growing without limit under storm load");
       }
+    }
+
+    // [flatmap] — string-keyed ordered maps in the hot directories.
+    // Lookups on the submit→deliver path walk map nodes; util::FlatMap
+    // probes one hash bucket. The 'ordered' waiver marks the sites
+    // whose sorted iteration is load-bearing (wire framing, config
+    // dumps, report order) — everything else converts.
+    if (flatmap_applies && !is_include_line && string_keyed_map(tokens) &&
+        !waived(line_no, "ordered")) {
+      emit(line_no, "flatmap",
+           "string-keyed std::map in a hot directory; use util::FlatMap "
+           "(util/flat_map.h, transparent string_view hashing) with "
+           "sorted_items() where order matters, or add a '// simba-lint: "
+           "ordered' waiver (same or previous line) asserting the sorted "
+           "iteration itself is load-bearing");
     }
 
     // [alloc] — debug/trace log messages must not be built eagerly.

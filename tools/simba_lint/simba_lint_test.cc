@@ -161,6 +161,35 @@ TEST(SimbaLint, BoundedQueueWaivers) {
   EXPECT_NE(out.find("2 violation(s)"), std::string::npos) << out;
 }
 
+TEST(SimbaLint, FlatMapHotDirectoryWaivers) {
+  const LintResult result = lint_fixture("flatmap");
+  EXPECT_EQ(result.files_scanned, 3);
+  // bad_map.cc: unwaived string-keyed member (8) and pair-of-strings
+  // key (9). The include lines, the int-keyed map, both waived members
+  // in net/ok_map.cc (same-line and previous-line waivers), and the
+  // map in the cold gui/ module stay clean.
+  ASSERT_EQ(result.diagnostics.size(), 2u);
+  const Diagnostic& string_key = result.diagnostics[0];
+  EXPECT_EQ(string_key.file, "src/core/bad_map.cc");
+  EXPECT_EQ(string_key.line, 8);
+  EXPECT_EQ(string_key.rule, "flatmap");
+  EXPECT_EQ(format(string_key),
+            "src/core/bad_map.cc:8: error: [flatmap] string-keyed std::map "
+            "in a hot directory; use util::FlatMap (util/flat_map.h, "
+            "transparent string_view hashing) with sorted_items() where "
+            "order matters, or add a '// simba-lint: ordered' waiver (same "
+            "or previous line) asserting the sorted iteration itself is "
+            "load-bearing");
+  EXPECT_EQ(result.diagnostics[1].file, "src/core/bad_map.cc");
+  EXPECT_EQ(result.diagnostics[1].line, 9);
+  EXPECT_EQ(result.diagnostics[1].rule, "flatmap");
+
+  std::string out;
+  EXPECT_EQ(
+      cli({"--root", (std::string(kTestdata) + "/flatmap").c_str()}, out), 1);
+  EXPECT_NE(out.find("2 violation(s)"), std::string::npos) << out;
+}
+
 TEST(SimbaLint, TraceSpansMustUseVirtualTime) {
   const LintResult result = lint_fixture("trace");
   EXPECT_EQ(result.files_scanned, 2);

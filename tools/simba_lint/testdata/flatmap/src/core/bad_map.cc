@@ -1,0 +1,11 @@
+// Flatmap fixture: string-keyed ordered maps in the hot directories
+// must convert to util::FlatMap or carry an 'ordered' waiver.
+#include <map>
+#include <string>
+
+namespace simba::core {
+struct Router {
+  std::map<std::string, int> routes;
+  std::map<std::pair<std::string, std::string>, int> links;
+};
+}  // namespace simba::core

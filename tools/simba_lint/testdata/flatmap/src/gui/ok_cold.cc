@@ -1,0 +1,8 @@
+// Module scoping: ordered maps outside the hot directories (core/,
+// net/, util/, fleet/) are not on the lookup hot path; no waiver.
+#include <map>
+#include <string>
+
+namespace simba::gui {
+std::map<std::string, int> panels;
+}  // namespace simba::gui

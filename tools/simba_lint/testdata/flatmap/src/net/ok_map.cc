@@ -1,0 +1,13 @@
+// Waiver fixture: non-string keys need no waiver, the include line is
+// exempt, and same-line / previous-line 'ordered' waivers suppress.
+#include <map>
+#include <string>
+
+namespace simba::net {
+struct Tables {
+  std::map<int, int> by_id;
+  std::map<std::string, int> wire;  // simba-lint: ordered — wire framing
+  // simba-lint: ordered — report order is the contract
+  std::map<std::string, int> report;
+};
+}  // namespace simba::net
